@@ -1,0 +1,80 @@
+"""Minimal ASCII chart rendering for the reproduction report.
+
+The paper's figures are bar charts and a time series; these helpers render
+the regenerated data as text so `python benchmarks/report.py` visually
+"redraws" each figure without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["bar_chart", "grouped_bars", "time_series"]
+
+
+def bar_chart(
+    rows: Dict[str, float], width: int = 40, unit: str = "x", baseline: float = 1.0
+) -> List[str]:
+    """Horizontal bars, scaled to the max value; a '|' marks the baseline."""
+    if not rows:
+        return []
+    peak = max(max(rows.values()), baseline)
+    lines = []
+    for label, value in rows.items():
+        filled = max(1, round(value / peak * width))
+        bar = "#" * filled
+        marker = round(baseline / peak * width)
+        if 0 < marker < width:
+            bar = bar[:marker] + ("|" if len(bar) <= marker else bar[marker]) + bar[marker + 1:]
+            bar = bar.ljust(marker + 1)
+        lines.append(f"  {label:12s} {bar:<{width + 1}s} {value:6.2f}{unit}")
+    return lines
+
+
+def grouped_bars(
+    rows: Dict[str, Sequence[float]],
+    group_labels: Sequence[str],
+    width: int = 24,
+    unit: str = "x",
+) -> List[str]:
+    """One bar per (row, group): the Fig. 10 batch-sweep layout."""
+    peak = max(value for values in rows.values() for value in values)
+    lines = []
+    for label, values in rows.items():
+        for group, value in zip(group_labels, values):
+            filled = max(1, round(value / peak * width))
+            lines.append(
+                f"  {label:10s} {group:3s} {'#' * filled:<{width}s} {value:6.2f}{unit}"
+            )
+        lines.append("")
+    return lines[:-1]
+
+
+def time_series(
+    samples: Sequence[Tuple[float, float]],
+    height: int = 8,
+    width: int = 64,
+    y_label: str = "W",
+    x_label: str = "us",
+) -> List[str]:
+    """A coarse scatter of (x, y) samples: the Fig. 13 power trace."""
+    if not samples:
+        return []
+    xs = [x for x, _ in samples]
+    ys = [y for _, y in samples]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in samples:
+        col = min(width - 1, int((x - x_min) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    for i, row_chars in enumerate(grid):
+        y_value = y_max - i * y_span / (height - 1)
+        lines.append(f"  {y_value:7.1f}{y_label} |{''.join(row_chars)}")
+    lines.append(f"  {'':9s}+{'-' * width}")
+    lines.append(f"  {'':9s} {x_min:.0f}{x_label}{'':>{max(0, width - 16)}}{x_max:.0f}{x_label}")
+    return lines

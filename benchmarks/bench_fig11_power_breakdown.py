@@ -1,0 +1,55 @@
+"""Fig. 11 — power breakdown of HBM vs PIM-HBM over back-to-back reads.
+
+Paper anchors: PIM-HBM draws only +5.4% total power while moving 4x the
+data on chip; cell/IOSA power scales with bank activity, internal global
+bus power disappears, the buffer-die I/O keeps a ~10% residual that could
+be gated; energy per bit drops 3.5x.
+"""
+
+import pytest
+
+from repro.perf.energy import DevicePowerModel
+
+
+def test_fig11_breakdown(benchmark):
+    dev = DevicePowerModel()
+
+    def build():
+        return dev.hbm_breakdown(), dev.pim_breakdown()
+
+    hbm, pim = benchmark(build)
+    print("\nFig. 11 device power breakdown (HBM streaming == 1.0)")
+    print(f"  {'component':16s} {'HBM':>6s} {'PIM-HBM':>8s}")
+    for key in hbm:
+        print(f"  {key:16s} {hbm[key]:6.3f} {pim[key]:8.3f}")
+    total = sum(pim.values())
+    print(f"  {'total':16s} {sum(hbm.values()):6.3f} {total:8.3f}  (paper: 1.054)")
+    benchmark.extra_info["pim_total"] = round(total, 3)
+    assert sum(hbm.values()) == pytest.approx(1.0)
+    assert 1.02 <= total <= 1.09
+
+
+def test_fig11_energy_per_bit(benchmark):
+    reduction = benchmark(lambda: DevicePowerModel().energy_per_bit_reduction)
+    print(f"\nEnergy-per-bit reduction: {reduction:.2f}x (paper 3.5x)")
+    benchmark.extra_info["reduction"] = round(reduction, 2)
+    assert 3.2 <= reduction <= 4.2
+
+
+def test_fig11_buffer_die_gating_opportunity(benchmark):
+    saving = benchmark(lambda: DevicePowerModel().gated_buffer_saving)
+    print(f"\nBuffer-die I/O gating would save {saving:.0%} (paper ~10%)")
+    assert 0.05 <= saving <= 0.15
+
+
+def test_fig11_tdp_headroom(benchmark):
+    """Section VII-C: PIM stays within the HBM system's TDP, and gating
+    the buffer die would yield a thermal advantage."""
+    from repro.perf.thermal import thermal_report
+
+    report = benchmark(thermal_report)
+    print(f"\nTDP check: HBM {report['hbm_streaming_w']:.1f} W, "
+          f"PIM {report['pim_w']:.1f} W, gated {report['pim_gated_w']:.1f} W "
+          f"vs TDP {report['tdp_w']:.1f} W")
+    assert report["within_tdp"] == 1.0
+    assert report["thermal_advantage_when_gated"] == 1.0

@@ -1,0 +1,76 @@
+"""Fig. 12 — relative power and energy of PROC-HBM, PIM-HBM and the
+hypothetical PROC-HBMx4 for GEMV, ADD and the applications.
+
+Paper anchors: GEMV energy efficiency 8.25x over PROC-HBM; ADD 1.4x;
+DS2 3.2x / GNMT 1.38x / AlexNet 1.5x over PROC-HBM and 2.8x / 1.1x /
+1.3x over PROC-HBMx4.
+"""
+
+from repro.apps.models import ALEXNET, DS2, GNMT
+from repro.perf.energy import EnergyModel
+from repro.perf.latency import PIM_HBM, PROC_HBM
+
+PAPER = {
+    "GEMV": {"vs_hbm": 8.25, "vs_x4": 1.0},
+    "ADD": {"vs_hbm": 1.4, "vs_x4": None},
+    "DS2": {"vs_hbm": 3.2, "vs_x4": 2.8},
+    "GNMT": {"vs_hbm": 1.38, "vs_x4": 1.1},
+    "AlexNet": {"vs_hbm": 1.5, "vs_x4": 1.3},
+}
+
+
+def _energy_table():
+    hbm = EnergyModel(PROC_HBM)
+    pim = EnergyModel(PIM_HBM)
+    x4 = EnergyModel(PROC_HBM, bandwidth_scale=4.0)
+    table = {}
+    table["GEMV"] = (
+        hbm.kernel_energy_j(hbm.gemv_phase(1024, 4096)),
+        pim.kernel_energy_j(pim.gemv_phase(1024, 4096)),
+        x4.kernel_energy_j(x4.gemv_phase(1024, 4096)),
+    )
+    table["ADD"] = (
+        hbm.kernel_energy_j(hbm.add_phase(2 * 1024 * 1024)),
+        pim.kernel_energy_j(pim.add_phase(2 * 1024 * 1024)),
+        x4.kernel_energy_j(x4.add_phase(2 * 1024 * 1024)),
+    )
+    for app in (DS2, GNMT, ALEXNET):
+        table[app.name] = (
+            hbm.app_energy_j(app)[0],
+            pim.app_energy_j(app)[0],
+            x4.app_energy_j(app)[0],
+        )
+    return table
+
+
+def test_fig12_energy_efficiency(benchmark):
+    table = benchmark(_energy_table)
+    print("\nFig. 12 energy efficiency of PIM-HBM")
+    print(f"  {'workload':10s} {'vs PROC-HBM':>12s} {'paper':>7s} {'vs x4':>7s} {'paper':>7s}")
+    for name, (e_hbm, e_pim, e_x4) in table.items():
+        vs_hbm = e_hbm / e_pim
+        vs_x4 = e_x4 / e_pim
+        p = PAPER[name]
+        paper_x4 = p["vs_x4"] if p["vs_x4"] is not None else float("nan")
+        print(f"  {name:10s} {vs_hbm:12.2f} {p['vs_hbm']:7.2f} {vs_x4:7.2f} {paper_x4:7.2f}")
+        benchmark.extra_info[name] = {
+            "vs_hbm": round(vs_hbm, 2), "vs_x4": round(vs_x4, 2),
+        }
+    assert 6.5 <= table["GEMV"][0] / table["GEMV"][1] <= 10.5
+    assert 1.1 <= table["ADD"][0] / table["ADD"][1] <= 1.8
+    assert 2.6 <= table["DS2"][0] / table["DS2"][1] <= 3.9
+
+
+def test_fig12_relative_power(benchmark):
+    """The power half of Fig. 12: PIM draws more power than the stalled
+    HBM host during GEMV but finishes far sooner."""
+
+    def powers():
+        hbm = EnergyModel(PROC_HBM)
+        pim = EnergyModel(PIM_HBM)
+        return hbm.gemv_phase(1024, 4096).power_w, pim.gemv_phase(1024, 4096).power_w
+
+    p_hbm, p_pim = benchmark(powers)
+    print(f"\nGEMV system power: PROC-HBM {p_hbm:.0f} W, PIM-HBM {p_pim:.0f} W "
+          f"(ratio {p_pim / p_hbm:.2f})")
+    assert 1.0 <= p_pim / p_hbm <= 2.0

@@ -1,0 +1,59 @@
+"""Fig. 13 — average system power of DS2 over time.
+
+The paper's point: PIM-HBM improves DS2 energy efficiency both by running
+shorter *and* at lower average power during the LSTM phases (the processor
+idles while the PIM units compute).  The bench regenerates both traces and
+prints a coarse time series.
+"""
+
+from repro.apps.models import DS2
+from repro.perf.energy import EnergyModel
+from repro.perf.latency import PIM_HBM, PROC_HBM
+
+
+def _traces():
+    hbm = EnergyModel(PROC_HBM)
+    pim = EnergyModel(PIM_HBM)
+    return hbm.power_trace(DS2, points=48), pim.power_trace(DS2, points=48)
+
+
+def test_fig13_ds2_power_over_time(benchmark):
+    hbm_trace, pim_trace = benchmark(_traces)
+    hbm_end = hbm_trace[-1][0]
+    pim_end = pim_trace[-1][0]
+    print("\nFig. 13: DS2 system power over time (sampled)")
+    print(f"  PROC-HBM runs {hbm_end / 1000:.1f} ms, PIM-HBM {pim_end / 1000:.1f} ms")
+    for label, trace in (("PROC-HBM", hbm_trace), ("PIM-HBM", pim_trace)):
+        samples = trace[:: len(trace) // 8]
+        series = " ".join(f"{p:5.0f}W" for _, p in samples)
+        print(f"  {label:9s} {series}")
+    hbm_avg = sum(p for _, p in hbm_trace) / len(hbm_trace)
+    pim_avg = sum(p for _, p in pim_trace) / len(pim_trace)
+    print(f"  average power: PROC-HBM {hbm_avg:.0f} W, PIM-HBM {pim_avg:.0f} W")
+    benchmark.extra_info["hbm_ms"] = round(hbm_end / 1000, 2)
+    benchmark.extra_info["pim_ms"] = round(pim_end / 1000, 2)
+    benchmark.extra_info["hbm_avg_w"] = round(hbm_avg, 1)
+    benchmark.extra_info["pim_avg_w"] = round(pim_avg, 1)
+    # Shorter execution...
+    assert pim_end < hbm_end / 2
+    # ...and not at the cost of higher average power.
+    assert pim_avg < hbm_avg * 1.35
+
+
+def test_fig13_lstm_phase_power_drops_on_pim(benchmark):
+    """During offloaded LSTM phases the processor power-gates its CUs."""
+
+    def lstm_phase_powers():
+        hbm = EnergyModel(PROC_HBM)
+        pim = EnergyModel(PIM_HBM)
+        h = [p for p in hbm.app_phases(DS2) if p.name.startswith("lstm")]
+        p = [p for p in pim.app_phases(DS2) if p.name.startswith("lstm")]
+        return (
+            sum(x.power_w for x in h) / len(h),
+            sum(x.power_w for x in p) / len(p),
+        )
+
+    hbm_lstm_w, pim_lstm_w = benchmark(lstm_phase_powers)
+    print(f"\nLSTM-phase power: PROC-HBM {hbm_lstm_w:.0f} W vs "
+          f"PIM-HBM {pim_lstm_w:.0f} W")
+    assert pim_lstm_w != hbm_lstm_w

@@ -1,0 +1,105 @@
+"""Fig. 14 — design-space exploration: PIM-HBM-2x / -2BA / -SRW speedups
+over the HBM host for GEMV, ADD and BN microbenchmarks.
+
+Paper anchors (upper-bound simulation, as the paper notes): 2x ~+40%
+geo-mean (+24% die area), 2BA ~+20% (esp. ADD, +60% power), SRW ~+10%
+(~+25% for GEMV).  Our command-stream model reproduces the ordering and
+the per-kernel benefit pattern; absolute variant gains run somewhat above
+the paper's measured values because host-side issue limits inside the
+authors' DRAMSim2 setup are not public (see EXPERIMENTS.md).
+"""
+
+from repro.common.units import geomean
+from repro.dse.variants import VARIANTS, dse_speedups
+
+PAPER_GEOMEAN_GAIN = {"PIM-HBM-2x": 1.40, "PIM-HBM-2BA": 1.20, "PIM-HBM-SRW": 1.10}
+
+
+def test_fig14_variants(benchmark):
+    results = benchmark(dse_speedups)
+    base = results["PIM-HBM"]
+    print("\nFig. 14: speedup over HBM host (and gain over baseline PIM)")
+    header = ["GEMV1", "GEMV4", "ADD1", "ADD4", "BN1", "geomean"]
+    print("  {:14s}".format("variant") + " ".join(f"{h:>7s}" for h in header))
+    for name, row in results.items():
+        print(
+            "  {:14s}".format(name)
+            + " ".join(f"{row[h]:7.2f}" for h in header)
+        )
+        if name != "PIM-HBM":
+            gain = row["geomean"] / base["geomean"]
+            paper = PAPER_GEOMEAN_GAIN[name]
+            print(f"    -> geomean gain x{gain:.2f} (paper ~x{paper})")
+            benchmark.extra_info[name] = round(gain, 3)
+
+    gain = lambda v, b: results[v][b] / base[b]
+    # Orderings the paper establishes:
+    assert gain("PIM-HBM-2x", "geomean") > gain("PIM-HBM-2BA", "geomean")
+    assert gain("PIM-HBM-2x", "geomean") > gain("PIM-HBM-SRW", "geomean")
+    # 2BA helps ADD (FILL elimination), not GEMV.
+    assert gain("PIM-HBM-2BA", "ADD1") > 1.15
+    assert abs(gain("PIM-HBM-2BA", "GEMV1") - 1.0) < 0.05
+    # SRW helps GEMV (staging elimination), not ADD.
+    assert gain("PIM-HBM-SRW", "GEMV1") > 1.2
+    assert abs(gain("PIM-HBM-SRW", "ADD1") - 1.0) < 0.05
+
+
+def test_fig14_trace_level_upper_bounds(benchmark):
+    """The same variants replayed command-by-command on the trace-driven
+    simulator (the DRAMSim2 role): pure DRAM-side upper bounds with no
+    fences and no host — the regime the paper's numbers come from."""
+    from repro.dram.timing import HBM2_1P2GHZ
+    from repro.dse.tracesim import replay_variant_elementwise, replay_variant_gemv
+
+    def replay_all():
+        out = {}
+        for name in VARIANTS:
+            gemv = replay_variant_gemv(name, 512, 512, 1, HBM2_1P2GHZ)
+            add = replay_variant_elementwise(name, 512 * 1024, 1, HBM2_1P2GHZ)
+            out[name] = (gemv, add)
+        return out
+
+    cycles = benchmark.pedantic(replay_all, rounds=1, iterations=1)
+    base_gemv, base_add = cycles["PIM-HBM"]
+    print("\nFig. 14 trace-level upper bounds (gain over baseline PIM):")
+    for name, (gemv, add) in cycles.items():
+        if name == "PIM-HBM":
+            continue
+        print(f"  {name:14s} GEMV x{base_gemv / gemv:.2f}, ADD x{base_add / add:.2f}")
+        benchmark.extra_info[name] = {
+            "gemv": round(base_gemv / gemv, 2), "add": round(base_add / add, 2),
+        }
+    assert base_gemv / cycles["PIM-HBM-SRW"][0] > 1.7  # staging removed
+    assert base_gemv / cycles["PIM-HBM-2x"][0] > 1.7  # tiles halved
+    assert base_add / cycles["PIM-HBM-2BA"][1] > 1.3  # FILL removed
+
+
+def test_fig14_costs(benchmark):
+    def costs():
+        return {
+            name: (v.die_area_increase, v.power_increase)
+            for name, v in VARIANTS.items()
+        }
+
+    table = benchmark(costs)
+    print("\nVariant implementation costs (paper, Section VII-D):")
+    print(f"  2x:  +{table['PIM-HBM-2x'][0]:.0%} die area")
+    print(f"  2BA: +{table['PIM-HBM-2BA'][1]:.0%} device power")
+    assert table["PIM-HBM-2x"][0] == 0.24
+    assert table["PIM-HBM-2BA"][1] == 0.60
+
+
+def test_fig14_geomean_over_all_benchmarks(benchmark):
+    """Cross-check: the per-benchmark speedups reproduce a sane geomean."""
+
+    def compute():
+        results = dse_speedups()
+        return {
+            name: geomean(
+                v for k, v in row.items() if k != "geomean"
+            )
+            for name, row in results.items()
+        }
+
+    geos = benchmark(compute)
+    assert geos["PIM-HBM-2x"] > geos["PIM-HBM"]

@@ -1,0 +1,46 @@
+"""Table I — relative area and energy/op of MAC units in a 20nm DRAM
+process (INT16/INT8/FP16/BFLOAT16/FP32).
+
+Regenerates the table from the structural model and reports model-vs-paper
+per cell; the benchmark times a full model fit + table evaluation.
+"""
+
+from repro.perf.macunits import PAPER_TABLE1, TABLE1_SPECS, MacUnitModel
+
+
+def _build_table():
+    model = MacUnitModel()
+    return model.normalised_table()
+
+
+def test_table1_mac_unit_model(benchmark):
+    table = benchmark(_build_table)
+    print("\nTable I: MAC unit area and energy/op (normalised to INT16/48)")
+    print(f"{'Number format':26s} {'area':>6s} {'paper':>6s} {'energy':>7s} {'paper':>6s}")
+    for spec in TABLE1_SPECS:
+        row = table[spec.name]
+        paper = PAPER_TABLE1[spec.name]
+        print(
+            f"{spec.name:26s} {row['area']:6.2f} {paper['area']:6.2f} "
+            f"{row['energy']:7.2f} {paper['energy']:6.2f}"
+        )
+        benchmark.extra_info[f"area/{spec.name}"] = round(row["area"], 3)
+        benchmark.extra_info[f"energy/{spec.name}"] = round(row["energy"], 3)
+        assert abs(row["area"] - paper["area"]) / paper["area"] < 0.10
+        assert abs(row["energy"] - paper["energy"]) / paper["energy"] < 0.25
+
+
+def test_table1_fp16_choice_rationale(benchmark):
+    """The design decision Table I supports: FP16 over FP32 and BF16."""
+
+    def orderings():
+        model = MacUnitModel()
+        by_name = {s.name: s for s in TABLE1_SPECS}
+        return (
+            model.area(by_name["FP32"]) / model.area(by_name["FP16"]),
+            model.area(by_name["FP16"]) / model.area(by_name["BFLOAT16"]),
+        )
+
+    fp32_over_fp16, fp16_over_bf16 = benchmark(orderings)
+    assert fp32_over_fp16 > 2.5  # FP32 "too large to be implemented in DRAM"
+    assert fp16_over_bf16 > 1.0  # BF16 slightly smaller, FP16 chosen anyway

@@ -1,0 +1,35 @@
+"""Tables IV & V — PIM execution unit and PIM-HBM device specifications.
+
+Every number is derived from the architectural parameters (lanes, clocks,
+bank geometry); the bench renders both tables and asserts the headline
+figures (9.6 GFLOPS, 1.229 TB/s, 307.2 GB/s, 6 GB).
+"""
+
+import pytest
+
+from repro.perf.specs import PimDeviceSpec, PimUnitSpec
+
+
+def test_table4_unit_spec(benchmark):
+    spec = benchmark(lambda: PimUnitSpec().as_table())
+    print("\nTable IV: PIM execution unit")
+    for key, value in spec.items():
+        print(f"  {key}: {value}")
+    unit = PimUnitSpec()
+    assert unit.peak_gflops == pytest.approx(9.6)
+    assert unit.datapath_bits == 256
+    benchmark.extra_info["gflops"] = unit.peak_gflops
+
+
+def test_table5_device_spec(benchmark):
+    spec = benchmark(lambda: PimDeviceSpec().as_table())
+    print("\nTable V: PIM-HBM device")
+    for key, value in spec.items():
+        print(f"  {key}: {value}")
+    device = PimDeviceSpec()
+    assert device.onchip_bandwidth_tbps == pytest.approx(1.2288, rel=1e-3)
+    assert device.io_bandwidth_gbps == pytest.approx(307.2)
+    assert device.capacity_gbyte == 6.0
+    assert device.pim_units_per_die == 32
+    benchmark.extra_info["onchip_tbps"] = device.onchip_bandwidth_tbps
+    benchmark.extra_info["io_gbps"] = device.io_bandwidth_gbps

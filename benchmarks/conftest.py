@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.  The
+pytest-benchmark timings measure the harness itself (simulator and model
+throughput); the reproduced numbers are attached to ``benchmark.extra_info``
+and printed, and ``benchmarks/report.py`` renders the full paper-vs-model
+comparison (recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.perf.latency import PIM_HBM, PROC_HBM, LatencyModel
+
+
+@pytest.fixture(scope="session")
+def host_model():
+    return LatencyModel(PROC_HBM)
+
+
+@pytest.fixture(scope="session")
+def pim_model():
+    return LatencyModel(PIM_HBM)

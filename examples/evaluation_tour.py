@@ -1,0 +1,89 @@
+"""A tour of the paper's evaluation (Section VII) via the perf models.
+
+Prints compact versions of Fig. 10 (performance), Fig. 12 (energy),
+Fig. 14 (design-space exploration) and the Table I MAC comparison, with
+the paper's reported values alongside.
+
+Run:  python examples/evaluation_tour.py
+"""
+
+from repro.apps.microbench import ADD_SIZES, GEMV_SIZES
+from repro.apps.models import ALL_APPS
+from repro.dse import dse_speedups
+from repro.perf import (
+    DevicePowerModel,
+    EnergyModel,
+    LatencyModel,
+    MacUnitModel,
+    PAPER_TABLE1,
+    PIM_HBM,
+    PROC_HBM,
+)
+from repro.apps.models import ALEXNET, DS2, GNMT
+
+
+def fig10():
+    host, pim = LatencyModel(PROC_HBM), LatencyModel(PIM_HBM)
+    print("== Fig. 10: PIM-HBM speedup over HBM (batch 1 / 2 / 4) ==")
+    for g in GEMV_SIZES:
+        ratios = [
+            host.host_gemv(g.m, g.n, b).ns / pim.pim_gemv(g.m, g.n, b).ns
+            for b in (1, 2, 4)
+        ]
+        print("  {:10s} {:5.2f} {:5.2f} {:5.2f}".format(g.name, *ratios))
+    for a in ADD_SIZES[:1]:
+        ratios = [
+            host.host_stream(a.n, 3, b).ns / pim.pim_add(a.n, b).ns
+            for b in (1, 2, 4)
+        ]
+        print("  {:10s} {:5.2f} {:5.2f} {:5.2f}   (paper B1: 1.6)".format(a.name, *ratios))
+    for app in ALL_APPS:
+        ratios = [
+            host.app_time(app, b)["total"] / pim.app_time(app, b)["total"]
+            for b in (1, 2, 4)
+        ]
+        print("  {:10s} {:5.2f} {:5.2f} {:5.2f}".format(app.name, *ratios))
+    print("  (paper B1: GEMV1 11.2, DS2 3.5, GNMT 1.5, AlexNet 1.4, ResNet 1.0)")
+
+
+def fig12():
+    hbm, pim = EnergyModel(PROC_HBM), EnergyModel(PIM_HBM)
+    print("\n== Fig. 12: PIM-HBM energy efficiency over PROC-HBM ==")
+    eh = hbm.kernel_energy_j(hbm.gemv_phase(1024, 4096))
+    ep = pim.kernel_energy_j(pim.gemv_phase(1024, 4096))
+    print(f"  GEMV    {eh / ep:5.2f}   (paper 8.25)")
+    for app, paper in ((DS2, 3.2), (GNMT, 1.38), (ALEXNET, 1.5)):
+        ratio = hbm.app_energy_j(app)[0] / pim.app_energy_j(app)[0]
+        print(f"  {app.name:7s} {ratio:5.2f}   (paper {paper})")
+    dev = DevicePowerModel()
+    print(f"  device power: PIM-HBM x{dev.pim_total:.3f} of HBM (paper x1.054)")
+    print(f"  energy/bit reduction: {dev.energy_per_bit_reduction:.2f}x (paper 3.5x)")
+
+
+def fig14():
+    results = dse_speedups()
+    base = results["PIM-HBM"]["geomean"]
+    print("\n== Fig. 14: enhanced microarchitectures (geomean gain) ==")
+    for name, row in results.items():
+        if name == "PIM-HBM":
+            continue
+        print(f"  {name:14s} x{row['geomean'] / base:.2f}")
+    print("  (paper: 2x ~+40%, 2BA ~+20%, SRW ~+10%)")
+
+
+def table1():
+    print("\n== Table I: MAC units in 20nm DRAM (area, normalised) ==")
+    model = MacUnitModel()
+    for name, row in model.normalised_table().items():
+        print(f"  {name:26s} {row['area']:5.2f}  (paper {PAPER_TABLE1[name]['area']})")
+
+
+def main():
+    fig10()
+    fig12()
+    fig14()
+    table1()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+"""A low-level walkthrough of the PIM architecture (Sections III-IV).
+
+This example drives one pseudo-channel with raw JEDEC commands — exactly
+what an unmodified memory controller would emit — and shows every stage:
+
+1. entering all-bank (AB) mode with an ACT+PRE pair to the ABMR row;
+2. programming a GEMV microkernel into the CRF with plain column writes;
+3. entering AB-PIM mode via the PIM_OP_MODE register;
+4. staging the input vector through WR-triggered ``MOV GRF <- HOST``
+   instructions and streaming weights through RD-triggered MACs with
+   address-aligned mode;
+5. reading the partial sums back in standard single-bank mode.
+
+Run:  python examples/microkernel_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.dram import BankConfig, Command, CommandType, HBM2_1GHZ
+from repro.pim import PimMode, PimPseudoChannel, assemble_words, disassemble
+from repro.pim.device import UNITS_PER_PCH
+from repro.pim.registers import LANES
+
+
+class CommandLog:
+    """Issues commands in order and keeps a trace."""
+
+    def __init__(self, channel):
+        self.channel = channel
+        self.cycle = 0
+        self.trace = []
+
+    def issue(self, cmd):
+        self.cycle = max(self.cycle, self.channel.earliest_issue(cmd))
+        result = self.channel.issue(cmd, self.cycle)
+        self.trace.append((self.cycle, repr(cmd)))
+        self.cycle += 1
+        return result
+
+
+def main():
+    channel = PimPseudoChannel(HBM2_1GHZ, BankConfig(num_rows=64))
+    mm = channel.memory_map
+    bus = CommandLog(channel)
+    rng = np.random.default_rng(7)
+
+    # Problem: y = W @ x with one output tile (128 outputs) and 16 dims.
+    m, n = UNITS_PER_PCH * LANES, 16
+    w = (rng.standard_normal((m, n)) * 0.2).astype(np.float16)
+    x = (rng.standard_normal(n) * 0.2).astype(np.float16)
+
+    # Stage weights: unit u's EVEN bank holds its 16 output rows, one
+    # 32-byte column per input dimension (chunk k -> columns 8k..8k+7).
+    for u in range(UNITS_PER_PCH):
+        for j in range(n):
+            column = np.ascontiguousarray(w[u * LANES:(u + 1) * LANES, j])
+            channel.banks[2 * u].poke(0, j, column.view(np.uint8))
+
+    # 1. Enter AB mode: ACT + PRE to the ABMR row (no MRS, no kernel call).
+    bus.issue(Command(CommandType.ACT, 0, 0, row=mm.abmr_row))
+    bus.issue(Command(CommandType.PRE, 0, 0))
+    assert channel.mode is PimMode.AB
+
+    # 2. Program the microkernel (2 input chunks -> JUMP repeats once).
+    source = """
+    MOV  GRF_A[A], HOST            ; stage 8 replicated x values (WR)
+    JUMP -1, 7
+    MAC  GRF_B[A], EVEN_BANK, GRF_A[A]
+    JUMP -1, 7
+    JUMP -4, 1                     ; second chunk
+    MOV  EVEN_BANK[A], GRF_B[A]    ; write partial sums (WR)
+    JUMP -1, 7
+    EXIT
+    """
+    words = assemble_words(source)
+    print("Microkernel in the CRF:")
+    for line in disassemble(words):
+        print("   ", line)
+    image = np.array(words, dtype="<u4").view(np.uint8)
+    for col in range(4):
+        bus.issue(Command(CommandType.WR, 0, 0, row=mm.crf_row, col=col,
+                          data=image[col * 32:(col + 1) * 32]))
+
+    # Zero the GRF_B accumulators through the register-mapped GRF row.
+    for col in range(8, 16):
+        bus.issue(Command(CommandType.WR, 0, 0, row=mm.grf_row, col=col,
+                          data=np.zeros(32, dtype=np.uint8)))
+
+    # 3. Enter AB-PIM mode.
+    on = np.zeros(32, dtype=np.uint8)
+    on[0] = 1
+    bus.issue(Command(CommandType.WR, 0, 0, row=mm.conf_row, col=0, data=on))
+    assert channel.mode is PimMode.AB_PIM
+
+    # 4. The data phase: open the weight row once, then per chunk send
+    #    8 WRs (x values, replicated to all 16 lanes) and 8 RDs (MACs).
+    bus.issue(Command(CommandType.ACT, 0, 0, row=0))
+    for chunk in range(2):
+        for j in range(8):
+            value = np.full(LANES, x[8 * chunk + j], dtype=np.float16)
+            bus.issue(Command(CommandType.WR, 0, 0, row=0, col=8 * chunk + j,
+                              data=value.view(np.uint8)))
+        for j in range(8):
+            bus.issue(Command(CommandType.RD, 0, 0, row=0, col=8 * chunk + j))
+    # Epilogue: 8 WR triggers write GRF_B to row 1 of each even bank.
+    bus.issue(Command(CommandType.PREA))
+    bus.issue(Command(CommandType.ACT, 0, 0, row=1))
+    for j in range(8):
+        bus.issue(Command(CommandType.WR, 0, 0, row=1, col=j,
+                          data=np.zeros(32, dtype=np.uint8)))
+    bus.issue(Command(CommandType.PREA))
+
+    # 5. Back to standard DRAM and read the results like ordinary memory.
+    bus.issue(Command(CommandType.WR, 0, 0, row=mm.conf_row, col=0,
+                      data=np.zeros(32, dtype=np.uint8)))
+    bus.issue(Command(CommandType.ACT, 0, 0, row=mm.sbmr_row))
+    bus.issue(Command(CommandType.PRE, 0, 0))
+    assert channel.mode is PimMode.SB
+
+    y = np.zeros(m, dtype=np.float32)
+    for u in range(UNITS_PER_PCH):
+        partials = np.stack([
+            channel.banks[2 * u].peek(1, j).view(np.float16) for j in range(8)
+        ])
+        y[u * LANES:(u + 1) * LANES] = partials.astype(np.float32).sum(axis=0)
+
+    gold = w.astype(np.float32) @ x.astype(np.float32)
+    print(f"\nExecuted {bus.cycle} DRAM cycles, "
+          f"{channel.pim_triggered_columns} PIM-triggered columns")
+    print(f"max |error| vs FP32: {np.abs(y - gold).max():.2e}")
+    print("\nFirst commands on the bus:")
+    for cycle, cmd in bus.trace[:10]:
+        print(f"  cycle {cycle:4d}: {cmd}")
+    assert np.abs(y - gold).max() < 1e-2
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Demonstration of command reordering and address-aligned mode (Fig. 5).
+
+Modern memory controllers reorder DRAM commands for row-buffer locality.
+Because a PIM instruction takes its bank operand from whatever column
+address triggers it, reordering can silently bind the *wrong data* to an
+instruction.  This example shows the three regimes the paper analyses:
+
+* an AAM microkernel is correct even under an adversarial scheduler;
+* an index-hardcoded microkernel breaks under the same scheduler;
+* a strictly in-order controller makes both safe (the paper's fence-free
+  projection).
+
+Run:  python examples/ordering_and_aam.py
+"""
+
+import numpy as np
+
+from repro.dram import SchedulerPolicy
+from repro.pim.exec_unit import PimProgramError
+from repro.stack import GemvKernel, PimSystem, gemv_reference
+
+NON_AAM = "\n".join(
+    [f"MOV GRF_A[{i}], HOST" for i in range(8)]
+    + [f"MAC GRF_B[{i}], EVEN_BANK, GRF_A[{i}]" for i in range(8)]
+    + ["JUMP -16, {reps}"]
+    + [f"MOV EVEN_BANK[{i}], GRF_B[{i}]" for i in range(8)]
+    + ["EXIT"]
+)
+
+
+def run(policy, seed=None, microkernel=None, fences=True):
+    system = PimSystem(
+        num_pchs=1, num_rows=128, policy=policy,
+        scheduler_seed=seed, fence_penalty_cycles=0,
+    )
+    if not fences:
+        for mc in system.controllers:
+            mc.fence = lambda: None
+    rng = np.random.default_rng(0)
+    w = (rng.standard_normal((128, 64)) * 0.25).astype(np.float16)
+    x = (rng.standard_normal(64) * 0.25).astype(np.float16)
+    kernel = GemvKernel(system, 128, 64)
+    if microkernel:
+        kernel.MICROKERNEL = microkernel
+    kernel.load_weights(w)
+    try:
+        y, _ = kernel(x)
+    except PimProgramError as exc:
+        return f"DEVICE ERROR ({exc})"
+    ref = gemv_reference(w, x, num_pchs=1)
+    if np.array_equal(y, ref):
+        return "correct"
+    return f"WRONG RESULT (max err {np.abs(y - ref).max():.3f})"
+
+
+def main():
+    print("GEMV 128x64 under different scheduler / microkernel combinations\n")
+    cases = [
+        ("AAM kernel, FR-FCFS scheduler (the product configuration)",
+         dict(policy=SchedulerPolicy.FRFCFS)),
+        ("AAM kernel, adversarial shuffle scheduler",
+         dict(policy=SchedulerPolicy.SHUFFLE, seed=1)),
+        ("hardcoded-index kernel, in-order controller",
+         dict(policy=SchedulerPolicy.FCFS, microkernel=NON_AAM)),
+        ("hardcoded-index kernel, adversarial shuffle  <- Fig. 5(c)",
+         dict(policy=SchedulerPolicy.SHUFFLE, seed=1, microkernel=NON_AAM)),
+        ("AAM kernel, shuffle, NO fences  <- window overflow",
+         dict(policy=SchedulerPolicy.SHUFFLE, seed=1, fences=False)),
+        ("AAM kernel, in-order controller, NO fences (fence-free study)",
+         dict(policy=SchedulerPolicy.FCFS, fences=False)),
+    ]
+    for label, kwargs in cases:
+        print(f"  {label:62s} -> {run(**kwargs)}")
+
+    print(
+        "\nAAM tolerates reordering within the 8-register window, which is"
+        "\nwhy the host fences every 8 commands; an in-order PIM mode would"
+        "\nremove the fences entirely (Section VII-B)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — a functional and performance model of Samsung's HBM-PIM.
+
+A reproduction of "Hardware Architecture and Software Stack for PIM Based
+on Commercial DRAM Technology" (ISCA 2021, Industry Track): the PIM-HBM
+device (DRAM + in-bank SIMD execution units driven by standard JEDEC
+commands), the full software stack (driver, runtime, BLAS, TF-style graph
+framework), and the evaluation harness that regenerates every table and
+figure of the paper.
+
+Quick start::
+
+    import numpy as np
+    from repro import PimSystem, PimBlas
+
+    system = PimSystem(num_pchs=4)
+    blas = PimBlas(system)
+    w = np.random.randn(256, 128).astype(np.float16)
+    x = np.random.randn(128).astype(np.float16)
+    y, report = blas.gemv(w, x)   # executed by the simulated PIM device
+"""
+
+from .stack import (
+    GraphBuilder,
+    GraphExecutor,
+    PimBlas,
+    PimSystem,
+)
+from .pim import PimHbmDevice, PimMode, assemble, disassemble
+from .dram import HbmDevice, MemoryController, SchedulerPolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphBuilder",
+    "GraphExecutor",
+    "PimBlas",
+    "PimSystem",
+    "PimHbmDevice",
+    "PimMode",
+    "assemble",
+    "disassemble",
+    "HbmDevice",
+    "MemoryController",
+    "SchedulerPolicy",
+    "__version__",
+]

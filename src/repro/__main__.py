@@ -1,0 +1,98 @@
+"""Command-line entry point.
+
+::
+
+    python -m repro report    # full paper-vs-model reproduction report
+    python -m repro demo      # quick functional demo on the simulator
+    python -m repro specs     # Tables IV & V
+    python -m repro trace     # a GEMV kernel's command stream, annotated
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _report() -> None:
+    import importlib.util
+    import pathlib
+
+    # benchmarks/report.py lives outside the package; load it directly so
+    # the CLI works from a source checkout.
+    path = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "report.py"
+    if path.exists():
+        spec = importlib.util.spec_from_file_location("repro_report", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # type: ignore[union-attr]
+        module.main()
+    else:
+        print("benchmarks/report.py not found (installed without sources); "
+              "run the bench suite instead: pytest benchmarks/ --benchmark-only")
+
+
+def _demo() -> None:
+    import numpy as np
+
+    from .stack import PimBlas, PimSystem
+
+    print("Building a 4-channel PIM-HBM system...")
+    system = PimSystem(num_pchs=4, num_rows=256)
+    blas = PimBlas(system)
+    rng = np.random.default_rng(0)
+    w = (rng.standard_normal((512, 256)) * 0.1).astype(np.float16)
+    x = (rng.standard_normal(256) * 0.1).astype(np.float16)
+    y, report = blas.gemv(w, x)
+    gold = w.astype(np.float32) @ x.astype(np.float32)
+    print(f"GEMV 512x256 on the simulated device:")
+    print(f"  max |err| vs FP32: {np.abs(y - gold).max():.2e}")
+    print(f"  {report.cycles} DRAM cycles, {report.column_commands} column "
+          f"commands, {report.fences} fences, {report.pim_flops} PIM FLOPs")
+
+
+def _specs() -> None:
+    from .perf.specs import PimDeviceSpec, PimUnitSpec
+
+    print("Table IV — PIM execution unit")
+    for key, value in PimUnitSpec().as_table().items():
+        print(f"  {key}: {value}")
+    print("\nTable V — PIM-HBM device")
+    for key, value in PimDeviceSpec().as_table().items():
+        print(f"  {key}: {value}")
+
+
+def _trace() -> None:
+    import numpy as np
+
+    from .stack import PimBlas, PimSystem
+    from .tools import trace_channel
+
+    system = PimSystem(num_pchs=1, num_rows=128)
+    blas = PimBlas(system)
+    rng = np.random.default_rng(0)
+    w = (rng.standard_normal((128, 64)) * 0.1).astype(np.float16)
+    x = (rng.standard_normal(64) * 0.1).astype(np.float16)
+    with trace_channel(system.device.pch(0)) as trace:
+        blas.gemv(w, x)
+    print(trace.summary())
+    print("\nFirst 30 commands:")
+    for line in trace.lines()[:30]:
+        print(" ", line)
+
+
+_COMMANDS = {"report": _report, "demo": _demo, "specs": _specs, "trace": _trace}
+
+
+def main(argv=None) -> int:
+    """Dispatch a CLI subcommand; returns the process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    command = argv[0] if argv else "demo"
+    handler = _COMMANDS.get(command)
+    if handler is None:
+        print(__doc__)
+        return 1
+    handler()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

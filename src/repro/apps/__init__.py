@@ -1,0 +1,13 @@
+"""Workload models: Table VI microbenchmarks and the five applications."""
+
+from .capacity import DLRM_LIKE, RecommendationModel, SystemCapacity, capacity_report
+from .layers import Add, Bn, Conv, Embedding, Fc, HostWork, Layer, Lstm
+from .microbench import ADD_SIZES, BN_SIZES, GEMV_SIZES, AddSize, GemvSize
+from .models import ALEXNET, ALL_APPS, DS2, GNMT, RESNET50, RNNT, AppModel
+
+__all__ = [
+    "DLRM_LIKE", "RecommendationModel", "SystemCapacity", "capacity_report",
+    "Add", "Bn", "Conv", "Embedding", "Fc", "HostWork", "Layer", "Lstm",
+    "ADD_SIZES", "BN_SIZES", "GEMV_SIZES", "AddSize", "GemvSize",
+    "ALEXNET", "ALL_APPS", "DS2", "GNMT", "RESNET50", "RNNT", "AppModel",
+]

@@ -1,0 +1,85 @@
+"""Capacity analysis: why recommendation models are out of scope.
+
+Section VII-A: "the embedding look-up layer of recommendation models is
+memory-bound but it also requires a large memory capacity (e.g., 256GB);
+processors integrated with HBM are not suitable ... as they provide
+limited memory capacity (e.g., 32GB with 4 HBM devices)."
+
+This module quantifies that exclusion: given a system's HBM capacity and a
+recommendation model's embedding-table footprint, it reports whether the
+workload fits and, if not, the residency fraction — the analysis behind
+the paper's decision to evaluate NLP/CV applications only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .layers import Embedding
+
+__all__ = ["SystemCapacity", "RecommendationModel", "capacity_report", "DLRM_LIKE"]
+
+
+@dataclass(frozen=True)
+class SystemCapacity:
+    """Memory capacity of an evaluation platform."""
+
+    name: str
+    devices: int = 4
+    bytes_per_device: int = 8 * 1024**3  # 8 GB HBM2E stack
+
+    @property
+    def total_bytes(self) -> int:
+        return self.devices * self.bytes_per_device
+
+
+@dataclass(frozen=True)
+class RecommendationModel:
+    """A DLRM-style recommendation model's memory footprint."""
+
+    name: str
+    num_tables: int
+    rows_per_table: int
+    embedding_dim: int
+    dtype_bytes: int = 4
+    lookups_per_inference: int = 1024
+
+    @property
+    def table_bytes(self) -> int:
+        return (
+            self.num_tables * self.rows_per_table
+            * self.embedding_dim * self.dtype_bytes
+        )
+
+    def embedding_layer(self) -> Embedding:
+        """The model's lookup layer as a workload-model descriptor."""
+        return Embedding(
+            name=f"{self.name}-embedding",
+            table_bytes=self.table_bytes,
+            lookups=self.lookups_per_inference,
+        )
+
+
+# The production-scale configuration the paper cites (~256 GB of tables).
+DLRM_LIKE = RecommendationModel(
+    name="DLRM-production",
+    num_tables=256,
+    rows_per_table=6_000_000,
+    embedding_dim=64,
+    dtype_bytes=4,  # FP32 tables
+)
+
+
+def capacity_report(
+    model: RecommendationModel, system: SystemCapacity
+) -> Dict[str, float]:
+    """Whether (and how much of) the model fits in the system's memory."""
+    total = system.total_bytes
+    tables = model.table_bytes
+    return {
+        "table_gb": tables / 1024**3,
+        "capacity_gb": total / 1024**3,
+        "fits": float(tables <= total),
+        "residency_fraction": min(1.0, total / tables),
+    }

@@ -1,0 +1,121 @@
+"""Layer descriptors for the end-to-end application models (Section VII-A).
+
+Each layer carries the minimal information the performance model needs:
+what kernel it maps to, its dimensions, and how it is launched.  PIM
+eligibility follows the paper: LSTM and FC (matrix-vector at batch 1)
+layers are offloaded; convolutions stay on the host (compute-bound);
+BN/ADD (residual) layers are offloadable level-1 kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["Conv", "Fc", "Lstm", "Bn", "Add", "Embedding", "HostWork", "Layer"]
+
+
+@dataclass(frozen=True)
+class Conv:
+    """A convolution block: compute-bound, never offloaded."""
+
+    name: str
+    flops: float  # multiply+add counted separately, per inference
+
+    pim_eligible = False
+
+
+@dataclass(frozen=True)
+class Fc:
+    """A fully connected layer: GEMV at batch 1."""
+
+    name: str
+    m: int  # output features
+    n: int  # input features
+    calls: int = 1  # invocations per inference (e.g. per decoder step)
+
+    pim_eligible = True
+
+    @property
+    def weight_bytes(self) -> int:
+        return 2 * self.m * self.n
+
+
+@dataclass(frozen=True)
+class Lstm:
+    """An LSTM layer: T steps of two 4H-row GEMVs plus host activations.
+
+    ``fused`` marks encoder-style layers whose inputs are all available up
+    front, letting the runtime issue the whole layer as one PIM kernel; the
+    alternative (decoder-style) pays a kernel launch per step, the overhead
+    the paper blames for GNMT's smaller gain (Section VII-B).
+    """
+
+    name: str
+    steps: int
+    input_dim: int
+    hidden: int
+    bidirectional: bool = False
+    fused: bool = True
+
+    pim_eligible = True
+
+    @property
+    def directions(self) -> int:
+        return 2 if self.bidirectional else 1
+
+    @property
+    def weight_bytes_per_step(self) -> int:
+        return 2 * 4 * self.hidden * (self.input_dim + self.hidden)
+
+    @property
+    def gate_m(self) -> int:
+        return 4 * self.hidden
+
+
+@dataclass(frozen=True)
+class Bn:
+    """Batch-normalisation over ``elements`` activations."""
+
+    name: str
+    elements: int
+
+    pim_eligible = True
+
+
+@dataclass(frozen=True)
+class Add:
+    """Residual/skip elementwise addition over ``elements`` activations."""
+
+    name: str
+    elements: int
+
+    pim_eligible = True
+
+
+@dataclass(frozen=True)
+class HostWork:
+    """Fixed host-side work outside the NN kernels (audio preprocessing,
+    CTC/beam-search decoding, framework glue).  Identical on both systems;
+    the paper's end-to-end measurements include these "other essential
+    parts of the software stack" (Section VII-C)."""
+
+    name: str
+    ns: float  # per inference, batch 1
+
+    pim_eligible = False
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """Embedding lookup: memory-bound but capacity-gated (Section VII-A:
+    HBM systems lack the capacity, so the paper excludes RM workloads)."""
+
+    name: str
+    table_bytes: int
+    lookups: int
+
+    pim_eligible = False
+
+
+Layer = Union[Conv, Fc, Lstm, Bn, Add, Embedding, HostWork]

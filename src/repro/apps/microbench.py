@@ -1,0 +1,64 @@
+"""Table VI microbenchmarks.
+
+GEMV (matrix-vector multiply, the core of RNN/FC layers) and ADD
+(elementwise addition, residual connections), at the paper's input sizes,
+plus the BN kernel evaluated in the Fig. 14 design-space exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["GemvSize", "AddSize", "GEMV_SIZES", "ADD_SIZES", "BN_SIZES"]
+
+
+@dataclass(frozen=True)
+class GemvSize:
+    """One GEMV microbenchmark: y[m] = W[m x n] @ x[n]."""
+
+    name: str
+    m: int
+    n: int
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.m * self.n * 2
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.m * self.n
+
+
+@dataclass(frozen=True)
+class AddSize:
+    """One elementwise microbenchmark over ``n`` FP16 elements."""
+
+    name: str
+    n: int
+
+    @property
+    def bytes_touched(self) -> int:
+        return 3 * self.n * 2  # two reads + one write
+
+
+GEMV_SIZES: Tuple[GemvSize, ...] = (
+    GemvSize("GEMV1", 1024, 4096),
+    GemvSize("GEMV2", 2048, 4096),
+    GemvSize("GEMV3", 4096, 8192),
+    GemvSize("GEMV4", 8192, 8192),
+)
+
+ADD_SIZES: Tuple[AddSize, ...] = (
+    AddSize("ADD1", 2 * 1024 * 1024),
+    AddSize("ADD2", 4 * 1024 * 1024),
+    AddSize("ADD3", 8 * 1024 * 1024),
+    AddSize("ADD4", 16 * 1024 * 1024),
+)
+
+# Fig. 14 evaluates a batch-normalisation kernel "with the same input size
+# as ADD".
+BN_SIZES: Tuple[AddSize, ...] = tuple(
+    AddSize(name.replace("ADD", "BN"), size.n) for name, size in
+    ((s.name, s) for s in ADD_SIZES)
+)

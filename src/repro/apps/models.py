@@ -1,0 +1,132 @@
+"""The five evaluation applications (Section VII-A).
+
+Layer compositions follow the paper's descriptions:
+
+* **DS2** — Baidu DeepSpeech2: 2 convolution layers, 6 bidirectional LSTM
+  layers, 1 fully connected layer; 2-second spectrogram input.
+* **RNN-T** — the MLPerf variant: 5 LSTM encoder layers, 2 LSTM prediction
+  layers, 2 fully connected joint layers with ReLU.
+* **GNMT** — 8 LSTM encoders, 8 LSTM decoders, attention; ~50-word input.
+  Decoder layers launch per step (output feeds back), which is the
+  kernel-call overhead the paper highlights.
+* **AlexNet** — 5 convolution + 3 FC layers, 224x224x3 input.
+* **ResNet-50** — 50 conv-dominated layers with BN and identity shortcuts.
+
+Dimensions are the published model sizes; where a paper leaves a detail
+open (e.g. DS2 hidden width) we use the canonical open-source configuration
+and note it in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .layers import Add, Bn, Conv, Fc, HostWork, Layer, Lstm
+
+__all__ = ["AppModel", "DS2", "RNNT", "GNMT", "ALEXNET", "RESNET50", "ALL_APPS"]
+
+
+@dataclass(frozen=True)
+class AppModel:
+    """One end-to-end inference workload."""
+
+    name: str
+    layers: Tuple[Layer, ...]
+
+    def pim_layers(self) -> List[Layer]:
+        """The layers the PIM preprocessor may offload."""
+        return [l for l in self.layers if l.pim_eligible]
+
+
+# -- DS2: 2 conv + 6 bidirectional LSTM (h=1760, the published DeepSpeech2
+#    width) + 1 FC.  2 s of audio -> ~100 post-stride time steps; conv
+#    front-end ~2.2 GFLOP. ----------------------------------------------------
+_DS2_STEPS = 100
+DS2 = AppModel(
+    "DS2",
+    (
+        Conv("conv1", flops=1.2e9),
+        Conv("conv2", flops=1.0e9),
+        Lstm("lstm1", _DS2_STEPS, 1312, 1760, bidirectional=True, fused=True),
+        *[
+            Lstm(f"lstm{i}", _DS2_STEPS, 3520, 1760, bidirectional=True, fused=True)
+            for i in range(2, 7)
+        ],
+        Fc("fc", 29, 3520),
+        # Spectrogram extraction + CTC beam-search decode on the host CPU.
+        HostWork("preprocess_ctc", ns=52e6),
+    ),
+)
+
+# -- RNN-T (MLPerf): 5 encoder LSTM (h=1024), 2 prediction LSTM (h=320),
+#    2 FC joint layers; prediction/joint run per emitted symbol. -------------
+_RNNT_STEPS = 100
+_RNNT_SYMBOLS = 40
+RNNT = AppModel(
+    "RNN-T",
+    (
+        Lstm("enc1", _RNNT_STEPS, 240, 1024, fused=True),
+        Lstm("enc2", _RNNT_STEPS // 2, 2048, 1024, fused=True),
+        Lstm("enc3", _RNNT_STEPS // 2, 1024, 1024, fused=True),
+        Lstm("enc4", _RNNT_STEPS // 2, 1024, 1024, fused=True),
+        Lstm("enc5", _RNNT_STEPS // 2, 1024, 1024, fused=True),
+        Lstm("pred1", _RNNT_SYMBOLS, 320, 320, fused=False),
+        Lstm("pred2", _RNNT_SYMBOLS, 320, 320, fused=False),
+        Fc("joint1", 512, 1344, calls=_RNNT_SYMBOLS),
+        Fc("joint2", 29, 512, calls=_RNNT_SYMBOLS),
+        HostWork("preprocess_decode", ns=4e6),
+    ),
+)
+
+# -- GNMT: 8 encoder + 8 decoder LSTM (h=1024), attention, projection. -------
+_GNMT_STEPS = 50
+GNMT = AppModel(
+    "GNMT",
+    (
+        Lstm("enc1", _GNMT_STEPS, 1024, 1024, bidirectional=True, fused=True),
+        *[
+            Lstm(f"enc{i}", _GNMT_STEPS, 1024 if i > 2 else 2048, 1024, fused=True)
+            for i in range(2, 9)
+        ],
+        *[
+            Lstm(f"dec{i}", _GNMT_STEPS, 1024 if i > 1 else 2048, 1024, fused=False)
+            for i in range(1, 9)
+        ],
+        # Attention context: small matvecs per step, kept on the host.
+        Conv("attention", flops=2 * 1024 * 1024 * _GNMT_STEPS),
+        # Output projection per decoded token (vocabulary 32k).
+        Fc("projection", 32000, 1024, calls=_GNMT_STEPS),
+        # Beam search and tokenisation on the host CPU.
+        HostWork("beam_search", ns=10e6),
+    ),
+)
+
+# -- AlexNet: 5 conv + 3 FC. -------------------------------------------------
+ALEXNET = AppModel(
+    "AlexNet",
+    (
+        Conv("conv1", flops=0.211e9),
+        Conv("conv2", flops=0.448e9),
+        Conv("conv3", flops=0.299e9),
+        Conv("conv4", flops=0.449e9),
+        Conv("conv5", flops=0.299e9),
+        Fc("fc6", 4096, 9216),
+        Fc("fc7", 4096, 4096),
+        Fc("fc8", 1000, 4096),
+    ),
+)
+
+# -- ResNet-50: convolution-dominated; BN + shortcut adds offloadable but
+#    small.  ~4.1 GFLOP of convolutions, ~11M BN activations, 16 shortcuts. --
+RESNET50 = AppModel(
+    "ResNet-50",
+    (
+        Conv("convs", flops=4.1e9),
+        Bn("bn_all", elements=11_000_000),
+        Add("shortcuts", elements=2_500_000),
+        Fc("fc", 1000, 2048),
+    ),
+)
+
+ALL_APPS = (DS2, RNNT, GNMT, ALEXNET, RESNET50)

@@ -1,0 +1,50 @@
+"""Shared substrate: softfloat arithmetic, bit fields, unit conversions."""
+
+from .fp16 import (
+    BF16,
+    FP16,
+    FP32,
+    FloatFormat,
+    bits_to_f16,
+    f16_to_bits,
+    fp_add,
+    fp_mac,
+    fp_mul,
+    fp_relu,
+    vec_add,
+    vec_mac,
+    vec_mul,
+    vec_relu,
+)
+from .bitfield import BitField, Layout, get_bits, mask, set_bits
+from .ecc import DecodeResult, DecodeStatus
+from .ecc import decode as ecc_decode
+from .ecc import encode as ecc_encode
+from .units import geomean
+
+__all__ = [
+    "BF16",
+    "FP16",
+    "FP32",
+    "FloatFormat",
+    "bits_to_f16",
+    "f16_to_bits",
+    "fp_add",
+    "fp_mac",
+    "fp_mul",
+    "fp_relu",
+    "vec_add",
+    "vec_mac",
+    "vec_mul",
+    "vec_relu",
+    "BitField",
+    "Layout",
+    "get_bits",
+    "mask",
+    "set_bits",
+    "geomean",
+    "DecodeResult",
+    "DecodeStatus",
+    "ecc_decode",
+    "ecc_encode",
+]

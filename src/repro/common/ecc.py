@@ -1,0 +1,123 @@
+"""SEC-DED error-correcting code for on-die DRAM ECC (Section VIII).
+
+The paper's product does not ship ECC but argues the architecture is
+ECC-ready: "each PIM execution unit reads and writes data at the same data
+access granularity as a host processor", so an on-die (72,64) engine can
+protect PIM accesses exactly like host accesses.  This module implements
+the classic extended-Hamming SEC-DED code used by on-die DRAM ECC:
+
+* 64 data bits + 7 Hamming parity bits + 1 overall parity bit;
+* any single-bit error (data or parity) is located and corrected;
+* any double-bit error is detected as uncorrectable.
+
+The cell array stores the 64 data bits as-is; the 8 check bits live in a
+separate ECC array (:class:`repro.dram.ecc.EccBank` keeps one check byte
+per 8-byte word, four per 32-byte column burst).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["DecodeStatus", "DecodeResult", "encode", "decode", "CHECK_BITS"]
+
+CHECK_BITS = 8  # 7 Hamming + 1 overall parity
+_DATA_BITS = 64
+_CODE_POSITIONS = 71  # Hamming positions 1..71 (7 parity + 64 data)
+
+# Positions 1..71 that are powers of two carry Hamming parity bits.
+_PARITY_POSITIONS = (1, 2, 4, 8, 16, 32, 64)
+_DATA_POSITIONS = tuple(
+    pos for pos in range(1, _CODE_POSITIONS + 1) if pos not in _PARITY_POSITIONS
+)
+assert len(_DATA_POSITIONS) == _DATA_BITS
+
+# For each of the 7 syndrome bits: the mask over the 71-bit codeword of
+# positions participating in that parity group.
+_PARITY_MASKS: List[int] = []
+for _bit in range(7):
+    _mask = 0
+    for _pos in range(1, _CODE_POSITIONS + 1):
+        if _pos & (1 << _bit):
+            _mask |= 1 << (_pos - 1)
+    _PARITY_MASKS.append(_mask)
+
+
+def _parity(value: int) -> int:
+    return bin(value).count("1") & 1
+
+
+def _scatter(data: int) -> int:
+    """Place 64 data bits into their codeword positions (parity bits 0)."""
+    word = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        if (data >> i) & 1:
+            word |= 1 << (pos - 1)
+    return word
+
+
+def _gather(word: int) -> int:
+    data = 0
+    for i, pos in enumerate(_DATA_POSITIONS):
+        if (word >> (pos - 1)) & 1:
+            data |= 1 << i
+    return data
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of checking one codeword."""
+    CLEAN = "clean"
+    CORRECTED = "corrected-single"
+    UNCORRECTABLE = "detected-double"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    data: int
+    status: DecodeStatus
+
+
+def encode(data: int) -> int:
+    """Compute the 8 check bits for 64 data bits."""
+    if not 0 <= data < (1 << _DATA_BITS):
+        raise ValueError("data must fit in 64 bits")
+    word = _scatter(data)
+    check = 0
+    for bit, mask in enumerate(_PARITY_MASKS):
+        if _parity(word & mask):
+            check |= 1 << bit
+            word |= 1 << (_PARITY_POSITIONS[bit] - 1)
+    check |= _parity(word) << 7
+    return check
+
+
+def decode(data: int, check_byte: int) -> DecodeResult:
+    """Check (and correct) 64 data bits against their stored check byte.
+
+    Errors may be in the data bits *or* in the check byte; both are
+    covered by the codeword.
+    """
+    word = _scatter(data)
+    for bit in range(7):
+        if (check_byte >> bit) & 1:
+            word |= 1 << (_PARITY_POSITIONS[bit] - 1)
+    syndrome = 0
+    for bit, mask in enumerate(_PARITY_MASKS):
+        if _parity(word & mask):
+            syndrome |= 1 << bit
+    overall_error = _parity(word) != ((check_byte >> 7) & 1)
+
+    if syndrome == 0:
+        if not overall_error:
+            return DecodeResult(data, DecodeStatus.CLEAN)
+        # The overall parity bit itself flipped: data is intact.
+        return DecodeResult(data, DecodeStatus.CORRECTED)
+    if overall_error:
+        if syndrome <= _CODE_POSITIONS:
+            word ^= 1 << (syndrome - 1)
+            return DecodeResult(_gather(word), DecodeStatus.CORRECTED)
+        return DecodeResult(data, DecodeStatus.UNCORRECTABLE)
+    # Non-zero syndrome with matching overall parity: two bits flipped.
+    return DecodeResult(data, DecodeStatus.UNCORRECTABLE)

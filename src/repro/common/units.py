@@ -1,0 +1,69 @@
+"""Unit conversion helpers used across the simulator and the perf models.
+
+The codebase keeps time in nanoseconds (float), clock counts in integer
+cycles, bandwidth in bytes/second, energy in picojoules and power in
+milliwatts, converting only at reporting boundaries.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GHZ",
+    "MHZ",
+    "KIB",
+    "MIB",
+    "GIB",
+    "GB",
+    "ns_per_cycle",
+    "cycles_for_ns",
+    "bytes_per_sec",
+    "to_gbps",
+    "geomean",
+]
+
+GHZ = 1e9
+MHZ = 1e6
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+GB = 1e9
+
+
+def ns_per_cycle(freq_hz: float) -> float:
+    """Clock period in nanoseconds for a frequency in Hz."""
+    if freq_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return 1e9 / freq_hz
+
+
+def cycles_for_ns(duration_ns: float, freq_hz: float) -> int:
+    """Ceil of the number of clock cycles covering ``duration_ns``."""
+    period = ns_per_cycle(freq_hz)
+    cycles = duration_ns / period
+    whole = int(cycles)
+    return whole if whole == cycles else whole + 1
+
+
+def bytes_per_sec(num_bytes: int, duration_ns: float) -> float:
+    """Average bandwidth in bytes/second over a duration in nanoseconds."""
+    if duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    return num_bytes / (duration_ns * 1e-9)
+
+
+def to_gbps(bps: float) -> float:
+    """Bytes/second to gigabytes/second (decimal GB, as HBM specs use)."""
+    return bps / GB
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values (used for Fig. 14 summaries)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geomean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

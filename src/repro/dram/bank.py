@@ -1,0 +1,185 @@
+"""A DRAM bank: cell array, row buffer, and per-bank timing state.
+
+The bank is the unit the PIM architecture deliberately leaves untouched
+(design philosophy (2) in Section III-A): it is a plain state machine with a
+sparse backing store.  Timing legality is enforced here for per-bank
+constraints (tRCD/tRP/tRAS/tRC/tWR/tRTP); shared-resource constraints
+(tCCD/tRRD/tFAW/bus turnaround) live in the pseudo-channel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .timing import TimingParams
+
+__all__ = ["BankState", "BankConfig", "Bank", "TimingViolation"]
+
+
+class TimingViolation(Exception):
+    """A command was issued before the bank/channel allowed it."""
+
+
+class BankState(enum.Enum):
+    """Row-buffer state of one bank."""
+    IDLE = "idle"  # no open row
+    ACTIVE = "active"  # a row is open in the row buffer
+
+
+@dataclass(frozen=True)
+class BankConfig:
+    """Geometry of one bank (per pseudo-channel slice).
+
+    Defaults model a 4 Gb PIM-HBM die slice: 1 KiB row per pCH-bank,
+    32-byte columns (one 256-bit access), 8192 rows.
+    """
+
+    num_rows: int = 8192
+    row_bytes: int = 1024
+    col_bytes: int = 32
+
+    @property
+    def cols_per_row(self) -> int:
+        return self.row_bytes // self.col_bytes
+
+
+class Bank:
+    """One DRAM bank with a sparse row store and timing bookkeeping."""
+
+    def __init__(self, config: BankConfig, timing: TimingParams):
+        self.config = config
+        self.timing = timing
+        self.state = BankState.IDLE
+        self.open_row: Optional[int] = None
+        # Sparse backing store: rows are materialised on first touch.
+        self._rows: Dict[int, np.ndarray] = {}
+        # Row buffer is a *view* semantics model: reads/writes while a row is
+        # open go straight to the row array (restore-on-write DRAM cells).
+        # Earliest cycles at which each command class may issue.
+        self.next_act = 0
+        self.next_pre = 0
+        self.next_rd = 0
+        self.next_wr = 0
+        # Statistics.
+        self.act_count = 0
+        self.rd_count = 0
+        self.wr_count = 0
+
+    # -- backing store ------------------------------------------------------
+
+    def _row_array(self, row: int) -> np.ndarray:
+        if row < 0 or row >= self.config.num_rows:
+            raise IndexError(f"row {row} out of range")
+        array = self._rows.get(row)
+        if array is None:
+            array = np.zeros(self.config.row_bytes, dtype=np.uint8)
+            self._rows[row] = array
+        return array
+
+    def peek(self, row: int, col: int) -> np.ndarray:
+        """Read a column without any state/timing effect (testing/debug)."""
+        start = col * self.config.col_bytes
+        return self._row_array(row)[start : start + self.config.col_bytes].copy()
+
+    def poke(self, row: int, col: int, data: np.ndarray) -> None:
+        """Write a column directly, bypassing the command path (test setup)."""
+        data = np.asarray(data, dtype=np.uint8)
+        if data.size != self.config.col_bytes:
+            raise ValueError(f"column write must be {self.config.col_bytes} bytes")
+        start = col * self.config.col_bytes
+        self._row_array(row)[start : start + self.config.col_bytes] = data
+
+    # -- timing queries -------------------------------------------------------
+
+    def earliest_act(self) -> int:
+        """Earliest cycle an ACT may issue (tRC/tRP bound)."""
+        return self.next_act
+
+    def earliest_pre(self) -> int:
+        """Earliest cycle a PRE may issue (tRAS/tWR/tRTP bound)."""
+        return self.next_pre
+
+    def earliest_col(self, is_write: bool) -> int:
+        """Earliest cycle a column command may issue (tRCD bound)."""
+        return self.next_wr if is_write else self.next_rd
+
+    # -- command execution ----------------------------------------------------
+
+    def activate(self, row: int, cycle: int) -> None:
+        """Open ``row`` into the row buffer (ACT)."""
+        if self.state is not BankState.IDLE:
+            raise TimingViolation("ACT to a bank with an open row")
+        if cycle < self.next_act:
+            raise TimingViolation(f"ACT at {cycle} before tRC/tRP bound {self.next_act}")
+        t = self.timing
+        self.state = BankState.ACTIVE
+        self.open_row = row
+        self.next_rd = max(self.next_rd, cycle + t.trcd)
+        self.next_wr = max(self.next_wr, cycle + t.trcd)
+        self.next_pre = max(self.next_pre, cycle + t.tras)
+        self.next_act = max(self.next_act, cycle + t.trc)
+        self.act_count += 1
+
+    def precharge(self, cycle: int) -> None:
+        """Close the open row (PRE).  PRE to an idle bank is a NOP."""
+        if self.state is BankState.IDLE:
+            return
+        if cycle < self.next_pre:
+            raise TimingViolation(f"PRE at {cycle} before bound {self.next_pre}")
+        t = self.timing
+        self.state = BankState.IDLE
+        self.open_row = None
+        self.next_act = max(self.next_act, cycle + t.trp)
+
+    def read(self, row: int, col: int, cycle: int) -> np.ndarray:
+        """Column read; returns the 32-byte burst.
+
+        ``row`` must match the open row — the model checks what silicon
+        simply assumes, surfacing controller bugs loudly.
+        """
+        self._check_column(row, cycle, is_write=False)
+        t = self.timing
+        # Read-to-precharge constraint.
+        self.next_pre = max(self.next_pre, cycle + t.trtp)
+        self.rd_count += 1
+        return self.peek(row, col)
+
+    def write(self, row: int, col: int, data: np.ndarray, cycle: int) -> None:
+        """Column write of a 32-byte burst."""
+        self._check_column(row, cycle, is_write=True)
+        t = self.timing
+        # Write recovery before precharge.
+        self.next_pre = max(self.next_pre, cycle + t.cwl + t.burst_cycles + t.twr)
+        self.wr_count += 1
+        self.poke(row, col, data)
+
+    def touch_column(self, row: int, cycle: int, is_write: bool) -> None:
+        """Apply the state/timing effects of a column command without moving
+        data through the host datapath.
+
+        Used in AB-PIM mode, where the column command's data flow is governed
+        by the PIM instruction (the execution unit peeks/pokes the row buffer
+        itself) but the bank-level timing behaviour is identical to a normal
+        access.
+        """
+        self._check_column(row, cycle, is_write)
+        t = self.timing
+        if is_write:
+            self.next_pre = max(self.next_pre, cycle + t.cwl + t.burst_cycles + t.twr)
+        else:
+            self.next_pre = max(self.next_pre, cycle + t.trtp)
+
+    def _check_column(self, row: int, cycle: int, is_write: bool) -> None:
+        if self.state is not BankState.ACTIVE:
+            raise TimingViolation("column command to a bank with no open row")
+        if self.open_row != row:
+            raise TimingViolation(
+                f"column command to row {row} but row {self.open_row} is open"
+            )
+        bound = self.next_wr if is_write else self.next_rd
+        if cycle < bound:
+            raise TimingViolation(f"column command at {cycle} before bound {bound}")

@@ -1,0 +1,73 @@
+"""DRAM bus commands.
+
+A :class:`Command` is what travels over the CA bus of one pseudo-channel.
+It is the *only* interface between the memory controller and the (PIM-)DRAM
+device — the paper's central constraint is that PIM is driven exclusively by
+these standard JEDEC commands.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["CommandType", "Command"]
+
+
+class CommandType(enum.Enum):
+    """Standard DRAM command types (JESD235 subset used by the model)."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    PREA = "PREA"  # precharge all banks
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+
+    @property
+    def is_column(self) -> bool:
+        return self in (CommandType.RD, CommandType.WR)
+
+
+@dataclass
+class Command:
+    """One CA-bus command addressed to a single pseudo-channel.
+
+    ``bg``/``ba`` select the bank group and bank; they are ignored by the
+    device in all-bank (AB / AB-PIM) modes, exactly as Section III-B
+    specifies.  ``data`` carries the 32-byte write burst for WR commands.
+    ``tag`` is controller-side metadata (e.g. the originating request) and
+    never visible to the device.
+    """
+
+    cmd: CommandType
+    bg: int = 0
+    ba: int = 0
+    row: int = 0
+    col: int = 0
+    data: Optional[np.ndarray] = None
+    tag: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.cmd is CommandType.WR and self.data is not None:
+            self.data = np.ascontiguousarray(self.data, dtype=np.uint8)
+
+    @property
+    def bank_index(self) -> int:
+        """Flat bank index within the pseudo-channel (bg*banks_per_bg+ba)."""
+        return self.bg * 4 + self.ba
+
+    def __repr__(self) -> str:  # compact, for debug traces
+        if self.cmd.is_column:
+            return (
+                f"{self.cmd.value}(bg={self.bg},ba={self.ba},"
+                f"row={self.row},col={self.col})"
+            )
+        if self.cmd is CommandType.ACT:
+            return f"ACT(bg={self.bg},ba={self.ba},row={self.row})"
+        if self.cmd is CommandType.PRE:
+            return f"PRE(bg={self.bg},ba={self.ba})"
+        return self.cmd.value

@@ -1,0 +1,85 @@
+"""An HBM device: a stack of DRAM dies exposing 16 pseudo-channels.
+
+An HBM2 stack exposes 16 pseudo-channels regardless of the number of stacked
+dies (extra dies add ranks/capacity, not bandwidth — Section II-B).  The
+model keeps one :class:`PseudoChannel` per pCH; rank stacking only scales the
+capacity bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .bank import BankConfig
+from .pseudochannel import BANKS_PER_PCH, PseudoChannel
+from .timing import HBM2_1GHZ, TimingParams
+
+__all__ = ["DeviceConfig", "HbmDevice", "PCHS_PER_DEVICE"]
+
+PCHS_PER_DEVICE = 16
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Configuration of one HBM(-PIM) stack.
+
+    ``num_pchs`` is configurable below 16 so tests can build small devices;
+    the real device always has 16 (Table V).
+    """
+
+    timing: TimingParams = HBM2_1GHZ
+    bank_config: BankConfig = BankConfig()
+    num_pchs: int = PCHS_PER_DEVICE
+    ranks: int = 1
+    # On-die (72,64) SEC-DED ECC, the Section VIII extension for
+    # HBM3-generation PIM (repro.dram.ecc).
+    ecc: bool = False
+
+    @property
+    def capacity_bytes(self) -> int:
+        per_bank = self.bank_config.num_rows * self.bank_config.row_bytes
+        return per_bank * BANKS_PER_PCH * self.num_pchs * self.ranks
+
+    @property
+    def io_bandwidth_bytes_per_sec(self) -> float:
+        """Peak off-chip bandwidth: one 32 B column per pCH per tCCD_S."""
+        t = self.timing
+        per_pch = self.bank_config.col_bytes / (t.tccd_s * t.tck_ns * 1e-9)
+        return per_pch * self.num_pchs
+
+
+def _bank_cls(config: "DeviceConfig"):
+    if config.ecc:
+        from .ecc import EccBank
+
+        return EccBank
+    from .bank import Bank
+
+    return Bank
+
+
+class HbmDevice:
+    """A standard HBM2 device (the baseline the paper compares against)."""
+
+    def __init__(
+        self,
+        config: Optional[DeviceConfig] = None,
+        pch_factory: Optional[Callable[[DeviceConfig], PseudoChannel]] = None,
+    ):
+        self.config = config or DeviceConfig()
+        factory = pch_factory or (
+            lambda cfg: PseudoChannel(
+                cfg.timing, cfg.bank_config, bank_cls=_bank_cls(cfg)
+            )
+        )
+        self.pchs: List[PseudoChannel] = [
+            factory(self.config) for _ in range(self.config.num_pchs)
+        ]
+
+    def pch(self, index: int) -> PseudoChannel:
+        """The pseudo-channel at ``index``."""
+        return self.pchs[index]
+
+    def __len__(self) -> int:
+        return len(self.pchs)

@@ -1,0 +1,116 @@
+"""An ECC-protected DRAM bank (the Section VIII extension).
+
+:class:`EccBank` is a drop-in :class:`~repro.dram.bank.Bank` with an
+on-die (72,64) SEC-DED engine: every 8-byte word of a column burst carries
+a check byte in a separate ECC array.  Because both the host *and* the PIM
+execution units move data through the same ``peek``/``poke`` column
+accessors, PIM-mode accesses are protected identically to host accesses —
+the property the paper highlights as what makes its PIM ECC-ready.
+
+``inject_error`` flips stored bits without updating the check bits, so
+tests can exercise correction and detection on live kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..common.ecc import DecodeStatus, decode, encode
+from .bank import Bank, BankConfig
+from .timing import TimingParams
+
+__all__ = ["EccBank", "EccStats", "UncorrectableError"]
+
+_WORD_BYTES = 8
+
+
+class UncorrectableError(RuntimeError):
+    """A double-bit error was detected in a column read."""
+
+
+@dataclass
+class EccStats:
+    words_encoded: int = 0
+    words_checked: int = 0
+    corrected: int = 0
+    detected_uncorrectable: int = 0
+
+
+class EccBank(Bank):
+    """A bank whose column path runs through an on-die SEC-DED engine."""
+
+    def __init__(self, config: BankConfig, timing: TimingParams,
+                 raise_on_uncorrectable: bool = True):
+        super().__init__(config, timing)
+        # One check byte per 8-byte word: row -> array[words_per_row].
+        self._check: Dict[int, np.ndarray] = {}
+        self.ecc_stats = EccStats()
+        self.raise_on_uncorrectable = raise_on_uncorrectable
+
+    def _check_array(self, row: int) -> np.ndarray:
+        array = self._check.get(row)
+        if array is None:
+            words = self.config.row_bytes // _WORD_BYTES
+            array = np.zeros(words, dtype=np.uint8)
+            # Unwritten words are all-zero data, whose check byte is 0 too
+            # (encode(0) == 0), so a fresh array is consistent.
+            self._check[row] = array
+        return array
+
+    # -- the protected column path --------------------------------------------
+
+    def poke(self, row: int, col: int, data: np.ndarray) -> None:
+        """Write a column and update its check bytes (the encode path)."""
+        super().poke(row, col, data)
+        stored = super().peek(row, col)
+        words = stored.view("<u8")
+        checks = self._check_array(row)
+        base = col * self.config.col_bytes // _WORD_BYTES
+        for i, word in enumerate(words):
+            checks[base + i] = encode(int(word))
+            self.ecc_stats.words_encoded += 1
+
+    def peek(self, row: int, col: int) -> np.ndarray:
+        """Read a column through the SEC-DED engine (correct + scrub)."""
+        raw = super().peek(row, col)
+        words = raw.view("<u8")
+        checks = self._check_array(row)
+        base = col * self.config.col_bytes // _WORD_BYTES
+        for i in range(words.size):
+            result = decode(int(words[i]), int(checks[base + i]))
+            self.ecc_stats.words_checked += 1
+            if result.status is DecodeStatus.CORRECTED:
+                self.ecc_stats.corrected += 1
+                words[i] = result.data
+                # Scrub: write the corrected word back to the cells.
+                row_array = self._row_array(row)
+                start = col * self.config.col_bytes + i * _WORD_BYTES
+                row_array[start : start + _WORD_BYTES] = (
+                    np.array([result.data], dtype="<u8").view(np.uint8)
+                )
+            elif result.status is DecodeStatus.UNCORRECTABLE:
+                self.ecc_stats.detected_uncorrectable += 1
+                if self.raise_on_uncorrectable:
+                    raise UncorrectableError(
+                        f"double-bit error at row {row} col {col} word {i}"
+                    )
+        return raw
+
+    # -- fault injection ---------------------------------------------------------
+
+    def inject_error(self, row: int, col: int, bit: int) -> None:
+        """Flip one stored data bit without touching the check bits."""
+        if not 0 <= bit < self.config.col_bytes * 8:
+            raise ValueError("bit index out of column range")
+        row_array = self._row_array(row)
+        byte_index = col * self.config.col_bytes + bit // 8
+        row_array[byte_index] ^= 1 << (bit % 8)
+
+    def inject_check_error(self, row: int, col: int, word: int, bit: int) -> None:
+        """Flip one stored check bit (errors in the ECC array itself)."""
+        checks = self._check_array(row)
+        base = col * self.config.col_bytes // _WORD_BYTES
+        checks[base + word] ^= 1 << bit

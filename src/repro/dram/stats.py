@@ -1,0 +1,64 @@
+"""Aggregated command statistics across pseudo-channels.
+
+The energy model (:mod:`repro.perf.energy`) consumes these counters: each
+command class maps to component energies (cell, IOSA/decoder, global bus,
+PHY, PIM unit) following the Fig. 11 breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from .commands import CommandType
+from .pseudochannel import PseudoChannel
+
+__all__ = ["CommandStats", "collect_stats"]
+
+
+@dataclass
+class CommandStats:
+    """Command counts plus derived byte counts for one or more channels."""
+
+    counts: Dict[CommandType, int] = field(
+        default_factory=lambda: {ct: 0 for ct in CommandType}
+    )
+    col_bytes: int = 32
+
+    def add(self, other: "CommandStats") -> "CommandStats":
+        """Accumulate another counter set into this one."""
+        for ct, n in other.counts.items():
+            self.counts[ct] = self.counts.get(ct, 0) + n
+        return self
+
+    @property
+    def activates(self) -> int:
+        return self.counts.get(CommandType.ACT, 0)
+
+    @property
+    def reads(self) -> int:
+        return self.counts.get(CommandType.RD, 0)
+
+    @property
+    def writes(self) -> int:
+        return self.counts.get(CommandType.WR, 0)
+
+    @property
+    def column_commands(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bytes_transferred(self) -> int:
+        """Bytes moved over the column datapath (one burst per column cmd)."""
+        return self.column_commands * self.col_bytes
+
+
+def collect_stats(channels: Iterable[PseudoChannel]) -> CommandStats:
+    """Sum command counters over a set of pseudo-channels."""
+    total = CommandStats()
+    for channel in channels:
+        partial = CommandStats(counts=dict(channel.cmd_counts))
+        partial.col_bytes = channel.bank_config.col_bytes
+        total.col_bytes = channel.bank_config.col_bytes
+        total.add(partial)
+    return total

@@ -1,0 +1,28 @@
+"""Design-space exploration of enhanced PIM microarchitectures (Fig. 14)."""
+
+from .tracesim import (
+    TraceCommand,
+    TraceReplayer,
+    elementwise_trace,
+    format_trace,
+    gemv_trace,
+    parse_trace,
+    replay_variant_elementwise,
+    replay_variant_gemv,
+)
+from .variants import VARIANTS, PimVariant, VariantLatencyModel, dse_speedups
+
+__all__ = [
+    "TraceCommand",
+    "TraceReplayer",
+    "elementwise_trace",
+    "format_trace",
+    "gemv_trace",
+    "parse_trace",
+    "replay_variant_elementwise",
+    "replay_variant_gemv",
+    "VARIANTS",
+    "PimVariant",
+    "VariantLatencyModel",
+    "dse_speedups",
+]

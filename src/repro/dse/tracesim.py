@@ -1,0 +1,224 @@
+"""Trace-driven DRAM simulation — the role DRAMSim2 plays in the paper.
+
+Section VII-D evaluates the 2x/2BA/SRW variants "with a modified version of
+DRAMSim2", noting the results are theoretical upper bounds because the host
+processor is not modelled.  This module provides the same capability:
+
+* a tiny text trace format (one command per line);
+* :class:`TraceReplayer`, which replays a trace in order against any
+  :class:`~repro.dram.timing.TimingParams` at the earliest legal cycles —
+  no controller, no fences, no host: the pure DRAM-side upper bound;
+* generators that emit the kernel command streams of the baseline and each
+  Fig. 14 variant.
+
+Lock-step (AB-mode) streams address a single bank: per-bank and
+same-bank-group constraints then coincide with the all-bank broadcast
+timing, so a plain pseudo-channel replays them exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..dram.bank import BankConfig
+from ..dram.commands import Command, CommandType
+from ..dram.pseudochannel import PseudoChannel
+from ..dram.timing import TimingParams
+from .variants import PimVariant, VARIANTS
+
+__all__ = [
+    "TraceCommand",
+    "parse_trace",
+    "format_trace",
+    "TraceReplayer",
+    "gemv_trace",
+    "elementwise_trace",
+    "replay_variant_gemv",
+    "replay_variant_elementwise",
+]
+
+
+@dataclass(frozen=True)
+class TraceCommand:
+    """One line of a command trace."""
+
+    kind: str  # ACT | PRE | PREA | RD | WR | REF
+    bg: int = 0
+    ba: int = 0
+    row: int = 0
+    col: int = 0
+
+    def to_line(self) -> str:
+        """Serialise to the one-line trace format."""
+        return f"{self.kind} {self.bg} {self.ba} {self.row} {self.col}"
+
+
+def parse_trace(text: str) -> List[TraceCommand]:
+    """Parse a trace: ``KIND bg ba row col`` per line; '#' comments."""
+    out: List[TraceCommand] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind = parts[0].upper()
+        if kind not in CommandType.__members__:
+            raise ValueError(f"line {line_no}: unknown command {kind!r}")
+        numbers = [int(p) for p in parts[1:]]
+        numbers += [0] * (4 - len(numbers))
+        out.append(TraceCommand(kind, *numbers[:4]))
+    return out
+
+
+def format_trace(commands: Iterable[TraceCommand]) -> str:
+    """Serialise a command list to trace text (inverse of parse_trace)."""
+    return "\n".join(cmd.to_line() for cmd in commands)
+
+
+class TraceReplayer:
+    """Replays a command trace in order at the earliest legal cycles."""
+
+    def __init__(self, timing: TimingParams, num_rows: int = 8192):
+        self.timing = timing
+        self.num_rows = num_rows
+
+    def replay(self, commands: Iterable[TraceCommand]) -> int:
+        """Returns the cycle at which the last command issues."""
+        channel = PseudoChannel(self.timing, BankConfig(num_rows=self.num_rows))
+        dummy = np.zeros(channel.bank_config.col_bytes, dtype=np.uint8)
+        cycle = 0
+        last = 0
+        for tc in commands:
+            kind = CommandType[tc.kind]
+            cmd = Command(
+                kind, tc.bg, tc.ba, row=tc.row, col=tc.col,
+                data=dummy if kind is CommandType.WR else None,
+            )
+            cycle = max(cycle, channel.earliest_issue(cmd))
+            channel.issue(cmd, cycle)
+            last = cycle
+            cycle += 1
+        return last
+
+    def bandwidth(self, commands: List[TraceCommand], col_bytes: int = 32) -> float:
+        """Average bytes/cycle over the replayed trace."""
+        columns = sum(1 for c in commands if c.kind in ("RD", "WR"))
+        cycles = self.replay(commands)
+        return columns * col_bytes / cycles if cycles else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Kernel trace generators (per pseudo-channel, lock-step -> single bank)
+# ---------------------------------------------------------------------------
+
+
+def gemv_trace(
+    m: int,
+    n: int,
+    num_pchs: int,
+    variant: Optional[PimVariant] = None,
+    cols_per_row: int = 32,
+) -> List[TraceCommand]:
+    """The AB-PIM GEMV command stream of one pseudo-channel.
+
+    Baseline: per 8-dim chunk, 8 staging WRs + 8 MAC RDs; SRW merges them
+    into 8 combined slots (emitted as RDs — the WR data rides along);
+    2x halves the tile count.
+    """
+    variant = variant or VARIANTS["PIM-HBM"]
+    n_slice = -(-(-(-n // num_pchs)) // 8) * 8
+    chunks = n_slice // 8
+    tiles = -(-m // 128)
+    if variant.lanes_scale > 1:
+        tiles = -(-tiles // int(variant.lanes_scale))
+    chunks_per_row = cols_per_row // 8
+    out: List[TraceCommand] = []
+    for tile in range(tiles):
+        open_row = None
+        for chunk in range(chunks):
+            row = tile * -(-chunks // chunks_per_row) + chunk // chunks_per_row
+            col_base = (chunk % chunks_per_row) * 8
+            if open_row != row:
+                if open_row is not None:
+                    out.append(TraceCommand("PRE"))
+                out.append(TraceCommand("ACT", row=row))
+                open_row = row
+            if variant.gemv_chunk_commands >= 16:
+                for j in range(8):
+                    out.append(TraceCommand("WR", row=row, col=col_base + j))
+                for j in range(8):
+                    out.append(TraceCommand("RD", row=row, col=col_base + j))
+            else:  # SRW: one combined RD+WR slot per column
+                for j in range(8):
+                    out.append(TraceCommand("RD", row=row, col=col_base + j))
+        out.append(TraceCommand("PRE"))
+        out_row = tiles * -(-chunks // chunks_per_row) + tile // chunks_per_row
+        out.append(TraceCommand("ACT", row=out_row))
+        for j in range(8):
+            out.append(TraceCommand("WR", row=out_row, col=(tile % chunks_per_row) * 8 + j))
+        out.append(TraceCommand("PRE"))
+    return out
+
+
+def elementwise_trace(
+    elements: int,
+    num_pchs: int,
+    commands_per_group: int = 24,
+    lanes_scale: float = 1.0,
+    cols_per_row: int = 32,
+) -> List[TraceCommand]:
+    """The AB-PIM elementwise stream of one pseudo-channel.
+
+    24 commands per 8-column group (FILL RDs, op RDs, MOV WRs) in the
+    baseline; 16 with 2BA (no FILL); element throughput scales with the
+    variant's lane count.
+    """
+    per_group = int(num_pchs * 8 * 8 * 16 * lanes_scale)
+    groups = -(-elements // per_group)
+    in_cols = cols_per_row // 2
+    groups_per_row = in_cols // 8
+    out: List[TraceCommand] = []
+    open_row = None
+    for g in range(groups):
+        row = g // groups_per_row
+        col_base = (g % groups_per_row) * 8
+        if open_row != row:
+            if open_row is not None:
+                out.append(TraceCommand("PRE"))
+            out.append(TraceCommand("ACT", row=row))
+            open_row = row
+        read_phases = (commands_per_group - 8) // 8
+        for _ in range(read_phases):
+            for j in range(8):
+                out.append(TraceCommand("RD", row=row, col=col_base + j))
+        for j in range(8):
+            out.append(TraceCommand("WR", row=row, col=in_cols + col_base + j))
+    if open_row is not None:
+        out.append(TraceCommand("PRE"))
+    return out
+
+
+def replay_variant_gemv(
+    variant_name: str, m: int, n: int, num_pchs: int, timing: TimingParams
+) -> int:
+    """Upper-bound cycles of one variant's GEMV stream (one channel)."""
+    variant = VARIANTS[variant_name]
+    trace = gemv_trace(m, n, num_pchs, variant)
+    return TraceReplayer(timing).replay(trace)
+
+
+def replay_variant_elementwise(
+    variant_name: str, elements: int, num_pchs: int, timing: TimingParams,
+    bn: bool = False,
+) -> int:
+    """Upper-bound cycles of one variant's elementwise stream."""
+    variant = VARIANTS[variant_name]
+    commands, _ = variant.bn_group if bn else variant.add_group
+    trace = elementwise_trace(
+        elements, num_pchs, commands_per_group=commands,
+        lanes_scale=variant.lanes_scale,
+    )
+    return TraceReplayer(timing).replay(trace)

@@ -1,0 +1,135 @@
+"""Cycle-level host (PROC-HBM) kernel streams.
+
+These generate the *memory traffic* of an ideally-tuned host kernel on
+standard HBM — reads and writes streamed through the FR-FCFS controller
+with full bank-level parallelism — and measure achieved bandwidth on the
+same simulator the PIM kernels run on.
+
+This is the mechanistic baseline: comparing it against the simulated PIM
+kernels isolates the pure architecture gain (on-chip bandwidth vs off-chip,
+fences, staging) from the *software* gain the paper's 11.2x includes (the
+vendor GEMV's poor bandwidth utilisation, which we model as a calibrated
+efficiency in :mod:`repro.perf.latency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..dram.pseudochannel import BANK_GROUPS, BANKS_PER_GROUP
+from .processor import HostSystem
+
+__all__ = ["HostKernelResult", "HostKernels"]
+
+
+@dataclass(frozen=True)
+class HostKernelResult:
+    """Outcome of one simulated host kernel on one platform."""
+
+    kernel: str
+    cycles: int
+    ns: float
+    bytes_moved: int
+    column_commands: int
+
+    @property
+    def achieved_bytes_per_cycle(self) -> float:
+        return self.bytes_moved / self.cycles if self.cycles else 0.0
+
+    def bandwidth_fraction(self, col_bytes: int = 32, tccd_s: int = 2) -> float:
+        """Fraction of the channel's peak streaming bandwidth achieved."""
+        peak = col_bytes / tccd_s
+        return self.achieved_bytes_per_cycle / peak
+
+
+class HostKernels:
+    """Ideal host kernels over a standard HBM system (one channel timed).
+
+    Data contents are irrelevant to timing, so streams address a synthetic
+    working set walked row by row with bank-group rotation (what a tuned
+    streaming kernel achieves).  ``pch`` selects the simulated channel;
+    totals scale linearly over channels, exactly as for the PIM kernels.
+    """
+
+    def __init__(self, system: HostSystem, pch: int = 0):
+        self.sys = system
+        self.pch = pch
+        self._cols_per_row = system.device.config.bank_config.cols_per_row
+        self._col_bytes = system.device.config.bank_config.col_bytes
+        self._num_rows = system.device.config.bank_config.num_rows
+
+    def _locate(self, block: int, base_row: int = 0):
+        """Bank-group-rotated streaming layout for block index ``block``."""
+        bg = block % BANK_GROUPS
+        ba = (block // BANK_GROUPS) % BANKS_PER_GROUP
+        flat = block // (BANK_GROUPS * BANKS_PER_GROUP)
+        row = base_row + flat // self._cols_per_row
+        col = flat % self._cols_per_row
+        if row >= self._num_rows:
+            raise ValueError("working set exceeds the configured bank size")
+        return bg, ba, row, col
+
+    def _elapsed(self, body) -> int:
+        mc = self.sys.controller(self.pch)
+        mc.drain()
+        start = mc.current_cycle
+        body(mc)
+        mc.drain()
+        return mc.current_cycle - start
+
+    # -- kernels ---------------------------------------------------------------
+
+    def stream_read(self, nbytes: int) -> HostKernelResult:
+        """A pure read stream (the GEMV weight traffic at batch 1)."""
+        blocks = -(-nbytes // self._col_bytes)
+
+        def body(mc):
+            for b in range(blocks):
+                bg, ba, row, col = self._locate(b)
+                mc.read(bg, ba, row, col)
+
+        cycles = self._elapsed(body)
+        return HostKernelResult(
+            "stream_read", cycles, cycles * self.sys.tck_ns,
+            blocks * self._col_bytes, blocks,
+        )
+
+    def gemv(self, m: int, n: int) -> HostKernelResult:
+        """Ideal host GEMV: stream W once; x/y traffic is negligible."""
+        result = self.stream_read(2 * m * n)
+        return HostKernelResult(
+            f"gemv[{m}x{n}]", result.cycles, result.ns,
+            result.bytes_moved, result.column_commands,
+        )
+
+    def elementwise_add(self, elements: int) -> HostKernelResult:
+        """Read a, read b, write out — interleaved in row-sized batches to
+        amortise write-to-read turnarounds like a tuned kernel would."""
+        blocks = -(-elements * 2 // self._col_bytes)
+        rows_span = -(-blocks // (BANK_GROUPS * BANKS_PER_GROUP * self._cols_per_row))
+        a_base, b_base = 0, rows_span
+        out_base = 2 * rows_span
+        data = np.zeros(self._col_bytes, dtype=np.uint8)
+        batch = BANK_GROUPS * BANKS_PER_GROUP * self._cols_per_row
+
+        def body(mc):
+            for start in range(0, blocks, batch):
+                stop = min(start + batch, blocks)
+                for b in range(start, stop):
+                    bg, ba, row, col = self._locate(b, a_base)
+                    mc.read(bg, ba, row, col)
+                for b in range(start, stop):
+                    bg, ba, row, col = self._locate(b, b_base)
+                    mc.read(bg, ba, row, col)
+                for b in range(start, stop):
+                    bg, ba, row, col = self._locate(b, out_base)
+                    mc.write(bg, ba, row, col, data)
+
+        cycles = self._elapsed(body)
+        moved = 3 * blocks * self._col_bytes
+        return HostKernelResult(
+            f"add[{elements}]", cycles, cycles * self.sys.tck_ns, moved, 3 * blocks,
+        )

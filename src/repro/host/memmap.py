@@ -1,0 +1,150 @@
+"""Physical address mapping (Fig. 15(a)).
+
+The host's DRAM controller slices a physical byte address into channel /
+pseudo-channel / bank-group / bank / row / column fields.  The PIM
+architecture is deliberately *agnostic* to the exact scheme (Section VIII)
+because each PIM unit accesses memory at the host's granularity and each
+channel is controlled independently; the PIM BLAS only needs to know the
+mapping to place operands PIM-friendly.
+
+The default field order, LSB to MSB, matches the Fig. 15(a) example::
+
+    | row | col_high | ba | bg | pch | ch | col_low | offset |
+
+* ``offset`` (5 bits) — byte within one 32 B column access;
+* ``col_low`` (3 bits) — 8 consecutive columns stay in one bank, so a
+  256-byte chunk fills the 8 GRF registers of one unit (Section V-B);
+* then the channel/pCH interleave, then bank bits, then the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["DramAddress", "AddressMap"]
+
+
+@dataclass(frozen=True)
+class DramAddress:
+    """A fully decoded DRAM location."""
+
+    channel: int
+    pch: int
+    bg: int
+    ba: int
+    row: int
+    col: int
+    offset: int = 0
+
+    @property
+    def bank_index(self) -> int:
+        return self.bg * 4 + self.ba
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """A configurable physical-to-DRAM address mapping.
+
+    ``field_order`` lists fields from LSB upward; widths are derived from
+    the geometry parameters.  ``col_low_bits`` of the column index sit below
+    the interleave fields so that small contiguous regions stay inside one
+    bank row (the PIM-friendly property Fig. 15(b) relies on).
+    """
+
+    channels: int = 1
+    pchs: int = 16
+    col_bits: int = 5  # 32 columns per 1 KiB row
+    row_bits: int = 13
+    offset_bits: int = 5  # 32-byte column access
+    col_low_bits: int = 3
+    field_order: Tuple[str, ...] = (
+        "offset",
+        "col_low",
+        "ch",
+        "pch",
+        "bg",
+        "ba",
+        "col_high",
+        "row",
+    )
+
+    def _widths(self) -> Dict[str, int]:
+        return {
+            "offset": self.offset_bits,
+            "col_low": self.col_low_bits,
+            "ch": max(self.channels - 1, 0).bit_length(),
+            "pch": max(self.pchs - 1, 0).bit_length(),
+            "bg": 2,
+            "ba": 2,
+            "col_high": self.col_bits - self.col_low_bits,
+            "row": self.row_bits,
+        }
+
+    @property
+    def address_bits(self) -> int:
+        return sum(self._widths().values())
+
+    @property
+    def capacity_bytes(self) -> int:
+        return 1 << self.address_bits
+
+    @property
+    def pim_chunk_bytes(self) -> int:
+        """Contiguous bytes that land in one bank row: 8 x 32 B = 256 B."""
+        return 1 << (self.offset_bits + self.col_low_bits)
+
+    def decode(self, address: int) -> DramAddress:
+        """Physical byte address -> DRAM coordinates."""
+        if not 0 <= address < self.capacity_bytes:
+            raise ValueError(f"address {address:#x} out of range")
+        widths = self._widths()
+        values: Dict[str, int] = {}
+        shift = 0
+        for name in self.field_order:
+            width = widths[name]
+            values[name] = (address >> shift) & ((1 << width) - 1)
+            shift += width
+        col = (values["col_high"] << self.col_low_bits) | values["col_low"]
+        return DramAddress(
+            channel=values["ch"],
+            pch=values["pch"],
+            bg=values["bg"],
+            ba=values["ba"],
+            row=values["row"],
+            col=col,
+            offset=values["offset"],
+        )
+
+    def encode(self, addr: DramAddress) -> int:
+        """DRAM coordinates -> physical byte address (inverse of decode)."""
+        widths = self._widths()
+        values = {
+            "offset": addr.offset,
+            "col_low": addr.col & ((1 << self.col_low_bits) - 1),
+            "ch": addr.channel,
+            "pch": addr.pch,
+            "bg": addr.bg,
+            "ba": addr.ba,
+            "col_high": addr.col >> self.col_low_bits,
+            "row": addr.row,
+        }
+        address = 0
+        shift = 0
+        for name in self.field_order:
+            width = widths[name]
+            value = values[name]
+            if value >= (1 << width):
+                raise ValueError(f"field {name}={value} exceeds {width} bits")
+            address |= value << shift
+            shift += width
+        return address
+
+    def stride_for(self, field_name: str) -> int:
+        """Byte stride that increments ``field_name`` by one."""
+        shift = 0
+        for name in self.field_order:
+            if name == field_name:
+                return 1 << shift
+            shift += self._widths()[name]
+        raise KeyError(field_name)

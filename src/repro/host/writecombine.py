@@ -1,0 +1,118 @@
+"""Cache bypassing through a write-combining buffer (Section VIII).
+
+PIM operands must reach DRAM, not the cache, so the host uses non-temporal
+loads/stores (LDNP/STNP on ARMv8) "that directly send write requests to
+memory through a write-combining buffer".  The buffer coalesces the 16-byte
+stores of a lock-step thread group into full 32-byte column bursts: without
+it, every 16-byte store would cost a read-modify-write at the 32-byte
+column granularity.
+
+The model is a small set of combining entries with flush-on-full,
+flush-on-fence, and LRU eviction, reporting how many column writes were
+fully combined vs partial.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["WriteCombineStats", "WriteCombiningBuffer"]
+
+COLUMN_BYTES = 32
+
+
+@dataclass
+class WriteCombineStats:
+    stores: int = 0
+    combined_flushes: int = 0  # full 32-byte bursts
+    partial_flushes: int = 0  # required a read-modify-write
+    fence_flushes: int = 0
+    capacity_evictions: int = 0
+
+    @property
+    def column_writes(self) -> int:
+        return self.combined_flushes + self.partial_flushes
+
+    @property
+    def combining_ratio(self) -> float:
+        if not self.column_writes:
+            return 0.0
+        return self.combined_flushes / self.column_writes
+
+
+class WriteCombiningBuffer:
+    """Coalesces sub-column non-temporal stores into column bursts.
+
+    ``flush`` callbacks receive ``(column_address, byte_mask)`` where the
+    mask has one bit per byte of the 32-byte column; a full mask is a clean
+    burst, anything else is a partial (read-modify-write) column write.
+    """
+
+    def __init__(self, entries: int = 8):
+        if entries < 1:
+            raise ValueError("need at least one combining entry")
+        self.entries = entries
+        # column address -> byte-presence mask
+        self._open: "OrderedDict[int, int]" = OrderedDict()
+        self.stats = WriteCombineStats()
+        self._flushed: List[Tuple[int, int]] = []
+
+    @property
+    def flushed(self) -> List[Tuple[int, int]]:
+        """(column_address, byte_mask) in flush order."""
+        return list(self._flushed)
+
+    def store(self, address: int, nbytes: int) -> None:
+        """A non-temporal store of ``nbytes`` at ``address``."""
+        if nbytes <= 0:
+            raise ValueError("store must cover at least one byte")
+        self.stats.stores += 1
+        while nbytes > 0:
+            column = address // COLUMN_BYTES
+            offset = address % COLUMN_BYTES
+            span = min(nbytes, COLUMN_BYTES - offset)
+            mask_bits = ((1 << span) - 1) << offset
+            if column in self._open:
+                self._open.move_to_end(column)
+                self._open[column] |= mask_bits
+            else:
+                if len(self._open) >= self.entries:
+                    self._evict_lru()
+                self._open[column] = mask_bits
+            if self._open[column] == (1 << COLUMN_BYTES) - 1:
+                self._flush(column)
+            address += span
+            nbytes -= span
+
+    def fence(self) -> None:
+        """A barrier drains the buffer (ordering the memory requests)."""
+        for column in list(self._open):
+            self._flush(column, fence=True)
+
+    def _evict_lru(self) -> None:
+        column = next(iter(self._open))
+        self.stats.capacity_evictions += 1
+        self._flush(column)
+
+    def _flush(self, column: int, fence: bool = False) -> None:
+        mask = self._open.pop(column)
+        full = mask == (1 << COLUMN_BYTES) - 1
+        if full:
+            self.stats.combined_flushes += 1
+        else:
+            self.stats.partial_flushes += 1
+        if fence:
+            self.stats.fence_flushes += 1
+        self._flushed.append((column * COLUMN_BYTES, mask))
+
+
+def thread_group_store_pattern(
+    base: int, threads: int = 16, bytes_per_thread: int = 16
+) -> List[Tuple[int, int]]:
+    """The Fig. 8(c) pattern: each thread of a lock-step group stores one
+    16-byte half of consecutive 32-byte columns."""
+    return [
+        (base + t * bytes_per_thread, bytes_per_thread) for t in range(threads)
+    ]

@@ -1,0 +1,31 @@
+"""Performance and energy models: kernel/app latency, power, specs, MACs."""
+
+from .activity import ActivityBreakdown, ActivityEnergyModel, ActivityEnergyParams
+from .energy import DevicePowerModel, EnergyModel, PowerPhase, SystemPowerParams
+from .latency import PIM_HBM, PROC_HBM, Calibration, LatencyModel, SystemPerf
+from .macunits import PAPER_TABLE1, TABLE1_SPECS, MacUnitModel, MacUnitSpec
+from .specs import PimDeviceSpec, PimUnitSpec
+from .thermal import ThermalBudget, thermal_report
+
+__all__ = [
+    "ActivityBreakdown",
+    "ActivityEnergyModel",
+    "ActivityEnergyParams",
+    "DevicePowerModel",
+    "EnergyModel",
+    "PowerPhase",
+    "SystemPowerParams",
+    "PIM_HBM",
+    "PROC_HBM",
+    "Calibration",
+    "LatencyModel",
+    "SystemPerf",
+    "PAPER_TABLE1",
+    "TABLE1_SPECS",
+    "MacUnitModel",
+    "MacUnitSpec",
+    "PimDeviceSpec",
+    "PimUnitSpec",
+    "ThermalBudget",
+    "thermal_report",
+]

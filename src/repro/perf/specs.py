@@ -1,0 +1,137 @@
+"""Derived device specifications (Tables IV and V).
+
+Everything here is computed from first principles out of the architectural
+parameters — lane counts, clock frequencies, bank geometry — and the bench
+``bench_tables4_5_specs.py`` prints the derived values next to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..dram.pseudochannel import BANKS_PER_PCH
+from ..pim.device import UNITS_PER_PCH
+from ..pim.isa import CRF_ENTRIES, GRF_REGS, SRF_REGS
+from ..pim.registers import GRF_REG_BYTES, LANES
+
+__all__ = ["PimUnitSpec", "PimDeviceSpec"]
+
+
+@dataclass(frozen=True)
+class PimUnitSpec:
+    """Table IV: the PIM execution unit."""
+
+    lanes: int = LANES
+    lane_bits: int = 16
+    freq_mhz_min: float = 250.0
+    freq_mhz_max: float = 300.0
+    gate_count: int = 200_000
+    area_mm2: float = 0.712
+
+    @property
+    def datapath_bits(self) -> int:
+        return self.lanes * self.lane_bits  # 256
+
+    @property
+    def num_multipliers(self) -> int:
+        return self.lanes
+
+    @property
+    def num_adders(self) -> int:
+        return self.lanes
+
+    @property
+    def peak_gflops(self) -> float:
+        """Throughput at max frequency: lanes x (mul+add) x f."""
+        return self.lanes * 2 * self.freq_mhz_max / 1000.0
+
+    @property
+    def crf_bits(self) -> int:
+        return 32 * CRF_ENTRIES
+
+    @property
+    def grf_bits(self) -> int:
+        return GRF_REG_BYTES * 8 * 2 * GRF_REGS  # 16 x 256-bit
+
+    @property
+    def srf_bits(self) -> int:
+        return 16 * 2 * SRF_REGS  # 16 x 16-bit
+
+    def as_table(self) -> Dict[str, str]:
+        """Render Table IV as label -> value strings."""
+        return {
+            "# of MUL/ADD FPUs": f"{self.num_multipliers}/{self.num_adders}",
+            "Datapath Width": f"{self.datapath_bits} bits ({self.lane_bits} bits x {self.lanes} lanes)",
+            "Operating Frequency": f"{self.freq_mhz_min:.0f}MHz ~ {self.freq_mhz_max:.0f}MHz",
+            "Throughput": f"{self.peak_gflops:.1f} GFLOPs at {self.freq_mhz_max:.0f}MHz",
+            "Equivalent Gate Count": f"{self.gate_count:,}",
+            "Instruction Registers": f"32b x {CRF_ENTRIES} (CRF)",
+            "Vector and Scalar Registers": f"256b x {2 * GRF_REGS} (GRF), 16b x {2 * SRF_REGS} (SRF)",
+            "Area": f"{self.area_mm2} mm^2",
+        }
+
+
+@dataclass(frozen=True)
+class PimDeviceSpec:
+    """Table V: the PIM-HBM device (one stack)."""
+
+    ext_clock_ghz_min: float = 1.0
+    ext_clock_ghz_max: float = 1.2
+    num_pchs: int = 16
+    banks_per_pch: int = BANKS_PER_PCH
+    units_per_pch: int = UNITS_PER_PCH
+    bank_io_bits: int = 64
+    pim_dies: int = 4
+    pim_die_gbit: int = 4
+    hbm_dies: int = 4
+    hbm_die_gbit: int = 8
+    die_area_mm2: float = 84.4
+
+    @property
+    def data_rate_gbps(self) -> float:
+        """Per-pin data rate (DDR on the external clock)."""
+        return 2 * self.ext_clock_ghz_max
+
+    @property
+    def onchip_bandwidth_tbps(self) -> float:
+        """On-chip compute bandwidth: 8 operating banks per pCH at the DRAM
+        core rate (half the I/O rate, i.e. the tCCD_L cadence)."""
+        core_gbps = self.ext_clock_ghz_max  # 1.2 Gb/s per wire at tCCD_L
+        per_pch = core_gbps * self.bank_io_bits * self.units_per_pch / 8  # GB/s
+        return per_pch * self.num_pchs / 1000.0
+
+    @property
+    def onchip_bandwidth_tbps_min(self) -> float:
+        per_pch = self.ext_clock_ghz_min * self.bank_io_bits * self.units_per_pch / 8
+        return per_pch * self.num_pchs / 1000.0
+
+    @property
+    def io_bandwidth_gbps(self) -> float:
+        """Off-chip I/O bandwidth: one operating bank per pCH at full rate."""
+        return self.data_rate_gbps * self.bank_io_bits * 1 * self.num_pchs / 8
+
+    @property
+    def capacity_gbyte(self) -> float:
+        total_gbit = self.pim_dies * self.pim_die_gbit + self.hbm_dies * self.hbm_die_gbit
+        return total_gbit / 8
+
+    @property
+    def pim_units_per_die(self) -> int:
+        """4 pCHs per die x 8 units (Section VI: 32 per die)."""
+        return 4 * self.units_per_pch
+
+    def as_table(self) -> Dict[str, str]:
+        """Render Table V as label -> value strings."""
+        return {
+            "Ext. Clocking Frequency": f"{self.ext_clock_ghz_min:.0f}~{self.ext_clock_ghz_max:.1f}GHz",
+            "# of pCHs": str(self.num_pchs),
+            "# of banks per pCH": str(self.banks_per_pch),
+            "# of PIM exe. units per pCH": str(self.units_per_pch),
+            "On-Chip (Compute) Bandwidth": (
+                f"{self.onchip_bandwidth_tbps_min:.0f}TB/s~{self.onchip_bandwidth_tbps:.3f}TB/s"
+            ),
+            "Off-Chip (I/O) Bandwidth": f"{self.io_bandwidth_gbps:.1f}GB/s (max)",
+            "Capacity": f"{self.capacity_gbyte:.0f}GB",
+            "Area of DRAM Die": f"{self.die_area_mm2} mm^2",
+        }

@@ -1,0 +1,61 @@
+"""Thermal/TDP headroom check (Section VII-C).
+
+The paper's power argument is ultimately thermal: "the power consumption of
+PIM-HBM is slightly higher than that of HBM, staying within the thermal
+design power (TDP) limit set by the original HBM-based system", and with
+the buffer-die I/O gated, PIM "can also offer a thermal advantage over
+HBM".  This model turns those statements into a checkable budget: device
+power under a workload mix vs the SiP's per-stack TDP allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .energy import DevicePowerModel
+
+__all__ = ["ThermalBudget", "thermal_report"]
+
+
+@dataclass(frozen=True)
+class ThermalBudget:
+    """Per-stack thermal allocation of the SiP.
+
+    ``hbm_streaming_w`` is the HBM device's power at full streaming (the
+    Fig. 11 normalisation point); the SiP's cooling is provisioned with
+    ``margin`` headroom above it.
+    """
+
+    hbm_streaming_w: float = 15.0
+    margin: float = 0.10
+
+    @property
+    def tdp_w(self) -> float:
+        """The per-stack TDP the original HBM system was designed for."""
+        return self.hbm_streaming_w * (1.0 + self.margin)
+
+
+def thermal_report(
+    device: DevicePowerModel = DevicePowerModel(),
+    budget: ThermalBudget = ThermalBudget(),
+) -> Dict[str, float]:
+    """Power vs TDP for the three operating points the paper discusses.
+
+    Returns watts for HBM streaming, AB-PIM execution, and AB-PIM with the
+    buffer-die I/O gated, plus each point's TDP headroom fraction.
+    """
+    hbm_w = budget.hbm_streaming_w
+    pim_w = hbm_w * device.pim_total
+    gated_w = hbm_w * (device.pim_total - device.gated_buffer_saving)
+    return {
+        "tdp_w": budget.tdp_w,
+        "hbm_streaming_w": hbm_w,
+        "pim_w": pim_w,
+        "pim_gated_w": gated_w,
+        "hbm_headroom": 1.0 - hbm_w / budget.tdp_w,
+        "pim_headroom": 1.0 - pim_w / budget.tdp_w,
+        "pim_gated_headroom": 1.0 - gated_w / budget.tdp_w,
+        "within_tdp": float(pim_w <= budget.tdp_w),
+        "thermal_advantage_when_gated": float(gated_w < hbm_w),
+    }

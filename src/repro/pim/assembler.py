@@ -1,0 +1,151 @@
+"""A small text assembler for PIM microkernels.
+
+Syntax (one instruction per line; ``;`` or ``#`` start comments)::
+
+    MOV   GRF_A[A], HOST          ; AAM-indexed dst, WR-burst source
+    MAC   GRF_B[A], EVEN_BANK, GRF_A[A]
+    ADD   GRF_B[2], GRF_A[1], SRF_A[0]
+    MOV(RELU) GRF_A[0], GRF_B[0]
+    FILL  GRF_A[A], ODD_BANK
+    NOP   2
+    JUMP  -1, 7                   ; offset, iterations
+    EXIT
+
+Register references are ``SPACE[i]`` with ``i`` a register number, or
+``SPACE[A]`` for address-aligned mode (the whole instruction becomes AAM if
+any operand uses ``[A]``).  Bank and HOST operands take no index.
+``disassemble`` round-trips a CRF image back to text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence, Tuple
+
+from .isa import (
+    CRF_ENTRIES,
+    Instruction,
+    Opcode,
+    Operand,
+    OperandSpace,
+    decode,
+    encode,
+    exit_,
+    jump,
+    nop,
+)
+
+__all__ = ["assemble", "assemble_words", "disassemble", "AssemblyError"]
+
+
+class AssemblyError(ValueError):
+    """The microkernel source could not be assembled."""
+
+
+_OPERAND_RE = re.compile(
+    r"^(?P<space>[A-Z_]+)(?:\[(?P<index>A|\d+)\])?$", re.IGNORECASE
+)
+
+_ALIASES = {
+    "EVENBANK": "EVEN_BANK",
+    "ODDBANK": "ODD_BANK",
+    "BANK": "EVEN_BANK",
+}
+
+
+def _parse_operand(text: str, line_no: int) -> Tuple[Operand, bool]:
+    """Parse one operand; returns (operand, is_aam)."""
+    match = _OPERAND_RE.match(text.strip())
+    if not match:
+        raise AssemblyError(f"line {line_no}: cannot parse operand {text!r}")
+    name = match.group("space").upper()
+    name = _ALIASES.get(name, name)
+    try:
+        space = OperandSpace[name]
+    except KeyError:
+        raise AssemblyError(f"line {line_no}: unknown operand space {name!r}") from None
+    index_text = match.group("index")
+    if index_text is None:
+        return Operand(space, 0), False
+    if index_text.upper() == "A":
+        return Operand(space, 0), True
+    return Operand(space, int(index_text)), False
+
+
+def _parse_line(line: str, line_no: int) -> Instruction:
+    mnemonic, _, rest = line.partition(" ")
+    mnemonic = mnemonic.upper()
+    relu = False
+    if mnemonic == "MOV(RELU)":
+        mnemonic, relu = "MOV", True
+    operands = [part.strip() for part in rest.split(",") if part.strip()]
+    if mnemonic == "NOP":
+        count = int(operands[0]) if operands else 1
+        return nop(count)
+    if mnemonic == "JUMP":
+        if len(operands) != 2:
+            raise AssemblyError(f"line {line_no}: JUMP takes offset, iterations")
+        return jump(int(operands[0]), int(operands[1]))
+    if mnemonic == "EXIT":
+        return exit_()
+    try:
+        opcode = Opcode[mnemonic]
+    except KeyError:
+        raise AssemblyError(f"line {line_no}: unknown mnemonic {mnemonic!r}") from None
+    parsed = [_parse_operand(op, line_no) for op in operands]
+    aam = any(is_aam for _, is_aam in parsed)
+    ops = [op for op, _ in parsed]
+    none = Operand(OperandSpace.NONE, 0)
+    if opcode in (Opcode.MOV, Opcode.FILL):
+        if len(ops) != 2:
+            raise AssemblyError(f"line {line_no}: {mnemonic} takes dst, src")
+        return Instruction(opcode, dst=ops[0], src0=ops[1], aam=aam, relu=relu)
+    if opcode in (Opcode.ADD, Opcode.MUL):
+        if len(ops) != 3:
+            raise AssemblyError(f"line {line_no}: {mnemonic} takes dst, src0, src1")
+        return Instruction(opcode, dst=ops[0], src0=ops[1], src1=ops[2], aam=aam)
+    if opcode is Opcode.MAC:
+        if len(ops) != 3:
+            raise AssemblyError(f"line {line_no}: MAC takes dst, src0, src1")
+        return Instruction(
+            opcode, dst=ops[0], src0=ops[1], src1=ops[2], src2=ops[0], aam=aam
+        )
+    if opcode is Opcode.MAD:
+        if len(ops) != 4:
+            raise AssemblyError(f"line {line_no}: MAD takes dst, src0, src1, src2")
+        return Instruction(
+            opcode, dst=ops[0], src0=ops[1], src1=ops[2], src2=ops[3], aam=aam
+        )
+    raise AssemblyError(f"line {line_no}: cannot assemble {mnemonic!r}")
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble microkernel source into a list of instructions."""
+    instructions: List[Instruction] = []
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = re.split(r"[;#]", raw, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        instructions.append(_parse_line(line, line_no))
+    if len(instructions) > CRF_ENTRIES:
+        raise AssemblyError(
+            f"microkernel has {len(instructions)} instructions; CRF holds {CRF_ENTRIES}"
+        )
+    return instructions
+
+
+def assemble_words(source: str) -> List[int]:
+    """Assemble to 32-bit CRF words, zero-padded to the full CRF."""
+    words = [encode(instr) for instr in assemble(source)]
+    return words + [0] * (CRF_ENTRIES - len(words))
+
+
+def disassemble(words: Sequence[int]) -> List[str]:
+    """Disassemble CRF words (stops at the first EXIT or zero NOP tail)."""
+    lines: List[str] = []
+    for word in words:
+        instr = decode(word)
+        lines.append(repr(instr))
+        if instr.opcode is Opcode.EXIT:
+            break
+    return lines

@@ -1,0 +1,267 @@
+"""The PIM-HBM device: pseudo-channels with PIM execution units.
+
+:class:`PimPseudoChannel` extends the standard :class:`PseudoChannel` with
+
+* the SB / AB / AB-PIM mode FSM driven by standard command sequences,
+* all-bank broadcast of ACT/PRE/column commands in AB modes,
+* register-mapped access to CRF/GRF/SRF and PIM_OP_MODE, and
+* column-command-triggered PIM instruction execution in AB-PIM mode.
+
+Crucially, the *interface* is unchanged — the same :class:`Command` objects
+a JEDEC controller emits — which is the paper's drop-in-replacement claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..dram.bank import BankConfig
+from ..dram.commands import Command, CommandType
+from ..dram.device import DeviceConfig, HbmDevice
+from ..dram.pseudochannel import BANKS_PER_PCH, PseudoChannel
+from ..dram.timing import TimingParams
+from .exec_unit import ColumnTrigger, PimExecutionUnit
+from .modes import ModeController, PimMemoryMap, PimMode
+
+__all__ = ["PimPseudoChannel", "PimHbmDevice", "UNITS_PER_PCH"]
+
+UNITS_PER_PCH = BANKS_PER_PCH // 2  # one unit per bank pair (Table V: 8)
+
+
+class PimPseudoChannel(PseudoChannel):
+    """A pseudo-channel of the PIM-HBM die."""
+
+    def __init__(
+        self,
+        timing: TimingParams,
+        bank_config: Optional[BankConfig] = None,
+        bank_cls=None,
+        lane_format=None,
+    ):
+        from ..dram.bank import Bank
+        from ..common.fp16 import FP16
+
+        super().__init__(timing, bank_config, bank_cls=bank_cls or Bank)
+        self.units: List[PimExecutionUnit] = [
+            PimExecutionUnit(
+                u, self.banks[2 * u], self.banks[2 * u + 1],
+                lane_format=lane_format or FP16,
+            )
+            for u in range(UNITS_PER_PCH)
+        ]
+        self.memory_map = PimMemoryMap(self.bank_config.num_rows)
+        self.mode_ctrl = ModeController(self.memory_map)
+        self.pim_op_mode = 0
+        # Column commands executed in AB-PIM mode never drive the off-chip
+        # I/O PHY; the energy model keys off this counter.
+        self.pim_triggered_columns = 0
+        self.ab_broadcast_columns = 0
+
+    @property
+    def mode(self) -> PimMode:
+        return self.mode_ctrl.mode
+
+    # -- timing: AB modes serialise columns at tCCD_L ---------------------------
+
+    def _col_bus_bound(self, cmd: Command) -> int:
+        bound = super()._col_bus_bound(cmd)
+        if self.mode_ctrl.all_bank and self._last_col_cycle is not None:
+            # Every bank group participates, so the same-group delay governs.
+            bound = max(bound, self._last_col_cycle + self.timing.tccd_l)
+        return bound
+
+    def earliest_issue(self, cmd: Command) -> int:
+        """Earliest legal cycle; all-bank modes bound over every bank."""
+        if not self.mode_ctrl.all_bank:
+            return super().earliest_issue(cmd)
+        if cmd.cmd is CommandType.ACT:
+            bank_bound = max(bank.earliest_act() for bank in self.banks)
+            return max(bank_bound, self._act_bus_bound(cmd))
+        if cmd.cmd in (CommandType.PRE, CommandType.PREA):
+            return max(bank.earliest_pre() for bank in self.banks)
+        if cmd.cmd.is_column:
+            is_write = cmd.cmd is CommandType.WR
+            bank_bound = max(bank.earliest_col(is_write) for bank in self.banks)
+            return max(bank_bound, self._col_bus_bound(cmd))
+        return super().earliest_issue(cmd)
+
+    # -- command execution --------------------------------------------------------
+
+    def issue(self, cmd: Command, cycle: int) -> Optional[np.ndarray]:
+        """Dispatch by mode: SB delegates, AB modes broadcast/trigger."""
+        if not self.mode_ctrl.all_bank:
+            return self._issue_single_bank(cmd, cycle)
+        return self._issue_all_bank(cmd, cycle)
+
+    def _issue_single_bank(self, cmd: Command, cycle: int) -> Optional[np.ndarray]:
+        if cmd.cmd is CommandType.ACT:
+            self.mode_ctrl.observe_act(cmd.row)
+            return super().issue(cmd, cycle)
+        if cmd.cmd in (CommandType.PRE, CommandType.PREA):
+            result = super().issue(cmd, cycle)
+            self.mode_ctrl.observe_pre()
+            if self.mode_ctrl.all_bank and not self.all_banks_idle:
+                raise RuntimeError(
+                    "entered AB mode with open rows; precharge all banks first"
+                )
+            return result
+        if cmd.cmd.is_column and self.memory_map.is_register_row(cmd.row):
+            # Register access in SB mode targets the unit of the addressed
+            # bank pair (used e.g. to read one unit's GRF_B partial sums).
+            super().issue(self._timing_shadow(cmd), cycle)
+            unit = self.units[cmd.bank_index // 2]
+            return self._register_access(cmd, [unit])
+        return super().issue(cmd, cycle)
+
+    def _issue_all_bank(self, cmd: Command, cycle: int) -> Optional[np.ndarray]:
+        bound = self.earliest_issue(cmd)
+        if cycle < bound:
+            from ..dram.bank import TimingViolation
+
+            raise TimingViolation(f"{cmd!r} at {cycle} before bound {bound}")
+        self.cmd_counts[cmd.cmd] += 1
+        if cmd.cmd is CommandType.ACT:
+            self.mode_ctrl.observe_act(cmd.row)
+            for bank in self.banks:
+                bank.activate(cmd.row, cycle)
+            self._record_act(cmd.bg, cycle)
+            return None
+        if cmd.cmd in (CommandType.PRE, CommandType.PREA):
+            for bank in self.banks:
+                bank.precharge(cycle)
+            self.mode_ctrl.observe_pre()
+            return None
+        if cmd.cmd.is_column:
+            return self._all_bank_column(cmd, cycle)
+        if cmd.cmd is CommandType.REF:
+            for bank in self.banks:
+                bank.next_act = max(bank.next_act, cycle + self.timing.trfc)
+            return None
+        raise ValueError(f"unhandled command {cmd.cmd}")
+
+    def _all_bank_column(self, cmd: Command, cycle: int) -> Optional[np.ndarray]:
+        is_write = cmd.cmd is CommandType.WR
+        if self.memory_map.is_register_row(cmd.row):
+            # Register rows are decoded ahead of the banks: broadcast writes
+            # program every unit identically; reads return the addressed
+            # unit's copy.  Bank state is untouched (no row needs to be open
+            # in a register row).
+            self._record_col(cmd.bg, cycle, is_write)
+            return self._register_access(cmd, self.units)
+        for bank in self.banks:
+            if self.mode_ctrl.pim_executing:
+                bank.touch_column(cmd.row, cycle, is_write)
+            elif is_write:
+                bank.write(cmd.row, cmd.col, cmd.data, cycle)
+            else:
+                bank.read(cmd.row, cmd.col, cycle)
+        self._record_col(cmd.bg, cycle, is_write)
+        if self.mode_ctrl.pim_executing:
+            self.pim_triggered_columns += 1
+            trig = ColumnTrigger(
+                is_write=is_write, row=cmd.row, col=cmd.col, host_data=cmd.data
+            )
+            for unit in self.units:
+                unit.trigger(trig)
+            # AB-PIM column commands do not drive data to the external I/O.
+            return None
+        self.ab_broadcast_columns += 1
+        if is_write:
+            return None
+        # AB (non-PIM) read: the addressed bank's data reaches the I/O.
+        return self.banks[cmd.bank_index].peek(cmd.row, cmd.col)
+
+    # -- register-mapped access -----------------------------------------------------
+
+    def _timing_shadow(self, cmd: Command) -> Command:
+        """A copy of ``cmd`` with inert data for the bank-timing path."""
+        if cmd.cmd is CommandType.WR:
+            return Command(
+                cmd.cmd, cmd.bg, cmd.ba, cmd.row, cmd.col,
+                data=np.zeros(self.bank_config.col_bytes, dtype=np.uint8),
+            )
+        return cmd
+
+    def _register_access(
+        self, cmd: Command, units: List[PimExecutionUnit]
+    ) -> Optional[np.ndarray]:
+        m = self.memory_map
+        is_write = cmd.cmd is CommandType.WR
+        if cmd.row == m.conf_row:
+            if cmd.col == m.PIM_OP_MODE_COL:
+                if is_write:
+                    self._set_pim_op_mode(int(cmd.data[0]) & 1)
+                    return None
+                out = np.zeros(self.bank_config.col_bytes, dtype=np.uint8)
+                out[0] = self.pim_op_mode
+                return out
+            raise ValueError(f"unknown configuration register column {cmd.col}")
+        first = units[0] if units else self.units[cmd.bank_index // 2]
+        if cmd.row == m.crf_row:
+            if is_write:
+                for unit in units:
+                    unit.regs.write_crf_column(cmd.col, cmd.data)
+                return None
+            return first.regs.read_crf_column(cmd.col)
+        if cmd.row == m.grf_row:
+            if is_write:
+                for unit in units:
+                    unit.regs.write_grf_column(cmd.col, cmd.data)
+                return None
+            return first.regs.read_grf_column(cmd.col)
+        if cmd.row == m.srf_row:
+            if is_write:
+                for unit in units:
+                    unit.regs.write_srf_column(cmd.col, cmd.data)
+                return None
+            return first.regs.read_srf_column(cmd.col)
+        raise ValueError(f"row {cmd.row} is not a register row")
+
+    def _set_pim_op_mode(self, value: int) -> None:
+        self.pim_op_mode = value
+        changed = self.mode_ctrl.set_pim_op_mode(bool(value))
+        if changed and self.mode_ctrl.pim_executing:
+            for unit in self.units:
+                unit.start()
+        elif changed:
+            for unit in self.units:
+                unit.stop()
+
+
+class PimHbmDevice(HbmDevice):
+    """A PIM-HBM stack: standard HBM2 interface, PIM units inside."""
+
+    def __init__(self, config: Optional[DeviceConfig] = None):
+        from ..dram.device import _bank_cls
+
+        super().__init__(
+            config,
+            pch_factory=lambda cfg: PimPseudoChannel(
+                cfg.timing, cfg.bank_config, bank_cls=_bank_cls(cfg)
+            ),
+        )
+
+    def pch(self, index: int) -> PimPseudoChannel:
+        """The PIM pseudo-channel at ``index``."""
+        channel = self.pchs[index]
+        assert isinstance(channel, PimPseudoChannel)
+        return channel
+
+    @property
+    def memory_map(self) -> PimMemoryMap:
+        return self.pch(0).memory_map
+
+    @property
+    def compute_bandwidth_bytes_per_sec(self) -> float:
+        """Peak on-chip compute bandwidth (Table V): 8 operating banks per
+        pCH, one 32 B column each, every tCCD_L."""
+        t = self.config.timing
+        per_pch = (
+            UNITS_PER_PCH
+            * self.config.bank_config.col_bytes
+            / (t.tccd_l * t.tck_ns * 1e-9)
+        )
+        return per_pch * self.config.num_pchs

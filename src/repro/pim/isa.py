@@ -1,0 +1,465 @@
+"""The PIM-HBM instruction set architecture (Section III-C, Table III).
+
+Nine RISC-style 32-bit instructions in three classes:
+
+* flow control — ``NOP``, ``JUMP``, ``EXIT``
+* arithmetic — ``ADD``, ``MUL``, ``MAC``, ``MAD``
+* data movement — ``MOV``, ``FILL`` (``MOV`` may apply ReLU via the R flag)
+
+The paper's Table III bit layout is not fully legible at field granularity,
+so this module defines a concrete layout with the documented fields (OPCODE,
+DST/SRC0/SRC1/SRC2 operand-space selectors, register indices, the ReLU 'R'
+flag and the address-aligned-mode 'A' flag, and the IMM0/IMM1 immediates for
+control instructions).  Encode/decode are exact inverses (property-tested).
+
+Operand spaces follow Table II: ``GRF_A``/``GRF_B`` (vector registers),
+``SRF_M``/``SRF_A`` (scalar registers, broadcast to all 16 lanes),
+``EVEN_BANK``/``ODD_BANK`` (the 256-bit column of the bank pair at the
+triggering DRAM command's row/column address).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..common.bitfield import Layout
+
+__all__ = [
+    "Opcode",
+    "OperandSpace",
+    "Operand",
+    "Instruction",
+    "encode",
+    "decode",
+    "nop",
+    "jump",
+    "exit_",
+    "mov",
+    "fill",
+    "add",
+    "mul",
+    "mac",
+    "mad",
+    "legal_compute_combinations",
+    "legal_move_combinations",
+    "CRF_ENTRIES",
+    "GRF_REGS",
+    "SRF_REGS",
+]
+
+CRF_ENTRIES = 32  # 32 x 32-bit instruction buffer (Table IV)
+GRF_REGS = 8  # per half: GRF_A and GRF_B each hold 8 x 256-bit registers
+SRF_REGS = 8  # per half: SRF_M and SRF_A each hold 8 x 16-bit registers
+
+
+class Opcode(enum.IntEnum):
+    """Instruction opcodes (4 bits)."""
+
+    NOP = 0
+    JUMP = 1
+    EXIT = 2
+    MOV = 4
+    FILL = 5
+    ADD = 8
+    MUL = 9
+    MAC = 10
+    MAD = 11
+
+    @property
+    def is_control(self) -> bool:
+        return self in (Opcode.NOP, Opcode.JUMP, Opcode.EXIT)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self in (Opcode.ADD, Opcode.MUL, Opcode.MAC, Opcode.MAD)
+
+    @property
+    def is_move(self) -> bool:
+        return self in (Opcode.MOV, Opcode.FILL)
+
+
+class OperandSpace(enum.IntEnum):
+    """Where an operand lives (3-bit selector)."""
+
+    EVEN_BANK = 0
+    ODD_BANK = 1
+    GRF_A = 2
+    GRF_B = 3
+    SRF_M = 4
+    SRF_A = 5
+    # The 256-bit burst of the triggering DRAM WR command.  Section III-A:
+    # "the host processor pushes 256 bits to the write drivers *or PIM
+    # registers* of all the banks" — this is how input vectors are staged
+    # into GRF without a round trip through the cell array.
+    HOST = 6
+    NONE = 7
+
+    @property
+    def is_bank(self) -> bool:
+        return self in (OperandSpace.EVEN_BANK, OperandSpace.ODD_BANK)
+
+    @property
+    def is_grf(self) -> bool:
+        return self in (OperandSpace.GRF_A, OperandSpace.GRF_B)
+
+    @property
+    def is_srf(self) -> bool:
+        return self in (OperandSpace.SRF_M, OperandSpace.SRF_A)
+
+    @property
+    def reg_count(self) -> int:
+        if self.is_grf:
+            return GRF_REGS
+        if self.is_srf:
+            return SRF_REGS
+        return 0
+
+
+@dataclass(frozen=True)
+class Operand:
+    """An operand reference: a space plus a register index.
+
+    The index is meaningful only for register spaces; for bank operands the
+    address comes implicitly from the triggering DRAM command (Section IV-B),
+    and under AAM the index field is ignored and replaced by address bits.
+    """
+
+    space: OperandSpace
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.space.is_grf and not 0 <= self.index < GRF_REGS:
+            raise ValueError(f"GRF index {self.index} out of range")
+        if self.space.is_srf and not 0 <= self.index < SRF_REGS:
+            raise ValueError(f"SRF index {self.index} out of range")
+
+    def __repr__(self) -> str:
+        if self.space.reg_count == 0:
+            return self.space.name
+        return f"{self.space.name}[{self.index}]"
+
+
+NONE_OPERAND = Operand(OperandSpace.NONE, 0)
+
+
+# Table III-style 32-bit layouts.  Control instructions carry immediates;
+# data/ALU instructions carry operand spaces, flags and register indices.
+CONTROL_LAYOUT = Layout(
+    32,
+    [
+        ("opcode", 31, 28),
+        ("imm0", 27, 17),  # jump offset (signed, 11 bits) / NOP count
+        ("imm1", 16, 0),  # loop iteration count
+    ],
+)
+DATA_LAYOUT = Layout(
+    32,
+    [
+        ("opcode", 31, 28),
+        ("dst_space", 27, 25),
+        ("src0_space", 24, 22),
+        ("src1_space", 21, 19),
+        ("src2_space", 18, 16),
+        ("aam", 15, 15),
+        ("relu", 14, 14),
+        ("dst_idx", 10, 8),
+        ("src0_idx", 6, 4),
+        ("src1_idx", 2, 0),
+    ],
+)
+
+_IMM0_SIGN = 1 << 10
+_IMM0_MASK = (1 << 11) - 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded PIM instruction.
+
+    ``imm0``/``imm1`` are used by control instructions (JUMP offset and
+    iteration count; NOP cycle count).  ``src2`` is used by MAC (accumulator,
+    always equal to ``dst``) and MAD (the SRF_A addend sharing SRC1's index).
+    """
+
+    opcode: Opcode
+    dst: Operand = NONE_OPERAND
+    src0: Operand = NONE_OPERAND
+    src1: Operand = NONE_OPERAND
+    src2: Operand = NONE_OPERAND
+    aam: bool = False
+    relu: bool = False
+    imm0: int = 0
+    imm1: int = 0
+
+    def __post_init__(self) -> None:
+        _validate(self)
+
+    def __repr__(self) -> str:
+        if self.opcode is Opcode.NOP:
+            return f"NOP {self.imm0}" if self.imm0 else "NOP"
+        if self.opcode is Opcode.JUMP:
+            return f"JUMP {self.imm0}, {self.imm1}"
+        if self.opcode is Opcode.EXIT:
+            return "EXIT"
+        name = "MOV(RELU)" if (self.opcode is Opcode.MOV and self.relu) else self.opcode.name
+
+        def render(op: Operand) -> str:
+            if op.space.reg_count and self.aam:
+                return f"{op.space.name}[A]"
+            return repr(op)
+
+        parts = [render(self.dst), render(self.src0)]
+        if self.src1.space is not OperandSpace.NONE:
+            parts.append(render(self.src1))
+        if self.opcode is Opcode.MAD:
+            parts.append(render(self.src2))
+        return f"{name} " + ", ".join(parts)
+
+
+class IllegalInstruction(ValueError):
+    """The instruction violates an ISA constraint from Table II."""
+
+
+def _validate(instr: Instruction) -> None:
+    op = instr.opcode
+    if op.is_control:
+        if op is Opcode.JUMP and instr.imm1 < 0:
+            raise IllegalInstruction("JUMP iteration count must be non-negative")
+        if op is Opcode.NOP and instr.imm0 < 0:
+            raise IllegalInstruction("NOP count must be non-negative")
+        return
+    dst, src0, src1 = instr.dst.space, instr.src0.space, instr.src1.space
+    if op is Opcode.MOV:
+        # MOV: GRF/BANK/SRF/HOST -> GRF, or GRF -> BANK (write-driver path).
+        if not (
+            (
+                dst.is_grf
+                and (
+                    src0.is_grf
+                    or src0.is_bank
+                    or src0.is_srf
+                    or src0 is OperandSpace.HOST
+                )
+            )
+            or (dst.is_bank and src0.is_grf)
+        ):
+            raise IllegalInstruction(f"illegal MOV {src0} -> {dst}")
+        return
+    if op is Opcode.FILL:
+        # FILL: BANK -> GRF (bulk load of operands).
+        if not (dst.is_grf and src0.is_bank):
+            raise IllegalInstruction(f"illegal FILL {src0} -> {dst}")
+        return
+    if instr.relu:
+        raise IllegalInstruction("ReLU flag is only defined for MOV")
+    if op is Opcode.MUL:
+        if not (
+            dst.is_grf
+            and (src0.is_grf or src0.is_bank)
+            and (src1.is_grf or src1.is_bank or src1 is OperandSpace.SRF_M)
+        ):
+            raise IllegalInstruction(f"illegal MUL operands {src0}, {src1} -> {dst}")
+        return
+    if op is Opcode.ADD:
+        ok_src = lambda s: s.is_grf or s.is_bank or s is OperandSpace.SRF_A
+        if not (dst.is_grf and ok_src(src0) and ok_src(src1)):
+            raise IllegalInstruction(f"illegal ADD operands {src0}, {src1} -> {dst}")
+        return
+    if op is Opcode.MAC:
+        # Accumulator (src2) is the destination register (Section III-C).
+        if not (
+            dst.is_grf
+            and (src0.is_grf or src0.is_bank)
+            and (src1.is_grf or src1.is_bank or src1 is OperandSpace.SRF_M)
+        ):
+            raise IllegalInstruction(f"illegal MAC operands {src0}, {src1} -> {dst}")
+        return
+    if op is Opcode.MAD:
+        # dst = src0 * src1 + src2; src2 is SRF_A sharing SRC1's index when
+        # src1 is SRF_M (Section III-C), or a GRF register.
+        if not (
+            dst.is_grf
+            and (src0.is_grf or src0.is_bank)
+            and (src1.is_grf or src1.is_bank or src1 is OperandSpace.SRF_M)
+            and (instr.src2.space.is_grf or instr.src2.space is OperandSpace.SRF_A)
+        ):
+            raise IllegalInstruction(f"illegal MAD operands -> {dst}")
+        return
+    raise IllegalInstruction(f"unknown opcode {op}")
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an instruction to its 32-bit word."""
+    if instr.opcode.is_control:
+        imm0 = instr.imm0 & _IMM0_MASK  # two's complement 11-bit offset
+        return CONTROL_LAYOUT.pack(
+            opcode=int(instr.opcode), imm0=imm0, imm1=instr.imm1
+        )
+    # SRC2 has no dedicated index field: MAD stores its index in SRC1's slot
+    # (the paper's "SRC1# and SRC2# point to the same register index"); MAC's
+    # accumulator is the destination register, so it reuses DST#.
+    src1_idx = instr.src1.index if instr.src1.space.reg_count else 0
+    if instr.opcode is Opcode.MAD and instr.src2.space.reg_count:
+        if instr.src1.space.reg_count and instr.src1.index != instr.src2.index:
+            raise IllegalInstruction("MAD requires SRC1# == SRC2#")
+        src1_idx = instr.src2.index
+    return DATA_LAYOUT.pack(
+        opcode=int(instr.opcode),
+        dst_space=int(instr.dst.space),
+        src0_space=int(instr.src0.space),
+        src1_space=int(instr.src1.space),
+        src2_space=int(instr.src2.space),
+        aam=int(instr.aam),
+        relu=int(instr.relu),
+        dst_idx=instr.dst.index if instr.dst.space.reg_count else 0,
+        src0_idx=instr.src0.index if instr.src0.space.reg_count else 0,
+        src1_idx=src1_idx,
+    )
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word back to an :class:`Instruction`."""
+    opcode = Opcode((word >> 28) & 0xF)
+    if opcode.is_control:
+        fields = CONTROL_LAYOUT.unpack(word)
+        imm0 = fields["imm0"]
+        if imm0 & _IMM0_SIGN:  # sign-extend the 11-bit offset
+            imm0 -= 1 << 11
+        return Instruction(opcode, imm0=imm0, imm1=fields["imm1"])
+    fields = DATA_LAYOUT.unpack(word)
+
+    def operand(space_key: str, idx_key: Optional[str]) -> Operand:
+        space = OperandSpace(fields[space_key])
+        idx = fields[idx_key] if idx_key and space.reg_count else 0
+        return Operand(space, idx)
+
+    src2 = operand("src2_space", None)
+    if src2.space.is_grf or src2.space is OperandSpace.SRF_A:
+        # SRC2 shares SRC1's index field (MAD) or DST's (MAC).
+        idx_field = "dst_idx" if opcode is Opcode.MAC else "src1_idx"
+        src2 = Operand(src2.space, fields[idx_field])
+    return Instruction(
+        opcode,
+        dst=operand("dst_space", "dst_idx"),
+        src0=operand("src0_space", "src0_idx"),
+        src1=operand("src1_space", "src1_idx"),
+        src2=src2,
+        aam=bool(fields["aam"]),
+        relu=bool(fields["relu"]),
+    )
+
+
+# -- constructors --------------------------------------------------------------
+
+
+def nop(count: int = 1) -> Instruction:
+    """A NOP consuming ``count`` column-command triggers (multi-cycle NOP)."""
+    return Instruction(Opcode.NOP, imm0=count)
+
+
+def jump(offset: int, iterations: int) -> Instruction:
+    """Zero-cycle JUMP: taken ``iterations`` times, then falls through.
+
+    ``offset`` is relative to the JUMP's own CRF slot (-1 loops back to the
+    immediately preceding instruction, as in the GEMV microkernel of Fig. 7).
+    """
+    return Instruction(Opcode.JUMP, imm0=offset, imm1=iterations)
+
+
+def exit_() -> Instruction:
+    """Terminate the microkernel."""
+    return Instruction(Opcode.EXIT)
+
+
+def mov(dst: Operand, src: Operand, aam: bool = False, relu: bool = False) -> Instruction:
+    """MOV: data movement, optionally applying ReLU (the R flag)."""
+    return Instruction(Opcode.MOV, dst=dst, src0=src, aam=aam, relu=relu)
+
+
+def fill(dst: Operand, src: Operand, aam: bool = False) -> Instruction:
+    """FILL: bulk load from a bank into a GRF register."""
+    return Instruction(Opcode.FILL, dst=dst, src0=src, aam=aam)
+
+
+def add(dst: Operand, src0: Operand, src1: Operand, aam: bool = False) -> Instruction:
+    """ADD: lane-wise FP16 addition."""
+    return Instruction(Opcode.ADD, dst=dst, src0=src0, src1=src1, aam=aam)
+
+
+def mul(dst: Operand, src0: Operand, src1: Operand, aam: bool = False) -> Instruction:
+    """MUL: lane-wise FP16 multiplication."""
+    return Instruction(Opcode.MUL, dst=dst, src0=src0, src1=src1, aam=aam)
+
+
+def mac(dst: Operand, src0: Operand, src1: Operand, aam: bool = False) -> Instruction:
+    """MAC: ``dst += src0 * src1`` (src2 implicitly equals dst)."""
+    return Instruction(Opcode.MAC, dst=dst, src0=src0, src1=src1, src2=dst, aam=aam)
+
+
+def mad(
+    dst: Operand,
+    src0: Operand,
+    src1: Operand,
+    src2: Operand,
+    aam: bool = False,
+) -> Instruction:
+    """MAD: ``dst = src0 * src1 + src2``."""
+    return Instruction(Opcode.MAD, dst=dst, src0=src0, src1=src1, src2=src2, aam=aam)
+
+
+# -- Table II enumeration --------------------------------------------------------
+
+
+def _spaces(*names: str) -> List[OperandSpace]:
+    return [OperandSpace[name] for name in names]
+
+
+def legal_compute_combinations() -> List[Tuple[Opcode, OperandSpace, OperandSpace, OperandSpace]]:
+    """Enumerate the legal (opcode, src0, src1, dst) compute combinations.
+
+    Table II reports 114 compute combinations (MUL 32, ADD 40, MAC 14,
+    MAD 28); our validity predicate is reconstructed from the table's operand
+    lists, so the enumeration reproduces the *order* of that count.  The
+    per-opcode numbers are reported by ``benchmarks/bench_table2_isa.py``
+    next to the paper's.
+    """
+    grf = _spaces("GRF_A", "GRF_B")
+    bank = _spaces("EVEN_BANK", "ODD_BANK")
+    combos: List[Tuple[Opcode, OperandSpace, OperandSpace, OperandSpace]] = []
+    for op in (Opcode.MUL, Opcode.ADD, Opcode.MAC, Opcode.MAD):
+        src0_opts = grf + bank + (_spaces("SRF_A") if op is Opcode.ADD else [])
+        src1_opts = grf + bank
+        if op in (Opcode.MUL, Opcode.MAC, Opcode.MAD):
+            src1_opts = src1_opts + _spaces("SRF_M")
+        if op is Opcode.ADD:
+            src1_opts = src1_opts + _spaces("SRF_A")
+        dst_opts = _spaces("GRF_B") if op is Opcode.MAC else grf
+        for s0 in src0_opts:
+            for s1 in src1_opts:
+                for d in dst_opts:
+                    combos.append((op, s0, s1, d))
+    return combos
+
+
+def legal_move_combinations() -> List[Tuple[OperandSpace, OperandSpace, bool]]:
+    """Enumerate legal (src, dst, relu) data-movement combinations.
+
+    Table II reports 24 ways of data movement for MOV(/ReLU).
+    """
+    grf = _spaces("GRF_A", "GRF_B")
+    bank = _spaces("EVEN_BANK", "ODD_BANK")
+    srf = _spaces("SRF_M", "SRF_A")
+    combos: List[Tuple[OperandSpace, OperandSpace, bool]] = []
+    for relu in (False, True):
+        for src in grf + bank + srf:
+            for dst in grf:
+                combos.append((src, dst, relu))
+        for src in grf:
+            for dst in bank:
+                combos.append((src, dst, relu))
+    return combos

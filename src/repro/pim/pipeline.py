@@ -1,0 +1,114 @@
+"""The 5-stage execution pipeline (Section IV-B) as a timing model.
+
+The architectural simulator (:mod:`repro.pim.exec_unit`) updates state
+atomically per trigger because execution is slaved to the column-command
+cadence; this module models the pipeline itself —
+
+    1. FETCH/DECODE -> 2. BANK READ -> 3. MULT -> 4. ADD -> 5. WRITE-BACK
+
+with the paper's skip rules (MUL skips ADD, ADD skips MULT, data movement
+skips both; a bank-free instruction skips BANK READ) — and verifies the
+property the whole architecture rests on: at the AB-mode trigger cadence
+(tCCD_L), instructions flow through with **deterministic latency and no
+structural hazards**, which is what lets a JEDEC controller treat PIM
+execution as ordinary column accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .isa import Instruction, Opcode, OperandSpace
+
+__all__ = ["STAGES", "PipelineModel", "StageOccupancy", "stages_for"]
+
+STAGES = ("FETCH_DECODE", "BANK_READ", "MULT", "ADD", "WRITE_BACK")
+
+
+def stages_for(instr: Instruction) -> Tuple[str, ...]:
+    """The stages one instruction occupies, with the Section IV-B skips."""
+    op = instr.opcode
+    if op.is_control:
+        # JUMP resolves at fetch (zero-cycle); NOP/EXIT consume no datapath.
+        return ("FETCH_DECODE",)
+    reads_bank = any(
+        operand.space.is_bank
+        for operand in (instr.src0, instr.src1, instr.src2)
+    )
+    stages: List[str] = ["FETCH_DECODE"]
+    if reads_bank:
+        stages.append("BANK_READ")
+    if op in (Opcode.MUL, Opcode.MAC, Opcode.MAD):
+        stages.append("MULT")
+    if op in (Opcode.ADD, Opcode.MAC, Opcode.MAD):
+        stages.append("ADD")
+    if op.is_move or op.is_arithmetic:
+        stages.append("WRITE_BACK")
+    return tuple(stages)
+
+
+@dataclass(frozen=True)
+class StageOccupancy:
+    """One instruction's occupancy of one stage."""
+
+    instruction_index: int
+    stage: str
+    cycle: int
+
+
+class PipelineModel:
+    """Schedules a trigger-driven instruction stream through the pipeline.
+
+    Each instruction enters FETCH_DECODE at its trigger cycle and advances
+    one stage per cycle (skipped stages take no cycle).  ``schedule``
+    returns per-instruction completion cycles and the full occupancy list;
+    ``hazards`` reports any cycle where two instructions contend for a
+    stage — empty at legal DRAM cadences.
+    """
+
+    def schedule(
+        self, stream: Sequence[Tuple[Instruction, int]]
+    ) -> Tuple[List[int], List[StageOccupancy]]:
+        """Completion cycles and stage occupancy of a trigger stream."""
+        occupancy: List[StageOccupancy] = []
+        completions: List[int] = []
+        for index, (instr, trigger_cycle) in enumerate(stream):
+            cycle = trigger_cycle
+            for stage in stages_for(instr):
+                occupancy.append(StageOccupancy(index, stage, cycle))
+                cycle += 1
+            completions.append(cycle - 1)
+        return completions, occupancy
+
+    def hazards(
+        self, stream: Sequence[Tuple[Instruction, int]]
+    ) -> List[Tuple[str, int]]:
+        """(stage, cycle) pairs claimed by more than one instruction."""
+        _, occupancy = self.schedule(stream)
+        seen: Dict[Tuple[str, int], int] = {}
+        conflicts: List[Tuple[str, int]] = []
+        for record in occupancy:
+            key = (record.stage, record.cycle)
+            if key in seen and seen[key] != record.instruction_index:
+                conflicts.append(key)
+            seen[key] = record.instruction_index
+        return conflicts
+
+    def latency(self, instr: Instruction) -> int:
+        """Deterministic trigger-to-writeback latency in core cycles."""
+        return len(stages_for(instr))
+
+    def min_safe_cadence(self, instructions: Sequence[Instruction]) -> int:
+        """Smallest uniform trigger spacing with no structural hazards.
+
+        The deepest instruction (MAC with a bank operand: 5 stages) pins
+        this at 1 cycle in a fully pipelined design — each stage holds one
+        instruction — so any cadence >= 1 works *if* every instruction has
+        the same depth; mixed depths can collide at smaller cadences.
+        """
+        for cadence in range(1, 8):
+            stream = [(instr, i * cadence) for i, instr in enumerate(instructions)]
+            if not self.hazards(stream):
+                return cadence
+        return 8

@@ -1,0 +1,75 @@
+"""The PIM software stack: driver, runtime, BLAS, and graph framework."""
+
+from .blas import (
+    PimBlas,
+    add_reference,
+    bn_reference,
+    gemv_reference,
+    mul_reference,
+    relu_reference,
+)
+from .graph import (
+    PIM_CUSTOM_OPS,
+    PIM_ELIGIBLE_OPS,
+    GraphBuilder,
+    GraphExecutor,
+    Node,
+    RunReport,
+)
+from .driver import PimAllocationError, PimDeviceDriver, RowSetRange
+from .memory import (
+    MicrokernelCache,
+    PimLayout,
+    aligned_size,
+    chunk_locations,
+    pad_vector,
+)
+from .kernels import (
+    ELEMENTWISE_OPS,
+    ElementwiseKernel,
+    ExecutionReport,
+    GemvKernel,
+    PimSession,
+)
+from .collaborative import CollaborativeGemv, CollaborativeReport, optimal_split
+from .lstm import LstmLayerOperator, LstmStepReport
+from .profiler import KernelProfile, Profiler, SessionProfile
+from .runtime import PimExecutor, PimSystem
+
+__all__ = [
+    "PimBlas",
+    "add_reference",
+    "bn_reference",
+    "gemv_reference",
+    "mul_reference",
+    "relu_reference",
+    "PimAllocationError",
+    "PimDeviceDriver",
+    "RowSetRange",
+    "ELEMENTWISE_OPS",
+    "ElementwiseKernel",
+    "ExecutionReport",
+    "GemvKernel",
+    "PimSession",
+    "CollaborativeGemv",
+    "CollaborativeReport",
+    "optimal_split",
+    "LstmLayerOperator",
+    "LstmStepReport",
+    "KernelProfile",
+    "Profiler",
+    "SessionProfile",
+    "PimExecutor",
+    "PimSystem",
+    "MicrokernelCache",
+    "PimLayout",
+    "aligned_size",
+    "chunk_locations",
+    "pad_vector",
+    "PIM_CUSTOM_OPS",
+    "PIM_ELIGIBLE_OPS",
+    "GraphBuilder",
+    "GraphExecutor",
+    "Node",
+    "RunReport",
+]

@@ -1,0 +1,180 @@
+"""The PIM BLAS (Section V-A): the public linear-algebra API.
+
+Users call these functions with ordinary numpy arrays and get numerically
+faithful results computed *by the simulated PIM device* plus an execution
+report.  The BLAS hides everything below it: layouts, microkernels, mode
+transitions, fences.
+
+Reference models (``gemv_reference`` etc.) reproduce the device's exact
+FP16 rounding behaviour in vectorised numpy; tests assert bit-equality
+between the two paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..common.fp16 import vec_relu
+from ..pim.registers import LANES
+from ..pim.isa import GRF_REGS
+from .kernels import ExecutionReport
+from .runtime import PimSystem
+
+__all__ = [
+    "PimBlas",
+    "gemv_reference",
+    "add_reference",
+    "mul_reference",
+    "relu_reference",
+    "bn_reference",
+]
+
+
+class PimBlas:
+    """PIM BLAS bound to one :class:`PimSystem`."""
+
+    def __init__(self, system: PimSystem, simulate_pchs: Optional[int] = None):
+        self.sys = system
+        self.simulate_pchs = simulate_pchs
+
+    # -- level-2 ------------------------------------------------------------------
+
+    def gemv(self, w: np.ndarray, x: np.ndarray) -> Tuple[np.ndarray, ExecutionReport]:
+        """``y = W @ x`` with FP16 PIM MACs, FP32 host reduction."""
+        return self.sys.executor.gemv(w, x, simulate_pchs=self.simulate_pchs)
+
+    # -- level-1 ------------------------------------------------------------------
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, ExecutionReport]:
+        """Elementwise FP16 addition (residual/skip connections)."""
+        return self.sys.executor.elementwise(
+            "add", a, b, simulate_pchs=self.simulate_pchs
+        )
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, ExecutionReport]:
+        """Elementwise FP16 multiplication."""
+        return self.sys.executor.elementwise(
+            "mul", a, b, simulate_pchs=self.simulate_pchs
+        )
+
+    def relu(self, a: np.ndarray) -> Tuple[np.ndarray, ExecutionReport]:
+        """Elementwise ReLU during data movement (MOV with the R flag)."""
+        return self.sys.executor.elementwise(
+            "relu", a, simulate_pchs=self.simulate_pchs
+        )
+
+    def bn(
+        self, a: np.ndarray, gamma: float, beta: float
+    ) -> Tuple[np.ndarray, ExecutionReport]:
+        """Inference batch-norm folded to ``gamma * x + beta`` (MAD)."""
+        return self.sys.executor.elementwise(
+            "bn", a, scalars=(float(gamma), float(beta)),
+            simulate_pchs=self.simulate_pchs,
+        )
+
+    # -- composite: LSTM cell ------------------------------------------------------
+
+    def lstm_cell(
+        self,
+        w_ih: np.ndarray,
+        w_hh: np.ndarray,
+        bias: np.ndarray,
+        x: np.ndarray,
+        h: np.ndarray,
+        c: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, list]:
+        """One LSTM step: the GEMVs run on PIM, activations on the host.
+
+        The PIM LSTM custom op accelerates the two matrix-vector products
+        (the memory-bound part); gate nonlinearities are host work, exactly
+        as in the paper's LSTM custom op.
+        Returns (h_next, c_next, [gemv reports]).
+        """
+        hidden = h.shape[0]
+        gates_x, rep_x = self.gemv(w_ih, x)
+        gates_h, rep_h = self.gemv(w_hh, h)
+        gates = gates_x + gates_h + np.asarray(bias, dtype=np.float32)
+        i, f, g, o = (
+            gates[:hidden],
+            gates[hidden : 2 * hidden],
+            gates[2 * hidden : 3 * hidden],
+            gates[3 * hidden :],
+        )
+        i = _sigmoid(i)
+        f = _sigmoid(f)
+        g = np.tanh(g)
+        o = _sigmoid(o)
+        c_next = f * np.asarray(c, dtype=np.float32) + i * g
+        h_next = o * np.tanh(c_next)
+        return (
+            h_next.astype(np.float16),
+            c_next.astype(np.float16),
+            [rep_x, rep_h],
+        )
+
+
+def _sigmoid(v: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-v))
+
+
+# ---------------------------------------------------------------------------
+# Bit-equivalent reference models
+# ---------------------------------------------------------------------------
+
+
+def gemv_reference(
+    w: np.ndarray, x: np.ndarray, num_pchs: int, n_slice: Optional[int] = None
+) -> np.ndarray:
+    """The device's exact GEMV result (FP16 MAC order included).
+
+    Each output element accumulates in 8 FP16 sub-accumulators (one per GRF
+    register, fed round-robin by input chunk position) over its pCH slice;
+    sub-accumulators and slices are then reduced in FP32 by the host.
+    """
+    w = np.asarray(w, dtype=np.float16)
+    x = np.asarray(x, dtype=np.float16)
+    m, n = w.shape
+    if n_slice is None:
+        n_slice = -(-n // num_pchs)
+        n_slice = -(-n_slice // GRF_REGS) * GRF_REGS
+    n_padded = num_pchs * n_slice
+    wp = np.zeros((m, n_padded), dtype=np.float16)
+    wp[:, :n] = w
+    xp = np.zeros(n_padded, dtype=np.float16)
+    xp[:n] = x
+    total = np.zeros(m, dtype=np.float32)
+    for p in range(num_pchs):
+        acc = np.zeros((m, GRF_REGS), dtype=np.float16)
+        chunks = n_slice // GRF_REGS
+        for k in range(chunks):
+            base = p * n_slice + k * GRF_REGS
+            wk = wp[:, base : base + GRF_REGS]
+            xk = xp[base : base + GRF_REGS]
+            prod = (wk * xk[np.newaxis, :]).astype(np.float16)
+            acc = (acc + prod).astype(np.float16)
+        total += acc.astype(np.float32).sum(axis=1)
+    return total
+
+
+def add_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bit-exact reference of the PIM elementwise ADD."""
+    return (np.asarray(a, np.float16) + np.asarray(b, np.float16)).astype(np.float16)
+
+
+def mul_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bit-exact reference of the PIM elementwise MUL."""
+    return (np.asarray(a, np.float16) * np.asarray(b, np.float16)).astype(np.float16)
+
+
+def relu_reference(a: np.ndarray) -> np.ndarray:
+    """Bit-exact reference of the PIM MOV(ReLU) (sign-bit mux)."""
+    return vec_relu(np.asarray(a, np.float16))
+
+
+def bn_reference(a: np.ndarray, gamma: float, beta: float) -> np.ndarray:
+    """Bit-exact reference of the PIM MAD-based batch norm."""
+    a = np.asarray(a, np.float16)
+    scaled = (a * np.float16(gamma)).astype(np.float16)
+    return (scaled + np.float16(beta)).astype(np.float16)

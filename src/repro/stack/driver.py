@@ -1,0 +1,104 @@
+"""The PIM device driver (Section V-A).
+
+During boot the driver reserves the PIM memory space, marks it uncacheable
+(so every access in the region reaches DRAM as a command — no cache sits
+between the host and the PIM units), and hands out *physically contiguous*
+blocks so PIM kernels never worry about virtual-to-physical translation.
+
+The model allocates in units of **row sets**: one row index taken across
+every bank of every pseudo-channel.  That is the natural PIM granularity —
+an AB-mode command touches the same row of all banks, so data placed in one
+row set is reachable by one lock-step command stream.  The register-mapped
+rows at the top of the address space (the grey PIM_CONF region of Fig. 3)
+are never allocatable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..pim.device import PimHbmDevice
+
+__all__ = ["RowSetRange", "PimDeviceDriver", "PimAllocationError"]
+
+
+class PimAllocationError(RuntimeError):
+    """The reserved PIM memory space is exhausted or misused."""
+
+
+@dataclass(frozen=True)
+class RowSetRange:
+    """A contiguous range of row sets ``[start, stop)`` owned by one client."""
+
+    start: int
+    stop: int
+
+    @property
+    def num_rows(self) -> int:
+        return self.stop - self.start
+
+    def row(self, index: int) -> int:
+        """Absolute row index of the ``index``-th row set in the block."""
+        if not 0 <= index < self.num_rows:
+            raise IndexError(f"row-set index {index} out of range")
+        return self.start + index
+
+
+class PimDeviceDriver:
+    """Reserves and allocates the PIM memory region of a device."""
+
+    def __init__(self, device: PimHbmDevice):
+        self.device = device
+        self.memory_map = device.memory_map
+        # Everything below the register rows is the driver's pool.
+        self._limit = self.memory_map.first_reserved_row
+        self._cursor = 0
+        self._allocations: List[RowSetRange] = []
+        self.uncacheable = True  # the whole region bypasses the cache
+
+    @property
+    def rows_total(self) -> int:
+        return self._limit
+
+    @property
+    def rows_free(self) -> int:
+        return self._limit - self._cursor
+
+    def bytes_per_row_set(self) -> int:
+        """Capacity of one row set across the whole device."""
+        cfg = self.device.config
+        from ..dram.pseudochannel import BANKS_PER_PCH
+
+        return cfg.bank_config.row_bytes * BANKS_PER_PCH * cfg.num_pchs
+
+    def alloc_rows(self, count: int) -> RowSetRange:
+        """Allocate ``count`` physically contiguous row sets."""
+        if count <= 0:
+            raise PimAllocationError("allocation must be positive")
+        if self._cursor + count > self._limit:
+            raise PimAllocationError(
+                f"requested {count} row sets, only {self.rows_free} free"
+            )
+        block = RowSetRange(self._cursor, self._cursor + count)
+        self._cursor += count
+        self._allocations.append(block)
+        return block
+
+    def alloc_bytes(self, nbytes: int) -> RowSetRange:
+        """Allocate enough row sets to hold ``nbytes``."""
+        per_row = self.bytes_per_row_set()
+        rows = -(-nbytes // per_row)
+        return self.alloc_rows(rows)
+
+    def reset(self) -> None:
+        """Free everything (bump allocator, per-process teardown)."""
+        self._cursor = 0
+        self._allocations.clear()
+
+    def check_row(self, row: int) -> None:
+        """Raise if ``row`` is outside the allocatable PIM region."""
+        if row >= self._limit:
+            raise PimAllocationError(
+                f"row {row} is inside the reserved register region"
+            )

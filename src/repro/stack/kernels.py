@@ -1,0 +1,826 @@
+"""PIM microkernels, data layouts, and host command-stream generation.
+
+This module is the "PIM kernel" layer of Fig. 7: given operands laid out in
+the PIM region, it programs a microkernel into the CRF and generates the
+DRAM request stream (with thread-group fences) whose column commands trigger
+the microkernel's instructions.
+
+Layout conventions (chosen to match the architecture's constraints and
+documented in DESIGN.md):
+
+* **GEMV** ``y = W @ x`` — outputs are tiled across units and lanes
+  (8 units x 16 lanes = 128 outputs per tile per pCH); the input dimension
+  is sliced across pseudo-channels and swept in chunks of 8.  Weights live
+  in each unit's EVEN bank, one 16-lane output group per 32-byte column.
+  Per chunk the host WRs the 8 replicated x values (triggering
+  ``MOV GRF_A[A] <- HOST``) and then RDs the 8 weight columns (triggering
+  ``MAC GRF_B[A] += EVEN_BANK * GRF_A[A]``) — the 50% staging commands the
+  SRW variant of Fig. 14 eliminates.  Partial sums are written back with a
+  ``MOV EVEN_BANK[A] <- GRF_B[A]`` epilogue and reduced by the host
+  (8 sub-accumulators per lane, one slice per pCH).
+* **Elementwise** (ADD/MUL/ReLU/BN) — operand A in EVEN banks, operand B at
+  the same (row, col) of ODD banks, results at column+16 of EVEN banks, so
+  one lock-step address stream feeds both operands and the output.
+
+Every 8-command run is followed by a fence: address-aligned mode can absorb
+reordering only within the 8-register GRF window (Section IV-C / VII-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dram.pseudochannel import BANKS_PER_PCH
+from ..pim.device import UNITS_PER_PCH, PimPseudoChannel
+from ..pim.registers import GRF_REG_BYTES, LANES
+from ..pim.isa import GRF_REGS
+from ..pim.assembler import assemble_words
+from ..host.processor import HostSystem
+
+__all__ = [
+    "ExecutionReport",
+    "PimSession",
+    "GemvKernel",
+    "ElementwiseKernel",
+    "ELEMENTWISE_OPS",
+]
+
+_COL_GROUP = GRF_REGS  # 8 columns per AAM window / fence interval
+
+
+@dataclass
+class ExecutionReport:
+    """What one PIM kernel invocation did and how long it took."""
+
+    kernel: str
+    cycles: int = 0
+    ns: float = 0.0
+    column_commands: int = 0
+    activates: int = 0
+    fences: int = 0
+    pim_instructions: int = 0
+    pim_flops: int = 0
+    host_bytes: int = 0  # bytes that crossed the off-chip interface
+    simulated_pchs: int = 0
+    total_pchs: int = 0
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    def scale_factor(self) -> float:
+        """Commands of one simulated pCH represent this many device-wide."""
+        if self.simulated_pchs == 0:
+            return 1.0
+        return self.total_pchs / self.simulated_pchs
+
+
+def _alloc_rows(system: HostSystem, count: int):
+    """Allocate row sets through the system's PIM device driver.
+
+    Kernels never hard-code placements: physically contiguous row sets come
+    from the driver (Section V-A), which also keeps the register-mapped
+    region off limits.  Systems without a driver (bare test rigs) fall back
+    to a per-system bump allocator with the same semantics.
+    """
+    driver = getattr(system, "driver", None)
+    if driver is None:
+        from .driver import PimDeviceDriver
+
+        driver = PimDeviceDriver(system.device)
+        system.driver = driver  # type: ignore[attr-defined]
+    return driver.alloc_rows(count)
+
+
+def _bank_coords(bank_index: int) -> Tuple[int, int]:
+    return bank_index // 4, bank_index % 4
+
+
+def _dummy_column() -> np.ndarray:
+    return np.zeros(GRF_REG_BYTES, dtype=np.uint8)
+
+
+class PimSession:
+    """Mode transitions and register programming over standard commands.
+
+    All methods run through the memory controllers, so their cost lands in
+    the same cycle accounting as the data phases.
+    """
+
+    def __init__(self, system: HostSystem):
+        self.sys = system
+        channel = system.device.pch(0)
+        if not isinstance(channel, PimPseudoChannel):
+            raise TypeError("PimSession requires a PIM-HBM device")
+        self.map = channel.memory_map
+
+    def _each(self, count: Optional[int] = None):
+        controllers = self.sys.controllers
+        if count is not None:
+            controllers = controllers[:count]
+        return controllers
+
+    # -- mode transitions ------------------------------------------------------
+
+    def enter_ab(self, pchs: Optional[int] = None) -> None:
+        """PREA + (ACT, PRE) to the ABMR row on every channel."""
+        for mc in self._each(pchs):
+            mc.drain()
+            mc.precharge_all()
+            mc.closed_page_access(0, 0, self.map.abmr_row)
+
+    def exit_to_sb(self, pchs: Optional[int] = None) -> None:
+        """PREA + (ACT, PRE) to the SBMR row: back to standard DRAM."""
+        for mc in self._each(pchs):
+            mc.drain()
+            mc.precharge_all()
+            mc.closed_page_access(0, 0, self.map.sbmr_row)
+
+    def set_pim_op_mode(self, mc, enable: bool) -> None:
+        """Queue the PIM_OP_MODE register write on one controller."""
+        data = _dummy_column()
+        data[0] = 1 if enable else 0
+        mc.fence()
+        mc.write(0, 0, self.map.conf_row, self.map.PIM_OP_MODE_COL, data)
+        mc.fence()
+
+    # -- register programming ----------------------------------------------------
+
+    def program_crf(self, source: str, pchs: Optional[int] = None) -> None:
+        """Assemble and broadcast a microkernel into every unit's CRF.
+
+        The memory manager caches microkernel code (Section V-A): when a
+        channel already holds this exact program, the register writes are
+        skipped entirely.
+        """
+        from .memory import MicrokernelCache
+
+        cache = getattr(self.sys, "_microkernel_cache", None)
+        if cache is None:
+            cache = MicrokernelCache()
+            self.sys._microkernel_cache = cache  # type: ignore[attr-defined]
+        loaded = getattr(self.sys, "_crf_loaded", None)
+        if loaded is None:
+            loaded = {}
+            self.sys._crf_loaded = loaded  # type: ignore[attr-defined]
+        words = cache.get(source)
+        image = np.array(words, dtype="<u4").view(np.uint8)
+        cols = len(image) // GRF_REG_BYTES
+        for index, mc in enumerate(self._each(pchs)):
+            if loaded.get(index) == source:
+                continue  # the CRF already holds this microkernel
+            for col in range(cols):
+                chunk = image[col * GRF_REG_BYTES : (col + 1) * GRF_REG_BYTES]
+                mc.write(0, 0, self.map.crf_row, col, chunk)
+            mc.fence()
+            loaded[index] = source
+
+    def zero_grf_b(self, mc) -> None:
+        """Clear the 8 GRF_B accumulators via register-mapped writes."""
+        for col in range(GRF_REGS, 2 * GRF_REGS):
+            mc.write(0, 0, self.map.grf_row, col, _dummy_column())
+        mc.fence()
+
+    def write_srf(
+        self,
+        mul_scalars: Optional[np.ndarray] = None,
+        add_scalars: Optional[np.ndarray] = None,
+        pchs: Optional[int] = None,
+    ) -> None:
+        """Program SRF_M / SRF_A (each 8 FP16 scalars, zero-padded)."""
+        for mc in self._each(pchs):
+            for col, values in ((0, mul_scalars), (1, add_scalars)):
+                if values is None:
+                    continue
+                payload = np.zeros(GRF_REG_BYTES, dtype=np.uint8)
+                scalars = np.asarray(values, dtype=np.float16)
+                payload[: scalars.size * 2] = scalars.view(np.uint8)
+                mc.write(0, 0, self.map.srf_row, col, payload)
+            mc.fence()
+
+
+# ---------------------------------------------------------------------------
+# GEMV
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GemvPlan:
+    """Placement plan for one GEMV operand set."""
+
+    m: int
+    n: int
+    num_pchs: int
+    n_slice: int  # padded input dims per pCH
+    chunks: int  # n_slice // 8
+    tiles: int  # output tiles of 128
+    chunks_per_row: int
+    rows_per_tile: int
+    weight_base_row: int
+    out_base_row: int
+
+    @property
+    def outputs_per_tile(self) -> int:
+        return UNITS_PER_PCH * LANES
+
+    def weight_location(self, tile: int, chunk: int) -> Tuple[int, int]:
+        """(row, column base) of a weight chunk for one tile."""
+        row = self.weight_base_row + tile * self.rows_per_tile + chunk // self.chunks_per_row
+        col_base = (chunk % self.chunks_per_row) * _COL_GROUP
+        return row, col_base
+
+    def out_location(self, tile: int) -> Tuple[int, int]:
+        """(row, column base) of a tile's 8 partial-sum columns."""
+        tiles_per_row = self.chunks_per_row
+        row = self.out_base_row + tile // tiles_per_row
+        col_base = (tile % tiles_per_row) * _COL_GROUP
+        return row, col_base
+
+
+class GemvKernel:
+    """A resident GEMV operator: weights staged once, invoked per input.
+
+    This mirrors the PIM memory manager's behaviour (Section V-A): the
+    weight matrix is rearranged into the PIM-friendly layout when the model
+    is loaded, and each invocation only streams the input vector and the
+    triggering commands.
+    """
+
+    MICROKERNEL = """
+    MOV  GRF_A[A], HOST            ; stage 8 replicated x values (WR)
+    JUMP -1, 7
+    MAC  GRF_B[A], EVEN_BANK, GRF_A[A]  ; 8 weight columns (RD)
+    JUMP -1, 7
+    JUMP -4, {reps}                ; one iteration per input chunk
+    MOV  EVEN_BANK[A], GRF_B[A]    ; write 8 partial-sum registers (WR)
+    JUMP -1, 7
+    EXIT
+    """
+
+    def __init__(self, system: HostSystem, m: int, n: int):
+        self.sys = system
+        self.session = PimSession(system)
+        self.m = m
+        self.n = n
+        self.plan = self._plan(m, n)
+        self._weights: Optional[np.ndarray] = None  # padded, fp16
+
+    def _plan(self, m: int, n: int) -> GemvPlan:
+        num_pchs = self.sys.num_pchs
+        cols_per_row = self.sys.device.config.bank_config.cols_per_row
+        chunks_per_row = cols_per_row // _COL_GROUP
+        n_slice = -(-n // num_pchs)
+        n_slice = -(-n_slice // _COL_GROUP) * _COL_GROUP
+        chunks = n_slice // _COL_GROUP
+        tiles = -(-m // (UNITS_PER_PCH * LANES))
+        rows_per_tile = -(-chunks // chunks_per_row)
+        weight_rows = tiles * rows_per_tile
+        out_rows = -(-tiles // chunks_per_row)
+        block = _alloc_rows(self.sys, weight_rows + out_rows)
+        return GemvPlan(
+            m=m,
+            n=n,
+            num_pchs=num_pchs,
+            n_slice=n_slice,
+            chunks=chunks,
+            tiles=tiles,
+            chunks_per_row=chunks_per_row,
+            rows_per_tile=rows_per_tile,
+            weight_base_row=block.start,
+            out_base_row=block.start + weight_rows,
+        )
+
+    # -- staging ------------------------------------------------------------------
+
+    def load_weights(self, w: np.ndarray) -> None:
+        """Rearrange and stage the weight matrix into the PIM region.
+
+        Performed by the PIM BLAS when weights are first brought to memory
+        (Section VIII); not part of per-invocation timing.
+        """
+        w = np.asarray(w, dtype=np.float16)
+        if w.shape != (self.m, self.n):
+            raise ValueError(f"expected {(self.m, self.n)} weights, got {w.shape}")
+        plan = self.plan
+        padded = np.zeros(
+            (plan.tiles * plan.outputs_per_tile, plan.num_pchs * plan.n_slice),
+            dtype=np.float16,
+        )
+        padded[: self.m, : self.n] = w
+        self._weights = padded
+        for p in range(plan.num_pchs):
+            channel = self.sys.device.pch(p)
+            for tile in range(plan.tiles):
+                for chunk in range(plan.chunks):
+                    row, col_base = plan.weight_location(tile, chunk)
+                    for j in range(_COL_GROUP):
+                        dim = p * plan.n_slice + chunk * _COL_GROUP + j
+                        for unit in range(UNITS_PER_PCH):
+                            out0 = tile * plan.outputs_per_tile + unit * LANES
+                            column = np.ascontiguousarray(
+                                padded[out0 : out0 + LANES, dim]
+                            )
+                            channel.banks[2 * unit].poke(
+                                row, col_base + j, column.view(np.uint8)
+                            )
+
+    # -- invocation ---------------------------------------------------------------
+
+    def __call__(
+        self, x: np.ndarray, simulate_pchs: Optional[int] = None
+    ) -> Tuple[np.ndarray, ExecutionReport]:
+        """Run ``y = W @ x`` on the PIM device.
+
+        ``simulate_pchs`` limits cycle-accurate simulation to the first N
+        pseudo-channels (all channels execute identical streams, so the
+        timing is exact); the remaining slices are computed with the
+        bit-equivalent vectorised model and their results staged so the
+        device state matches a full run.
+        """
+        if self._weights is None:
+            raise RuntimeError("load_weights() before invoking the kernel")
+        x = np.asarray(x, dtype=np.float16)
+        if x.shape != (self.n,):
+            raise ValueError(f"expected input of shape ({self.n},)")
+        plan = self.plan
+        nsim = plan.num_pchs if simulate_pchs is None else min(simulate_pchs, plan.num_pchs)
+        x_padded = np.zeros(plan.num_pchs * plan.n_slice, dtype=np.float16)
+        x_padded[: self.n] = x
+
+        report = ExecutionReport(
+            kernel=f"gemv[{self.m}x{self.n}]",
+            simulated_pchs=nsim,
+            total_pchs=plan.num_pchs,
+        )
+        start = self.sys.drain_all()
+        self.session.enter_ab(pchs=nsim)
+        self.session.program_crf(
+            self.MICROKERNEL.format(reps=plan.chunks - 1), pchs=nsim
+        )
+        for p in range(nsim):
+            self._stream_pch(p, x_padded)
+        self.session.exit_to_sb(pchs=nsim)
+        for p in range(nsim, plan.num_pchs):
+            self._shortcut_pch(p, x_padded)
+        partials = self._read_partials(nsim)
+        end = self.sys.drain_all()
+
+        y = partials.astype(np.float32).sum(axis=(0, 1))[: self.m]
+        self._fill_report(report, start, end)
+        return y, report
+
+    def batched(
+        self, xs: np.ndarray, simulate_pchs: Optional[int] = None
+    ) -> Tuple[np.ndarray, ExecutionReport]:
+        """Run a batch of inputs through the resident operator.
+
+        PIM processes batch elements *sequentially* (the device has no
+        batch dimension), which is exactly why Fig. 10 shows the speedup
+        shrinking with batch size while the host amortises into GEMM.
+        The operator setup (weights, microkernel cache) is shared.
+        """
+        xs = np.asarray(xs, dtype=np.float16)
+        if xs.ndim != 2 or xs.shape[1] != self.n:
+            raise ValueError(f"expected batch of shape (B, {self.n})")
+        outputs = []
+        merged = ExecutionReport(
+            kernel=f"gemv[{self.m}x{self.n}]xB{xs.shape[0]}",
+            total_pchs=self.plan.num_pchs,
+        )
+        for x in xs:
+            y, report = self(x, simulate_pchs=simulate_pchs)
+            outputs.append(y)
+            merged.cycles += report.cycles
+            merged.ns += report.ns
+            merged.column_commands += report.column_commands
+            merged.fences += report.fences
+            merged.pim_instructions += report.pim_instructions
+            merged.pim_flops += report.pim_flops
+            merged.host_bytes += report.host_bytes
+            merged.simulated_pchs = report.simulated_pchs
+        return np.stack(outputs), merged
+
+    def _stream_pch(self, p: int, x_padded: np.ndarray) -> None:
+        plan = self.plan
+        mc = self.sys.controller(p)
+        for tile in range(plan.tiles):
+            self.session.zero_grf_b(mc)
+            self.session.set_pim_op_mode(mc, True)
+            for chunk in range(plan.chunks):
+                row, col_base = plan.weight_location(tile, chunk)
+                for j in range(_COL_GROUP):
+                    value = x_padded[p * plan.n_slice + chunk * _COL_GROUP + j]
+                    burst = np.full(LANES, value, dtype=np.float16).view(np.uint8)
+                    mc.write(0, 0, row, col_base + j, burst)
+                mc.fence()
+                for j in range(_COL_GROUP):
+                    mc.read(0, 0, row, col_base + j)
+                mc.fence()
+            out_row, out_base = plan.out_location(tile)
+            for j in range(_COL_GROUP):
+                mc.write(0, 0, out_row, out_base + j, _dummy_column())
+            mc.fence()
+            self.session.set_pim_op_mode(mc, False)
+            mc.drain()
+
+    def _shortcut_pch(self, p: int, x_padded: np.ndarray) -> None:
+        """Bit-equivalent functional model of one pCH's slice.
+
+        Reproduces the sequential FP16 MAC order (one MAC per chunk into
+        each sub-accumulator) and pokes the partial sums where the epilogue
+        MOV would have written them.
+        """
+        plan = self.plan
+        channel = self.sys.device.pch(p)
+        w = self._weights
+        for tile in range(plan.tiles):
+            out0 = tile * plan.outputs_per_tile
+            acc = np.zeros((plan.outputs_per_tile, _COL_GROUP), dtype=np.float16)
+            for chunk in range(plan.chunks):
+                dims = p * plan.n_slice + chunk * _COL_GROUP
+                wk = w[out0 : out0 + plan.outputs_per_tile, dims : dims + _COL_GROUP]
+                xk = x_padded[dims : dims + _COL_GROUP]
+                prod = (wk * xk[np.newaxis, :]).astype(np.float16)
+                acc = (acc + prod).astype(np.float16)
+            out_row, out_base = plan.out_location(tile)
+            for unit in range(UNITS_PER_PCH):
+                for j in range(_COL_GROUP):
+                    column = np.ascontiguousarray(
+                        acc[unit * LANES : (unit + 1) * LANES, j]
+                    )
+                    channel.banks[2 * unit].poke(
+                        out_row, out_base + j, column.view(np.uint8)
+                    )
+
+    def _read_partials(self, nsim: int) -> np.ndarray:
+        """Read partial sums back (timed SB-mode reads on simulated pCHs)."""
+        plan = self.plan
+        partials = np.zeros(
+            (plan.num_pchs, _COL_GROUP, plan.tiles * plan.outputs_per_tile),
+            dtype=np.float16,
+        )
+        for p in range(plan.num_pchs):
+            mc = self.sys.controller(p)
+            timed = p < nsim
+            columns = {}
+            for tile in range(plan.tiles):
+                out_row, out_base = plan.out_location(tile)
+                for unit in range(UNITS_PER_PCH):
+                    bg, ba = _bank_coords(2 * unit)
+                    for j in range(_COL_GROUP):
+                        if timed:
+                            mc.read(bg, ba, out_row, out_base + j, tag=(tile, unit, j))
+            if timed:
+                columns = mc.drain().read_data
+            channel = self.sys.device.pch(p)
+            for tile in range(plan.tiles):
+                out_row, out_base = plan.out_location(tile)
+                out0 = tile * plan.outputs_per_tile
+                for unit in range(UNITS_PER_PCH):
+                    for j in range(_COL_GROUP):
+                        if timed:
+                            raw = columns[(tile, unit, j)]
+                        else:
+                            raw = channel.banks[2 * unit].peek(out_row, out_base + j)
+                        partials[p, j, out0 + unit * LANES : out0 + (unit + 1) * LANES] = (
+                            raw.view(np.float16)
+                        )
+        return partials
+
+    def _fill_report(self, report: ExecutionReport, start: int, end: int) -> None:
+        report.cycles = end - start
+        report.ns = (
+            self.sys.cycles_to_ns(report.cycles) + self.sys.host.kernel_launch_ns
+        )
+        plan = self.plan
+        per_pch_cols = plan.tiles * (plan.chunks * 2 * _COL_GROUP + _COL_GROUP)
+        report.column_commands = per_pch_cols * report.simulated_pchs
+        report.fences = plan.tiles * (plan.chunks * 2 + 3) * report.simulated_pchs
+        units = UNITS_PER_PCH
+        report.pim_instructions = per_pch_cols * units * report.simulated_pchs
+        report.pim_flops = (
+            plan.tiles * plan.chunks * _COL_GROUP * units * LANES * 2
+        ) * report.simulated_pchs
+        # Off-chip traffic: the staged x bursts plus partial-sum readback.
+        report.host_bytes = (
+            plan.tiles * plan.chunks * _COL_GROUP * GRF_REG_BYTES
+            + plan.tiles * units * _COL_GROUP * GRF_REG_BYTES
+        ) * report.simulated_pchs
+
+
+# ---------------------------------------------------------------------------
+# Elementwise kernels (ADD / MUL / ReLU / BN)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ElementwiseOp:
+    """Shape of one elementwise microkernel."""
+
+    name: str
+    microkernel: str
+    uses_second_operand: bool
+    commands_per_group: int  # column commands per 8-column group
+    fences_per_group: int
+    instructions_per_group: int
+    flops_per_element: int
+
+
+ELEMENTWISE_OPS: Dict[str, ElementwiseOp] = {
+    "add": ElementwiseOp(
+        name="add",
+        microkernel="""
+        FILL GRF_A[A], EVEN_BANK       ; operand A (8 RDs)
+        JUMP -1, 7
+        ADD  GRF_B[A], GRF_A[A], ODD_BANK  ; operand B (8 RDs)
+        JUMP -1, 7
+        MOV  EVEN_BANK[A], GRF_B[A]    ; result (8 WRs)
+        JUMP -1, 7
+        JUMP -6, {reps}
+        EXIT
+        """,
+        uses_second_operand=True,
+        commands_per_group=24,
+        fences_per_group=3,
+        instructions_per_group=24,
+        flops_per_element=1,
+    ),
+    "mul": ElementwiseOp(
+        name="mul",
+        microkernel="""
+        FILL GRF_A[A], EVEN_BANK
+        JUMP -1, 7
+        MUL  GRF_B[A], GRF_A[A], ODD_BANK
+        JUMP -1, 7
+        MOV  EVEN_BANK[A], GRF_B[A]
+        JUMP -1, 7
+        JUMP -6, {reps}
+        EXIT
+        """,
+        uses_second_operand=True,
+        commands_per_group=24,
+        fences_per_group=3,
+        instructions_per_group=24,
+        flops_per_element=1,
+    ),
+    "relu": ElementwiseOp(
+        name="relu",
+        microkernel="""
+        FILL GRF_A[A], EVEN_BANK
+        JUMP -1, 7
+        MOV(RELU) EVEN_BANK[A], GRF_A[A]
+        JUMP -1, 7
+        JUMP -4, {reps}
+        EXIT
+        """,
+        uses_second_operand=False,
+        commands_per_group=16,
+        fences_per_group=2,
+        instructions_per_group=16,
+        flops_per_element=0,
+    ),
+    "bn": ElementwiseOp(
+        name="bn",
+        # Inference batch-norm folded to y = gamma' * x + beta'
+        # (Section II-A); scalars broadcast from SRF_M / SRF_A.
+        microkernel="""
+        MAD  GRF_B[A], EVEN_BANK, SRF_M[A], SRF_A[A]
+        JUMP -1, 7
+        MOV  EVEN_BANK[A], GRF_B[A]
+        JUMP -1, 7
+        JUMP -4, {reps}
+        EXIT
+        """,
+        uses_second_operand=False,
+        commands_per_group=16,
+        fences_per_group=2,
+        instructions_per_group=16,
+        flops_per_element=2,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ElementwisePlan:
+    length: int
+    num_pchs: int
+    blocks: int  # padded 16-element blocks, total
+    seq_per_unit: int  # blocks per unit stream (padded to 8)
+    groups: int  # 8-column groups per unit stream
+    base_row: int
+    in_cols: int  # input columns per row (outputs at +in_cols)
+
+    def location(self, seq: int) -> Tuple[int, int]:
+        """(row, column) of block ``seq`` within a unit's stream."""
+        row = self.base_row + seq // self.in_cols
+        col = seq % self.in_cols
+        return row, col
+
+
+class ElementwiseKernel:
+    """Elementwise vector operator over the PIM region."""
+
+    def __init__(self, system: HostSystem, op: str, length: int):
+        if op not in ELEMENTWISE_OPS:
+            raise ValueError(f"unknown elementwise op {op!r}")
+        self.sys = system
+        self.session = PimSession(system)
+        self.op = ELEMENTWISE_OPS[op]
+        self.length = length
+        self.plan = self._plan(length)
+        self.srf_scalars: Tuple[float, float] = (1.0, 0.0)  # gamma, beta for BN
+
+    def _plan(self, length: int) -> ElementwisePlan:
+        num_pchs = self.sys.num_pchs
+        cols_per_row = self.sys.device.config.bank_config.cols_per_row
+        in_cols = cols_per_row // 2  # half the row for inputs, half for results
+        stride = num_pchs * UNITS_PER_PCH
+        blocks = -(-length // LANES)
+        blocks = -(-blocks // stride) * stride
+        seq = blocks // stride
+        seq = -(-seq // _COL_GROUP) * _COL_GROUP
+        blocks = seq * stride
+        groups = seq // _COL_GROUP
+        rows = -(-seq // in_cols)
+        block = _alloc_rows(self.sys, rows)
+        return ElementwisePlan(
+            length=length,
+            num_pchs=num_pchs,
+            blocks=blocks,
+            seq_per_unit=seq,
+            groups=groups,
+            base_row=block.start,
+            in_cols=in_cols,
+        )
+
+    # -- staging -------------------------------------------------------------------
+
+    def _scatter(self, values: np.ndarray, odd: bool) -> None:
+        """Place a padded vector into the even (or odd) banks."""
+        plan = self.plan
+        padded = np.zeros(plan.blocks * LANES, dtype=np.float16)
+        padded[: self.length] = values
+        blocks = padded.reshape(plan.blocks, LANES)
+        for b in range(plan.blocks):
+            p = b % plan.num_pchs
+            rest = b // plan.num_pchs
+            unit = rest % UNITS_PER_PCH
+            seq = rest // UNITS_PER_PCH
+            row, col = plan.location(seq)
+            bank_index = 2 * unit + (1 if odd else 0)
+            self.sys.device.pch(p).banks[bank_index].poke(
+                row, col, blocks[b].view(np.uint8)
+            )
+
+    def _gather_result(self) -> np.ndarray:
+        plan = self.plan
+        out = np.zeros(plan.blocks * LANES, dtype=np.float16)
+        blocks = out.reshape(plan.blocks, LANES)
+        for b in range(plan.blocks):
+            p = b % plan.num_pchs
+            rest = b // plan.num_pchs
+            unit = rest % UNITS_PER_PCH
+            seq = rest // UNITS_PER_PCH
+            row, col = plan.location(seq)
+            raw = self.sys.device.pch(p).banks[2 * unit].peek(row, col + plan.in_cols)
+            blocks[b] = raw.view(np.float16)
+        return out[: self.length]
+
+    # -- invocation -----------------------------------------------------------------
+
+    def __call__(
+        self,
+        a: np.ndarray,
+        b: Optional[np.ndarray] = None,
+        scalars: Optional[Tuple[float, float]] = None,
+        simulate_pchs: Optional[int] = None,
+    ) -> Tuple[np.ndarray, ExecutionReport]:
+        a = np.asarray(a, dtype=np.float16).reshape(-1)
+        if a.size != self.length:
+            raise ValueError(f"expected {self.length} elements")
+        if self.op.uses_second_operand:
+            if b is None:
+                raise ValueError(f"{self.op.name} needs a second operand")
+            b = np.asarray(b, dtype=np.float16).reshape(-1)
+            if b.size != self.length:
+                raise ValueError("operand shapes differ")
+        plan = self.plan
+        nsim = plan.num_pchs if simulate_pchs is None else min(simulate_pchs, plan.num_pchs)
+
+        self._scatter(a, odd=False)
+        if self.op.uses_second_operand:
+            self._scatter(b, odd=True)
+
+        report = ExecutionReport(
+            kernel=f"{self.op.name}[{self.length}]",
+            simulated_pchs=nsim,
+            total_pchs=plan.num_pchs,
+        )
+        start = self.sys.drain_all()
+        self.session.enter_ab(pchs=nsim)
+        self.session.program_crf(
+            self.op.microkernel.format(reps=plan.groups - 1), pchs=nsim
+        )
+        if self.op.name == "bn" and scalars is not None:
+            gamma, beta = scalars
+            self.session.write_srf(
+                mul_scalars=np.full(_COL_GROUP, gamma, dtype=np.float16),
+                add_scalars=np.full(_COL_GROUP, beta, dtype=np.float16),
+                pchs=nsim,
+            )
+        for p in range(nsim):
+            self._stream_pch(p)
+        self.session.exit_to_sb(pchs=nsim)
+        for p in range(nsim, plan.num_pchs):
+            self._shortcut_pch(p, a, b, scalars)
+        end = self.sys.drain_all()
+        result = self._gather_result()
+        self._fill_report(report, start, end)
+        return result, report
+
+    def _stream_pch(self, p: int) -> None:
+        plan = self.plan
+        mc = self.sys.controller(p)
+        self.session.set_pim_op_mode(mc, True)
+        groups_per_row = plan.in_cols // _COL_GROUP
+        for g in range(plan.groups):
+            row = plan.base_row + g // groups_per_row
+            col_base = (g % groups_per_row) * _COL_GROUP
+            for j in range(_COL_GROUP):
+                mc.read(0, 0, row, col_base + j)
+            mc.fence()
+            if self.op.uses_second_operand:
+                for j in range(_COL_GROUP):
+                    mc.read(0, 0, row, col_base + j)
+                mc.fence()
+            for j in range(_COL_GROUP):
+                mc.write(0, 0, row, plan.in_cols + col_base + j, _dummy_column())
+            mc.fence()
+        self.session.set_pim_op_mode(mc, False)
+        mc.drain()
+
+    def _shortcut_pch(
+        self,
+        p: int,
+        a: np.ndarray,
+        b: Optional[np.ndarray],
+        scalars: Optional[Tuple[float, float]],
+    ) -> None:
+        """Functional model for non-simulated channels (bit-equivalent)."""
+        plan = self.plan
+        padded_a = np.zeros(plan.blocks * LANES, dtype=np.float16)
+        padded_a[: self.length] = a
+        if b is not None:
+            padded_b = np.zeros(plan.blocks * LANES, dtype=np.float16)
+            padded_b[: self.length] = b
+        name = self.op.name
+        if name == "add":
+            result = (padded_a + padded_b).astype(np.float16)
+        elif name == "mul":
+            result = (padded_a * padded_b).astype(np.float16)
+        elif name == "relu":
+            from ..common.fp16 import vec_relu
+
+            result = vec_relu(padded_a)
+        elif name == "bn":
+            gamma, beta = scalars if scalars is not None else (1.0, 0.0)
+            gamma16 = np.float16(gamma)
+            beta16 = np.float16(beta)
+            result = ((padded_a * gamma16).astype(np.float16) + beta16).astype(
+                np.float16
+            )
+        else:
+            raise AssertionError(name)
+        blocks = result.reshape(plan.blocks, LANES)
+        for block_index in range(plan.blocks):
+            if block_index % plan.num_pchs != p:
+                continue
+            rest = block_index // plan.num_pchs
+            unit = rest % UNITS_PER_PCH
+            seq = rest // UNITS_PER_PCH
+            row, col = plan.location(seq)
+            self.sys.device.pch(p).banks[2 * unit].poke(
+                row, col + plan.in_cols, blocks[block_index].view(np.uint8)
+            )
+
+    def _fill_report(self, report: ExecutionReport, start: int, end: int) -> None:
+        plan = self.plan
+        report.cycles = end - start
+        report.ns = (
+            self.sys.cycles_to_ns(report.cycles) + self.sys.host.kernel_launch_ns
+        )
+        report.column_commands = (
+            plan.groups * self.op.commands_per_group * report.simulated_pchs
+        )
+        report.fences = plan.groups * self.op.fences_per_group * report.simulated_pchs
+        report.pim_instructions = (
+            plan.groups
+            * self.op.instructions_per_group
+            * UNITS_PER_PCH
+            * report.simulated_pchs
+        )
+        elements = plan.groups * _COL_GROUP * LANES * UNITS_PER_PCH
+        report.pim_flops = (
+            elements * self.op.flops_per_element * report.simulated_pchs
+        )
+        report.host_bytes = 0  # operands and results stay in memory

@@ -1,0 +1,128 @@
+"""Session-level profiling of PIM execution reports.
+
+Collects the :class:`~repro.stack.kernels.ExecutionReport` objects a
+workload produces and aggregates them into the quantities an operator of
+the real system would watch: device-time share per kernel, command-stream
+utilisation against the tCCD_L floor, fence share, and achieved on-chip
+compute bandwidth versus the Table V peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .kernels import ExecutionReport
+
+__all__ = ["KernelProfile", "SessionProfile", "Profiler"]
+
+
+@dataclass
+class KernelProfile:
+    """Aggregated statistics for one kernel name."""
+
+    kernel: str
+    invocations: int = 0
+    cycles: int = 0
+    ns: float = 0.0
+    column_commands: int = 0
+    fences: int = 0
+    pim_flops: int = 0
+
+    def merge(self, report: ExecutionReport) -> None:
+        """Fold one execution report into this profile."""
+        self.invocations += 1
+        self.cycles += report.cycles
+        self.ns += report.ns
+        self.column_commands += report.column_commands
+        self.fences += report.fences
+        self.pim_flops += report.pim_flops
+
+    def command_utilisation(self, tccd_l: int = 4) -> float:
+        """Fraction of cycles spent at the column-command floor.
+
+        1.0 means the stream ran back-to-back at tCCD_L; the shortfall is
+        fences, row switches, turnarounds and mode transitions.
+        """
+        if self.cycles == 0:
+            return 0.0
+        return min(1.0, self.column_commands * tccd_l / self.cycles)
+
+    def gflops(self) -> float:
+        """Achieved PIM compute throughput over the kernel's wall time."""
+        if self.ns == 0:
+            return 0.0
+        return self.pim_flops / self.ns
+
+
+@dataclass
+class SessionProfile:
+    """All kernels of one profiled session."""
+
+    kernels: Dict[str, KernelProfile] = field(default_factory=dict)
+
+    @property
+    def total_ns(self) -> float:
+        return sum(k.ns for k in self.kernels.values())
+
+    def time_share(self) -> Dict[str, float]:
+        """Per-kernel fraction of total device time."""
+        total = self.total_ns
+        if total == 0:
+            return {}
+        return {name: k.ns / total for name, k in self.kernels.items()}
+
+    def render(self, tccd_l: int = 4) -> List[str]:
+        """A text table, widest consumers first."""
+        shares = self.time_share()
+        lines = [
+            f"  {'kernel':24s} {'calls':>5s} {'time':>8s} {'share':>6s} "
+            f"{'util':>5s} {'GFLOP/s':>8s}"
+        ]
+        for name, k in sorted(
+            self.kernels.items(), key=lambda kv: -kv[1].ns
+        ):
+            lines.append(
+                f"  {name:24s} {k.invocations:5d} {k.ns / 1000:7.1f}u "
+                f"{shares.get(name, 0):6.1%} "
+                f"{k.command_utilisation(tccd_l):5.0%} {k.gflops():8.2f}"
+            )
+        return lines
+
+
+class Profiler:
+    """Wraps a :class:`~repro.stack.blas.PimBlas` (or any object whose
+    methods return ``(result, ExecutionReport)``) and records every call."""
+
+    def __init__(self, blas):
+        self._blas = blas
+        self.profile = SessionProfile()
+
+    def __getattr__(self, name: str):
+        target = getattr(self._blas, name)
+        if not callable(target):
+            return target
+
+        def wrapped(*args, **kwargs):
+            result = target(*args, **kwargs)
+            self._record(result)
+            return result
+
+        return wrapped
+
+    def _record(self, result) -> None:
+        reports: List[ExecutionReport] = []
+        if isinstance(result, tuple):
+            for item in result:
+                if isinstance(item, ExecutionReport):
+                    reports.append(item)
+                elif isinstance(item, list) and item and isinstance(
+                    item[0], ExecutionReport
+                ):
+                    reports.extend(item)
+        for report in reports:
+            profile = self.profile.kernels.get(report.kernel)
+            if profile is None:
+                profile = KernelProfile(report.kernel)
+                self.profile.kernels[report.kernel] = profile
+            profile.merge(report)

@@ -1,0 +1,128 @@
+"""The PIM runtime (Section V-A): system assembly, executor, kernel cache.
+
+The runtime owns three user-level modules:
+
+* **preprocessor** — finds ops suitable for PIM acceleration and rewrites
+  them to PIM custom ops; lives in :mod:`repro.stack.graph` because it
+  operates on the graph framework's representation.
+* **memory manager** — keeps resident PIM operators (weights stay laid out
+  in the PIM region across invocations) and caches generated microkernels.
+* **executor** — configures a PIM kernel and invokes it, accounting the
+  per-launch overhead.
+
+:class:`PimSystem` assembles a full evaluation platform: a PIM-HBM device
+behind per-channel JEDEC controllers with a host model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..dram.bank import BankConfig
+from ..dram.controller import SchedulerPolicy
+from ..dram.device import DeviceConfig
+from ..dram.timing import HBM2_1GHZ, TimingParams
+from ..host.processor import HostConfig, HostSystem
+from ..pim.device import PimHbmDevice
+from .driver import PimDeviceDriver
+from .kernels import ElementwiseKernel, ExecutionReport, GemvKernel
+
+__all__ = ["PimSystem", "PimExecutor"]
+
+
+class PimSystem(HostSystem):
+    """A host with PIM-HBM devices, the device driver, and the runtime.
+
+    ``num_pchs``/``num_rows`` default small enough for fast functional
+    simulation; benchmarks scale them up or use per-channel sampling.
+    """
+
+    def __init__(
+        self,
+        num_pchs: int = 4,
+        num_rows: int = 256,
+        timing: TimingParams = HBM2_1GHZ,
+        host: Optional[HostConfig] = None,
+        policy: SchedulerPolicy = SchedulerPolicy.FRFCFS,
+        fence_penalty_cycles: Optional[int] = None,
+        scheduler_seed: Optional[int] = None,
+        refresh: bool = False,
+        ecc: bool = False,
+    ):
+        config = DeviceConfig(
+            timing=timing,
+            bank_config=BankConfig(num_rows=num_rows),
+            num_pchs=num_pchs,
+            ecc=ecc,
+        )
+        device = PimHbmDevice(config)
+        super().__init__(
+            device,
+            host=host,
+            policy=policy,
+            fence_penalty_cycles=fence_penalty_cycles,
+            scheduler_seed=scheduler_seed,
+            refresh=refresh,
+        )
+        self.driver = PimDeviceDriver(device)
+        self.executor = PimExecutor(self)
+
+
+class PimExecutor:
+    """The runtime executor plus memory-manager operator cache."""
+
+    def __init__(self, system: PimSystem):
+        self.sys = system
+        self._gemv_cache: Dict[Tuple[int, int, int], GemvKernel] = {}
+        self._elementwise_cache: Dict[Tuple[str, int], ElementwiseKernel] = {}
+        self.launch_count = 0
+
+    # -- resident operators -----------------------------------------------------
+
+    def gemv_operator(self, w: np.ndarray) -> GemvKernel:
+        """A resident GEMV with ``w`` staged; cached by identity and shape.
+
+        The memory manager keeps operand data "in cache area for later use"
+        (Section V-A): repeated inference steps reuse the staged weights.
+        """
+        key = (id(w), w.shape[0], w.shape[1])
+        kernel = self._gemv_cache.get(key)
+        if kernel is None:
+            kernel = GemvKernel(self.sys, w.shape[0], w.shape[1])
+            kernel.load_weights(w)
+            self._gemv_cache[key] = kernel
+        return kernel
+
+    def elementwise_operator(self, op: str, length: int) -> ElementwiseKernel:
+        """A resident elementwise operator, cached by (op, length)."""
+        key = (op, length)
+        kernel = self._elementwise_cache.get(key)
+        if kernel is None:
+            kernel = ElementwiseKernel(self.sys, op, length)
+            self._elementwise_cache[key] = kernel
+        return kernel
+
+    # -- invocations ---------------------------------------------------------------
+
+    def gemv(
+        self, w: np.ndarray, x: np.ndarray, simulate_pchs: Optional[int] = None
+    ) -> Tuple[np.ndarray, ExecutionReport]:
+        """Invoke a (cached) GEMV operator on ``x``."""
+        self.launch_count += 1
+        return self.gemv_operator(w)(x, simulate_pchs=simulate_pchs)
+
+    def elementwise(
+        self,
+        op: str,
+        a: np.ndarray,
+        b: Optional[np.ndarray] = None,
+        scalars: Optional[Tuple[float, float]] = None,
+        simulate_pchs: Optional[int] = None,
+    ) -> Tuple[np.ndarray, ExecutionReport]:
+        """Invoke a (cached) elementwise operator."""
+        self.launch_count += 1
+        kernel = self.elementwise_operator(op, int(np.asarray(a).size))
+        return kernel(a, b, scalars=scalars, simulate_pchs=simulate_pchs)

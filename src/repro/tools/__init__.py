@@ -1,0 +1,5 @@
+"""Developer tools: command tracing and stream inspection."""
+
+from .trace import CommandTrace, TraceRecord, trace_channel
+
+__all__ = ["CommandTrace", "TraceRecord", "trace_channel"]

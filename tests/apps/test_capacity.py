@@ -1,0 +1,48 @@
+"""Tests for the recommendation-model capacity analysis (Section VII-A)."""
+
+import pytest
+
+from repro.apps.capacity import (
+    DLRM_LIKE,
+    RecommendationModel,
+    SystemCapacity,
+    capacity_report,
+)
+
+
+class TestPaperExclusion:
+    def test_dlrm_scale_is_256gb_class(self):
+        """The paper cites ~256 GB of embedding tables."""
+        gb = DLRM_LIKE.table_bytes / 1024**3
+        assert 200 <= gb <= 400
+
+    def test_hbm_system_capacity_32gb(self):
+        """The paper: 32 GB with 4 HBM devices."""
+        system = SystemCapacity("PROC-HBM", devices=4)
+        assert system.total_bytes == 32 * 1024**3
+
+    def test_dlrm_does_not_fit(self):
+        report = capacity_report(DLRM_LIKE, SystemCapacity("PROC-HBM"))
+        assert report["fits"] == 0.0
+        assert report["residency_fraction"] < 0.2
+
+    def test_small_model_fits(self):
+        small = RecommendationModel(
+            "toy", num_tables=8, rows_per_table=100_000, embedding_dim=32
+        )
+        report = capacity_report(small, SystemCapacity("PROC-HBM"))
+        assert report["fits"] == 1.0
+        assert report["residency_fraction"] == 1.0
+
+    def test_embedding_layer_not_pim_eligible(self):
+        layer = DLRM_LIKE.embedding_layer()
+        assert not layer.pim_eligible
+        assert layer.table_bytes == DLRM_LIKE.table_bytes
+
+    def test_capacity_scales_with_devices(self):
+        doubled = SystemCapacity("x8", devices=8)
+        report = capacity_report(DLRM_LIKE, doubled)
+        base = capacity_report(DLRM_LIKE, SystemCapacity("x4"))
+        assert report["residency_fraction"] == pytest.approx(
+            2 * base["residency_fraction"]
+        )

@@ -1,0 +1,113 @@
+"""Tests for the workload models (Table VI + Section VII-A compositions)."""
+
+import pytest
+
+from repro.apps.layers import Add, Bn, Conv, Fc, HostWork, Lstm
+from repro.apps.microbench import ADD_SIZES, BN_SIZES, GEMV_SIZES
+from repro.apps.models import ALEXNET, ALL_APPS, DS2, GNMT, RESNET50, RNNT
+
+
+class TestTableVI:
+    def test_gemv_sizes(self):
+        dims = {(g.m, g.n) for g in GEMV_SIZES}
+        assert dims == {(1024, 4096), (2048, 4096), (4096, 8192), (8192, 8192)}
+
+    def test_add_sizes(self):
+        sizes = [a.n for a in ADD_SIZES]
+        assert sizes == [2**21, 2**22, 2**23, 2**24]
+
+    def test_bn_mirrors_add(self):
+        assert [b.n for b in BN_SIZES] == [a.n for a in ADD_SIZES]
+
+    def test_gemv_flops(self):
+        assert GEMV_SIZES[0].flops == 2 * 1024 * 4096
+        assert GEMV_SIZES[0].weight_bytes == 8 * 1024 * 1024
+
+    def test_add_traffic(self):
+        assert ADD_SIZES[0].bytes_touched == 3 * 2 * 2**21
+
+
+class TestDS2:
+    """Paper: 2 convolution layers, 6 bidirectional LSTMs, 1 FC."""
+
+    def test_composition(self):
+        convs = [l for l in DS2.layers if isinstance(l, Conv)]
+        lstms = [l for l in DS2.layers if isinstance(l, Lstm)]
+        fcs = [l for l in DS2.layers if isinstance(l, Fc)]
+        assert len(convs) == 2
+        assert len(lstms) == 6
+        assert len(fcs) == 1
+        assert all(l.bidirectional for l in lstms)
+
+    def test_deepspeech_width(self):
+        lstm = [l for l in DS2.layers if isinstance(l, Lstm)][1]
+        assert lstm.hidden == 1760
+        assert lstm.input_dim == 2 * 1760  # concatenated bidirectional input
+
+
+class TestRNNT:
+    """Paper: 5 encoder LSTMs, 2 prediction LSTMs, 2 FC joint layers."""
+
+    def test_composition(self):
+        lstms = [l for l in RNNT.layers if isinstance(l, Lstm)]
+        fcs = [l for l in RNNT.layers if isinstance(l, Fc)]
+        assert len(lstms) == 7
+        assert len(fcs) == 2
+        assert sum(1 for l in lstms if l.fused) == 5  # encoders
+        assert sum(1 for l in lstms if not l.fused) == 2  # prediction net
+
+
+class TestGNMT:
+    """Paper: 8 encoder + 8 decoder LSTMs with attention."""
+
+    def test_composition(self):
+        lstms = [l for l in GNMT.layers if isinstance(l, Lstm)]
+        assert len(lstms) == 16
+        encoders = [l for l in lstms if l.fused]
+        decoders = [l for l in lstms if not l.fused]
+        assert len(encoders) == 8
+        assert len(decoders) == 8
+
+    def test_projection_runs_per_step(self):
+        proj = next(l for l in GNMT.layers if isinstance(l, Fc))
+        assert proj.calls == 50
+
+
+class TestCnnModels:
+    def test_alexnet_composition(self):
+        convs = [l for l in ALEXNET.layers if isinstance(l, Conv)]
+        fcs = [l for l in ALEXNET.layers if isinstance(l, Fc)]
+        assert len(convs) == 5 and len(fcs) == 3
+        assert (fcs[0].m, fcs[0].n) == (4096, 9216)
+
+    def test_alexnet_conv_flops_total(self):
+        total = sum(l.flops for l in ALEXNET.layers if isinstance(l, Conv))
+        assert 1.4e9 <= total <= 2.0e9  # ~1.7 GFLOP with mul+add
+
+    def test_resnet_has_bn_and_shortcuts(self):
+        assert any(isinstance(l, Bn) for l in RESNET50.layers)
+        assert any(isinstance(l, Add) for l in RESNET50.layers)
+
+    def test_resnet_conv_dominant(self):
+        conv_flops = sum(l.flops for l in RESNET50.layers if isinstance(l, Conv))
+        assert conv_flops >= 4e9
+
+
+class TestLayerHelpers:
+    def test_lstm_weight_bytes(self):
+        lstm = Lstm("l", 10, 512, 256)
+        assert lstm.weight_bytes_per_step == 2 * 4 * 256 * (512 + 256)
+        assert lstm.gate_m == 1024
+        assert lstm.directions == 1
+
+    def test_pim_eligibility_flags(self):
+        assert Lstm("l", 1, 8, 8).pim_eligible
+        assert Fc("f", 8, 8).pim_eligible
+        assert Bn("b", 8).pim_eligible
+        assert Add("a", 8).pim_eligible
+        assert not Conv("c", 1.0).pim_eligible
+        assert not HostWork("h", 1.0).pim_eligible
+
+    def test_every_app_has_pim_layers_except_pure_conv(self):
+        for app in ALL_APPS:
+            assert app.pim_layers(), app.name

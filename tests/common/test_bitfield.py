@@ -1,0 +1,81 @@
+"""Tests for bit-field helpers (repro.common.bitfield)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitfield import BitField, Layout, get_bits, mask, set_bits
+
+
+class TestPrimitives:
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_get_bits(self):
+        assert get_bits(0b101100, 3, 2) == 0b11
+        assert get_bits(0xDEADBEEF, 31, 0) == 0xDEADBEEF
+        assert get_bits(0xF0, 7, 4) == 0xF
+
+    def test_set_bits(self):
+        assert set_bits(0, 3, 2, 0b11) == 0b1100
+        assert set_bits(0xFF, 3, 0, 0) == 0xF0
+
+    def test_set_bits_overflow_raises(self):
+        with pytest.raises(ValueError):
+            set_bits(0, 2, 0, 8)
+
+    def test_negative_value_raises(self):
+        with pytest.raises(ValueError):
+            set_bits(0, 2, 0, -1)
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(ValueError):
+            get_bits(0, 0, 1)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 31), st.integers(0, 31))
+    def test_get_set_roundtrip(self, word, a, b):
+        hi, lo = max(a, b), min(a, b)
+        value = get_bits(word, hi, lo)
+        assert set_bits(word, hi, lo, value) == word
+
+
+class TestBitField:
+    def test_width(self):
+        assert BitField("f", 7, 4).width == 4
+
+    def test_extract_insert_roundtrip(self):
+        field = BitField("f", 11, 8)
+        word = field.insert(0, 0xA)
+        assert field.extract(word) == 0xA
+
+
+class TestLayout:
+    def test_pack_unpack(self):
+        layout = Layout(16, [("a", 3, 0), ("b", 7, 4), ("c", 15, 8)])
+        word = layout.pack(a=5, b=9, c=0xAB)
+        assert layout.unpack(word) == {"a": 5, "b": 9, "c": 0xAB}
+
+    def test_unnamed_bits_are_zero(self):
+        layout = Layout(16, [("a", 3, 0)])
+        assert layout.pack(a=0xF) == 0xF
+
+    def test_overlap_detection(self):
+        with pytest.raises(ValueError):
+            Layout(8, [("a", 3, 0), ("b", 4, 3)])
+
+    def test_field_exceeding_word_raises(self):
+        with pytest.raises(ValueError):
+            Layout(8, [("a", 8, 0)])
+
+    def test_unknown_field_raises(self):
+        layout = Layout(8, [("a", 3, 0)])
+        with pytest.raises(KeyError):
+            layout.pack(z=1)
+
+    def test_contains(self):
+        layout = Layout(8, [("a", 3, 0)])
+        assert "a" in layout
+        assert "b" not in layout

@@ -1,0 +1,59 @@
+"""Tests for unit conversions (repro.common.units)."""
+
+import pytest
+
+from repro.common.units import (
+    bytes_per_sec,
+    cycles_for_ns,
+    geomean,
+    ns_per_cycle,
+    to_gbps,
+)
+
+
+class TestClockConversions:
+    def test_ns_per_cycle(self):
+        assert ns_per_cycle(1e9) == 1.0
+        assert ns_per_cycle(2e9) == 0.5
+
+    def test_ns_per_cycle_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ns_per_cycle(0)
+
+    def test_cycles_for_ns_exact(self):
+        assert cycles_for_ns(10.0, 1e9) == 10
+
+    def test_cycles_for_ns_rounds_up(self):
+        assert cycles_for_ns(10.1, 1e9) == 11
+
+
+class TestBandwidth:
+    def test_bytes_per_sec(self):
+        assert bytes_per_sec(32, 2.0) == pytest.approx(16e9)
+
+    def test_bytes_per_sec_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            bytes_per_sec(32, 0)
+
+    def test_to_gbps(self):
+        assert to_gbps(307.2e9) == pytest.approx(307.2)
+
+    def test_hbm2_pch_bandwidth(self):
+        # One 32 B access per tCCD_S (2 cycles at 1.2 GHz) = 19.2 GB/s.
+        assert to_gbps(bytes_per_sec(32, 2 / 1.2)) == pytest.approx(19.2)
+
+
+class TestGeomean:
+    def test_identity(self):
+        assert geomean([4.0]) == 4.0
+
+    def test_pair(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,11 @@
+"""Test-suite configuration.
+
+Hypothesis runs derandomized so the suite is reproducible end to end —
+appropriate for a reproduction repository where "tests pass" should mean
+the same thing on every machine.  Remove the profile locally to fuzz.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.load_profile("repro")

@@ -1,0 +1,211 @@
+"""Tests for the FR-FCFS memory controller (repro.dram.controller)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.bank import BankConfig
+from repro.dram.commands import CommandType
+from repro.dram.controller import MemOp, MemoryController, Request, SchedulerPolicy
+from repro.dram.pseudochannel import PseudoChannel
+from repro.dram.timing import HBM2_1GHZ
+
+
+def make_controller(**kwargs):
+    channel = PseudoChannel(HBM2_1GHZ, BankConfig(num_rows=64))
+    return MemoryController(channel, **kwargs), channel
+
+
+def _data(value=0):
+    return np.full(32, value, dtype=np.uint8)
+
+
+class TestBasicOperation:
+    def test_single_read_returns_data(self):
+        mc, ch = make_controller()
+        ch.bank(0, 0).poke(3, 4, _data(7))
+        mc.read(0, 0, 3, 4, tag="r")
+        result = mc.drain()
+        assert np.array_equal(result.read_data["r"], _data(7))
+
+    def test_write_then_read(self):
+        mc, _ = make_controller()
+        mc.write(0, 0, 3, 4, _data(9), tag="w")
+        mc.read(0, 0, 3, 4, tag="r")
+        result = mc.drain()
+        assert np.array_equal(result.read_data["r"], _data(9))
+
+    def test_command_counts(self):
+        mc, _ = make_controller()
+        mc.read(0, 0, 0, 0)
+        mc.read(0, 0, 0, 1)
+        result = mc.drain()
+        assert result.command_count[CommandType.ACT] == 1
+        assert result.command_count[CommandType.RD] == 2
+        assert result.column_commands == 2
+
+    def test_row_hit_tracking(self):
+        mc, _ = make_controller()
+        mc.read(0, 0, 0, 0)
+        mc.read(0, 0, 0, 1)  # hit
+        mc.read(0, 0, 1, 0)  # conflict -> miss
+        result = mc.drain()
+        assert result.row_hits == 1
+        assert result.row_misses == 2
+
+    def test_drain_empty_queue(self):
+        mc, _ = make_controller()
+        result = mc.drain()
+        assert result.column_commands == 0
+
+
+class TestRowHitFirstScheduling:
+    def test_frfcfs_prefers_row_hit(self):
+        mc, _ = make_controller(policy=SchedulerPolicy.FRFCFS)
+        mc.read(0, 0, 0, 0, tag=0)  # opens row 0
+        mc.read(0, 0, 1, 0, tag=1)  # conflict
+        mc.read(0, 0, 0, 1, tag=2)  # hit on row 0
+        result = mc.drain()
+        order = [req.tag for _, req in result.issue_order]
+        assert order == [0, 2, 1]  # the hit jumps the conflict
+
+    def test_fcfs_keeps_arrival_order(self):
+        mc, _ = make_controller(policy=SchedulerPolicy.FCFS)
+        mc.read(0, 0, 0, 0, tag=0)
+        mc.read(0, 0, 1, 0, tag=1)
+        mc.read(0, 0, 0, 1, tag=2)
+        result = mc.drain()
+        order = [req.tag for _, req in result.issue_order]
+        assert order == [0, 1, 2]
+
+    def test_frfcfs_faster_than_fcfs_on_conflict_stream(self):
+        def run(policy):
+            mc, _ = make_controller(policy=policy)
+            for i in range(8):
+                mc.read(0, 0, i % 2, i, tag=i)
+            return mc.drain().cycles
+
+        assert run(SchedulerPolicy.FRFCFS) < run(SchedulerPolicy.FCFS)
+
+    def test_shuffle_reorders_deterministically(self):
+        def order(seed):
+            mc, _ = make_controller(policy=SchedulerPolicy.SHUFFLE, seed=seed)
+            for i in range(8):
+                mc.read(0, 0, 0, i, tag=i)
+            return [req.tag for _, req in mc.drain().issue_order]
+
+        assert order(1) == order(1)
+        assert order(1) != list(range(8)) or order(2) != list(range(8))
+
+
+class TestFences:
+    def test_fence_blocks_reordering(self):
+        mc, _ = make_controller(policy=SchedulerPolicy.SHUFFLE, seed=0)
+        mc.read(0, 0, 0, 0, tag="a")
+        mc.fence()
+        mc.read(0, 0, 0, 1, tag="b")
+        result = mc.drain()
+        order = [req.tag for _, req in result.issue_order]
+        assert order == ["a", "b"]
+
+    def test_shuffle_confined_to_epoch(self):
+        mc, _ = make_controller(policy=SchedulerPolicy.SHUFFLE, seed=3)
+        for i in range(4):
+            mc.read(0, 0, 0, i, tag=("e0", i))
+        mc.fence()
+        for i in range(4):
+            mc.read(0, 0, 0, i, tag=("e1", i))
+        result = mc.drain()
+        epochs = [req.tag[0] for _, req in result.issue_order]
+        assert epochs == ["e0"] * 4 + ["e1"] * 4
+
+    def test_fence_penalty_stalls(self):
+        def run(penalty):
+            mc, _ = make_controller(fence_penalty=penalty)
+            mc.read(0, 0, 0, 0)
+            mc.fence()
+            mc.read(0, 0, 0, 1)
+            return mc.drain().cycles
+
+        # The stall absorbs the column cadence, so the delta is the penalty
+        # minus the tCCD the second read would have waited anyway.
+        delta = run(50) - run(0)
+        assert 50 - HBM2_1GHZ.tccd_l <= delta <= 50
+
+    def test_fence_count(self):
+        mc, _ = make_controller()
+        mc.fence()
+        mc.fence()
+        assert mc.fence_count == 2
+
+    def test_trailing_fence_costs_nothing(self):
+        mc, _ = make_controller(fence_penalty=100)
+        mc.read(0, 0, 0, 0)
+        baseline = mc.drain().cycles
+        mc.fence()
+        assert mc.drain().cycles == baseline
+
+
+class TestWindow:
+    def test_window_limits_lookahead(self):
+        # With window=1, FR-FCFS degenerates to FCFS.
+        mc, _ = make_controller(policy=SchedulerPolicy.FRFCFS, window=1)
+        mc.read(0, 0, 0, 0, tag=0)
+        mc.read(0, 0, 1, 0, tag=1)
+        mc.read(0, 0, 0, 1, tag=2)
+        order = [req.tag for _, req in mc.drain().issue_order]
+        assert order == [0, 1, 2]
+
+
+class TestHelpers:
+    def test_closed_page_access(self):
+        mc, ch = make_controller()
+        mc.closed_page_access(0, 0, 5)
+        assert ch.bank(0, 0).open_row is None
+        assert ch.cmd_counts[CommandType.ACT] == 1
+        assert ch.cmd_counts[CommandType.PRE] == 1
+
+    def test_closed_page_access_requires_empty_queue(self):
+        mc, _ = make_controller()
+        mc.read(0, 0, 0, 0)
+        with pytest.raises(RuntimeError):
+            mc.closed_page_access(0, 0, 5)
+
+    def test_precharge_all(self):
+        mc, ch = make_controller()
+        mc.read(0, 0, 0, 0)
+        mc.drain()
+        assert ch.bank(0, 0).open_row == 0
+        mc.precharge_all()
+        assert ch.all_banks_idle
+
+
+class TestBandwidth:
+    def test_streaming_reads_approach_tccd_s_cadence(self):
+        """Row-hit reads across bank groups run at ~1 column per tCCD_S."""
+        mc, _ = make_controller()
+        n = 64
+        for i in range(n):
+            mc.read(i % 4, 0, 0, (i // 4) % 32)  # rotate bank groups
+        cycles = mc.drain().cycles
+        ideal = n * HBM2_1GHZ.tccd_s
+        assert cycles <= ideal * 1.5
+
+    def test_single_bank_stream_runs_at_tccd_l(self):
+        mc, _ = make_controller()
+        n = 32
+        for i in range(n):
+            mc.read(0, 0, 0, i % 32)
+        cycles = mc.drain().cycles
+        assert cycles >= n * HBM2_1GHZ.tccd_l * 0.9
+
+    def test_bank_parallel_reads_beat_single_bank(self):
+        """Four row openings overlap across banks but serialise in one."""
+
+        def run(spread):
+            mc, _ = make_controller()
+            for i in range(32):
+                bg = i // 8 if spread else 0
+                mc.read(bg, 0, i // 8, i % 8)
+            return mc.drain().cycles
+
+        assert run(spread=True) < run(spread=False)

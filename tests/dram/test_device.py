@@ -1,0 +1,66 @@
+"""Tests for device assembly and statistics aggregation."""
+
+import pytest
+
+from repro.dram import (
+    BankConfig,
+    CommandStats,
+    CommandType,
+    DeviceConfig,
+    HbmDevice,
+    MemoryController,
+    collect_stats,
+)
+from repro.dram.timing import HBM2_1GHZ, HBM2_1P2GHZ
+
+
+class TestDeviceConfig:
+    def test_default_capacity(self):
+        cfg = DeviceConfig()
+        # 8192 rows x 1 KiB x 16 banks x 16 pCHs = 2 GiB per rank.
+        assert cfg.capacity_bytes == 2 * 1024**3
+
+    def test_rank_scaling(self):
+        assert DeviceConfig(ranks=2).capacity_bytes == 4 * 1024**3
+
+    def test_io_bandwidth_1ghz(self):
+        # 32 B per 2 cycles per pCH at 1 GHz x 16 pCH = 256 GB/s.
+        assert DeviceConfig(timing=HBM2_1GHZ).io_bandwidth_bytes_per_sec == pytest.approx(256e9)
+
+    def test_io_bandwidth_1p2ghz(self):
+        # Table V: 307.2 GB/s at 1.2 GHz.
+        assert DeviceConfig(timing=HBM2_1P2GHZ).io_bandwidth_bytes_per_sec == pytest.approx(307.2e9)
+
+
+class TestDevice:
+    def test_sixteen_pchs_by_default(self):
+        assert len(HbmDevice()) == 16
+
+    def test_small_device_for_tests(self):
+        device = HbmDevice(DeviceConfig(num_pchs=2, bank_config=BankConfig(num_rows=16)))
+        assert len(device) == 2
+        assert device.pch(0) is not device.pch(1)
+
+
+class TestStats:
+    def test_collect_stats_sums_channels(self):
+        device = HbmDevice(DeviceConfig(num_pchs=2, bank_config=BankConfig(num_rows=16)))
+        for i in range(2):
+            mc = MemoryController(device.pch(i))
+            mc.read(0, 0, 0, 0)
+            mc.drain()
+        stats = collect_stats(device.pchs)
+        assert stats.activates == 2
+        assert stats.reads == 2
+        assert stats.bytes_transferred == 2 * 32
+
+    def test_add_accumulates(self):
+        a = CommandStats()
+        a.counts[CommandType.RD] = 3
+        b = CommandStats()
+        b.counts[CommandType.RD] = 4
+        b.counts[CommandType.WR] = 1
+        a.add(b)
+        assert a.reads == 7
+        assert a.writes == 1
+        assert a.column_commands == 8

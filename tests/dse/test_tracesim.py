@@ -1,0 +1,116 @@
+"""Tests for the trace-driven (DRAMSim2-style) simulator."""
+
+import pytest
+
+from repro.dram.timing import HBM2_1P2GHZ
+from repro.dse.tracesim import (
+    TraceCommand,
+    TraceReplayer,
+    elementwise_trace,
+    format_trace,
+    gemv_trace,
+    parse_trace,
+    replay_variant_elementwise,
+    replay_variant_gemv,
+)
+
+
+class TestTraceFormat:
+    def test_roundtrip(self):
+        commands = [
+            TraceCommand("ACT", row=3),
+            TraceCommand("RD", row=3, col=7),
+            TraceCommand("PRE"),
+        ]
+        assert parse_trace(format_trace(commands)) == commands
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\nACT 0 0 1 0\n\nRD 0 0 1 5  # inline\n"
+        commands = parse_trace(text)
+        assert len(commands) == 2
+        assert commands[1].col == 5
+
+    def test_unknown_command(self):
+        with pytest.raises(ValueError):
+            parse_trace("FROB 0 0 0 0")
+
+    def test_short_lines_default_zero(self):
+        (cmd,) = parse_trace("PREA")
+        assert (cmd.bg, cmd.ba, cmd.row, cmd.col) == (0, 0, 0, 0)
+
+
+class TestReplayer:
+    def test_column_cadence(self):
+        trace = parse_trace("ACT 0 0 0 0\n" + "\n".join(
+            f"RD 0 0 0 {i}" for i in range(8)
+        ))
+        cycles = TraceReplayer(HBM2_1P2GHZ).replay(trace)
+        t = HBM2_1P2GHZ
+        # 8 same-bank reads at tCCD_L after tRCD.
+        assert cycles == t.trcd + 7 * t.tccd_l
+
+    def test_timing_parameter_sensitivity(self):
+        from dataclasses import replace
+
+        trace = parse_trace("ACT 0 0 0 0\n" + "\n".join(
+            f"RD 0 0 0 {i}" for i in range(16)
+        ))
+        fast = TraceReplayer(replace(HBM2_1P2GHZ, tccd_l=2)).replay(trace)
+        slow = TraceReplayer(replace(HBM2_1P2GHZ, tccd_l=8)).replay(trace)
+        assert slow > fast
+
+    def test_bandwidth_helper(self):
+        trace = parse_trace("ACT 0 0 0 0\n" + "\n".join(
+            f"RD 0 0 0 {i % 32}" for i in range(64)
+        ))
+        bw = TraceReplayer(HBM2_1P2GHZ).bandwidth(trace)
+        # ~32 B per tCCD_L=4 cycles = 8 B/cycle at best.
+        assert 5.0 <= bw <= 8.5
+
+
+class TestGenerators:
+    def test_gemv_trace_structure(self):
+        trace = gemv_trace(128, 128, num_pchs=1)
+        kinds = [c.kind for c in trace]
+        assert kinds.count("RD") == 16 * 8  # 16 chunks x 8 MACs
+        assert kinds.count("WR") == 16 * 8 + 8  # staging + epilogue
+        assert kinds[0] == "ACT"
+
+    def test_srw_trace_has_no_staging_writes(self):
+        from repro.dse.variants import VARIANTS
+
+        trace = gemv_trace(128, 128, num_pchs=1, variant=VARIANTS["PIM-HBM-SRW"])
+        kinds = [c.kind for c in trace]
+        assert kinds.count("WR") == 8  # epilogue only
+
+    def test_elementwise_trace_counts(self):
+        trace = elementwise_trace(8 * 1024 * 16, num_pchs=1)  # 16 groups...
+        columns = [c for c in trace if c.kind in ("RD", "WR")]
+        # 24 commands per group.
+        assert len(columns) % 24 == 0
+
+
+class TestVariantUpperBounds:
+    """The Fig. 14 upper bounds, cycle-level (no fences, no host)."""
+
+    def test_srw_doubles_gemv_upper_bound(self):
+        base = replay_variant_gemv("PIM-HBM", 512, 512, 1, HBM2_1P2GHZ)
+        srw = replay_variant_gemv("PIM-HBM-SRW", 512, 512, 1, HBM2_1P2GHZ)
+        assert 1.7 <= base / srw <= 2.1
+
+    def test_2x_halves_gemv_upper_bound(self):
+        base = replay_variant_gemv("PIM-HBM", 512, 512, 1, HBM2_1P2GHZ)
+        two_x = replay_variant_gemv("PIM-HBM-2x", 512, 512, 1, HBM2_1P2GHZ)
+        assert 1.7 <= base / two_x <= 2.1
+
+    def test_2ba_improves_add_upper_bound(self):
+        n = 512 * 1024
+        base = replay_variant_elementwise("PIM-HBM", n, 1, HBM2_1P2GHZ)
+        two_ba = replay_variant_elementwise("PIM-HBM-2BA", n, 1, HBM2_1P2GHZ)
+        assert 1.3 <= base / two_ba <= 1.7
+
+    def test_2ba_leaves_bn_unchanged(self):
+        n = 512 * 1024
+        base = replay_variant_elementwise("PIM-HBM", n, 1, HBM2_1P2GHZ, bn=True)
+        two_ba = replay_variant_elementwise("PIM-HBM-2BA", n, 1, HBM2_1P2GHZ, bn=True)
+        assert base == two_ba

@@ -1,0 +1,83 @@
+"""Tests for the LLC model and the batch-reuse study input (Fig. 10)."""
+
+import pytest
+
+from repro.host.cache import Cache, CacheConfig, simulate_gemv_batch
+
+
+def small_cache(capacity=4096, ways=4, line=64):
+    return Cache(CacheConfig(capacity_bytes=capacity, ways=ways, line_bytes=line))
+
+
+class TestConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(capacity_bytes=4096, line_bytes=64, ways=4)
+        assert cfg.num_sets == 16
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity_bytes=64, line_bytes=64, ways=4).num_sets
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)  # same line
+        assert not cache.access(64)  # next line
+
+    def test_lru_eviction(self):
+        cache = small_cache(capacity=4 * 64, ways=4, line=64)  # 1 set, 4 ways
+        for i in range(4):
+            cache.access(i * 64 * cache.config.num_sets)
+        cache.access(0)  # refresh line 0
+        cache.access(4 * 64 * cache.config.num_sets)  # evicts line 1 (LRU)
+        assert cache.access(0)
+        assert not cache.access(1 * 64 * cache.config.num_sets)
+
+    def test_access_range_touches_every_line(self):
+        cache = small_cache()
+        cache.access_range(0, 256)
+        assert cache.stats.accesses == 4
+
+    def test_flush(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.flush()
+        assert not cache.access(0)
+
+    def test_stats(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(128)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_empty_stats_miss_rate(self):
+        assert small_cache().stats.miss_rate == 0.0
+
+
+class TestGemvBatchStudy:
+    def test_batch1_misses_everything(self):
+        """At batch 1 the weight stream has no reuse: miss rate ~100%."""
+        cache = Cache(CacheConfig(capacity_bytes=64 * 1024, ways=8))
+        stats = simulate_gemv_batch(rows=512, cols=512, batch=1, cache=cache)
+        assert stats.miss_rate > 0.95
+
+    def test_batching_creates_reuse(self):
+        """Weight blocks survive between batch elements: misses drop."""
+        miss = {}
+        for batch in (1, 2, 4):
+            cache = Cache(CacheConfig(capacity_bytes=64 * 1024, ways=8))
+            stats = simulate_gemv_batch(rows=512, cols=512, batch=batch, cache=cache)
+            miss[batch] = stats.miss_rate
+        assert miss[1] > miss[2] > miss[4]
+
+    def test_tiny_working_set_hits(self):
+        """A matrix that fits in the LLC is fully reused across the batch."""
+        cache = Cache(CacheConfig(capacity_bytes=1024 * 1024, ways=16))
+        stats = simulate_gemv_batch(rows=64, cols=64, batch=4, cache=cache)
+        assert stats.miss_rate < 0.5

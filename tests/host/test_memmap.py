@@ -1,0 +1,96 @@
+"""Tests for the physical address map (Fig. 15(a))."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.host.memmap import AddressMap, DramAddress
+
+
+@pytest.fixture
+def amap():
+    return AddressMap()
+
+
+class TestGeometry:
+    def test_capacity(self, amap):
+        # 5 offset + 3 col_low + 0 ch + 4 pch + 2 bg + 2 ba + 2 col_high + 13 row
+        assert amap.address_bits == 31
+        assert amap.capacity_bytes == 2**31
+
+    def test_pim_chunk_is_256_bytes(self, amap):
+        # 8 consecutive 32 B columns in one bank: the GRF-sized chunk of
+        # Section V-B.
+        assert amap.pim_chunk_bytes == 256
+
+
+class TestDecode:
+    def test_zero(self, amap):
+        addr = amap.decode(0)
+        assert addr == DramAddress(0, 0, 0, 0, 0, 0, 0)
+
+    def test_offset_bits(self, amap):
+        assert amap.decode(31).offset == 31
+        assert amap.decode(32).col == 1
+
+    def test_contiguous_chunk_same_bank(self, amap):
+        locs = [amap.decode(i * 32) for i in range(8)]
+        assert len({(l.pch, l.bg, l.ba, l.row) for l in locs}) == 1
+        assert [l.col for l in locs] == list(range(8))
+
+    def test_next_chunk_changes_pch(self, amap):
+        a = amap.decode(0)
+        b = amap.decode(256)
+        assert b.pch == a.pch + 1
+        assert (b.bg, b.ba, b.row) == (a.bg, a.ba, a.row)
+
+    def test_out_of_range(self, amap):
+        with pytest.raises(ValueError):
+            amap.decode(amap.capacity_bytes)
+        with pytest.raises(ValueError):
+            amap.decode(-1)
+
+
+class TestEncode:
+    def test_encode_decode_specific(self, amap):
+        addr = DramAddress(channel=0, pch=5, bg=2, ba=1, row=100, col=17, offset=3)
+        assert amap.decode(amap.encode(addr)) == addr
+
+    def test_field_overflow_raises(self, amap):
+        with pytest.raises(ValueError):
+            amap.encode(DramAddress(0, 99, 0, 0, 0, 0, 0))
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_roundtrip_property(self, address):
+        amap = AddressMap()
+        assert amap.encode(amap.decode(address)) == address
+
+    def test_stride_for_row(self, amap):
+        base = amap.decode(0)
+        step = amap.decode(amap.stride_for("row"))
+        assert step.row == base.row + 1
+        assert (step.pch, step.bg, step.ba, step.col) == (
+            base.pch, base.bg, base.ba, base.col,
+        )
+
+    def test_stride_unknown_field(self, amap):
+        with pytest.raises(KeyError):
+            amap.stride_for("nope")
+
+
+class TestAlternativeMaps:
+    def test_multi_channel_map(self):
+        amap = AddressMap(channels=2)
+        addr = amap.decode(amap.stride_for("ch"))
+        assert addr.channel == 1
+
+    def test_bank_interleaved_map(self):
+        amap = AddressMap(
+            field_order=(
+                "offset", "bg", "ba", "col_low", "ch", "pch", "col_high", "row",
+            )
+        )
+        # With bank bits below col_low, consecutive columns change banks.
+        a = amap.decode(0)
+        b = amap.decode(32)
+        assert (a.bg, a.ba) != (b.bg, b.ba)

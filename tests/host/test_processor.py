@@ -1,0 +1,75 @@
+"""Tests for the host system model."""
+
+import pytest
+
+from repro.dram.bank import BankConfig
+from repro.dram.device import DeviceConfig, HbmDevice
+from repro.dram.controller import SchedulerPolicy
+from repro.host.processor import HostConfig, HostSystem, ThreadGroup
+
+
+def small_system(**kwargs):
+    device = HbmDevice(DeviceConfig(num_pchs=2, bank_config=BankConfig(num_rows=32)))
+    return HostSystem(device, **kwargs)
+
+
+class TestHostConfig:
+    def test_peak_flops(self):
+        host = HostConfig()
+        # 60 CUs x 128 FLOP/cycle x 1.725 GHz = 13.25 TFLOPS (per-cycle rate).
+        assert host.peak_fp16_flops == pytest.approx(60 * 128 * 1.725e9)
+
+    def test_default_efficiencies_below_one(self):
+        host = HostConfig()
+        assert 0 < host.gemv_bandwidth_efficiency < host.add_bandwidth_efficiency <= 1
+
+
+class TestThreadGroup:
+    def test_group_covers_pim_chunk(self):
+        group = ThreadGroup(group_id=0, pch=0)
+        # 16 threads x 16 B = one 256-byte PIM chunk per step (Fig. 8).
+        assert group.bytes_per_step == 256
+
+
+class TestHostSystem:
+    def test_controller_per_pch(self):
+        sys_ = small_system()
+        assert sys_.num_pchs == 2
+        assert sys_.controller(0) is not sys_.controller(1)
+
+    def test_thread_group_per_pch(self):
+        sys_ = small_system()
+        assert [g.pch for g in sys_.thread_groups] == [0, 1]
+
+    def test_fence_penalty_from_host_config(self):
+        sys_ = small_system()
+        expected = round(sys_.host.fence_sync_ns / sys_.device.config.timing.tck_ns)
+        assert sys_.controllers[0].fence_penalty == expected
+
+    def test_fence_penalty_override(self):
+        sys_ = small_system(fence_penalty_cycles=0)
+        assert sys_.controllers[0].fence_penalty == 0
+
+    def test_sync_channels_aligns_clocks(self):
+        sys_ = small_system()
+        sys_.controller(0).read(0, 0, 0, 0)
+        sys_.controller(0).drain()
+        assert sys_.controller(0).current_cycle > sys_.controller(1).current_cycle
+        now = sys_.sync_channels()
+        assert sys_.controller(1)._next_ca >= now
+
+    def test_drain_all(self):
+        sys_ = small_system()
+        for i in range(2):
+            sys_.controller(i).read(0, 0, 0, 0)
+        end = sys_.drain_all()
+        assert end > 0
+        assert all(c.pending == 0 for c in sys_.controllers)
+
+    def test_policy_propagates(self):
+        sys_ = small_system(policy=SchedulerPolicy.FCFS)
+        assert all(c.policy is SchedulerPolicy.FCFS for c in sys_.controllers)
+
+    def test_cycles_to_ns(self):
+        sys_ = small_system()
+        assert sys_.cycles_to_ns(100) == pytest.approx(100 * sys_.tck_ns)

@@ -1,0 +1,100 @@
+"""Tests for the write-combining buffer (cache-bypass path)."""
+
+import pytest
+
+from repro.host.writecombine import (
+    COLUMN_BYTES,
+    WriteCombiningBuffer,
+    thread_group_store_pattern,
+)
+
+
+class TestCombining:
+    def test_two_halves_make_one_burst(self):
+        wc = WriteCombiningBuffer()
+        wc.store(0, 16)
+        assert wc.stats.column_writes == 0  # still combining
+        wc.store(16, 16)
+        assert wc.stats.combined_flushes == 1
+        assert wc.stats.partial_flushes == 0
+
+    def test_thread_group_combines_perfectly(self):
+        """16 threads x 16 B = 8 clean column bursts (Fig. 8(c))."""
+        wc = WriteCombiningBuffer()
+        for address, nbytes in thread_group_store_pattern(base=0):
+            wc.store(address, nbytes)
+        assert wc.stats.combined_flushes == 8
+        assert wc.stats.partial_flushes == 0
+        assert wc.stats.combining_ratio == 1.0
+
+    def test_store_spanning_columns(self):
+        wc = WriteCombiningBuffer()
+        wc.store(16, 32)  # touches two columns, half each
+        wc.fence()
+        assert wc.stats.partial_flushes == 2
+
+    def test_flush_order_and_addresses(self):
+        wc = WriteCombiningBuffer()
+        wc.store(64, 32)
+        wc.store(0, 32)
+        addresses = [addr for addr, _ in wc.flushed]
+        assert addresses == [64, 0]
+
+    def test_full_column_store_flushes_immediately(self):
+        wc = WriteCombiningBuffer()
+        wc.store(96, 32)
+        assert wc.stats.combined_flushes == 1
+
+    def test_invalid_store(self):
+        with pytest.raises(ValueError):
+            WriteCombiningBuffer().store(0, 0)
+
+
+class TestFenceSemantics:
+    def test_fence_drains_partials(self):
+        wc = WriteCombiningBuffer()
+        wc.store(0, 16)
+        wc.fence()
+        assert wc.stats.partial_flushes == 1
+        assert wc.stats.fence_flushes == 1
+
+    def test_fence_on_empty_buffer(self):
+        wc = WriteCombiningBuffer()
+        wc.fence()
+        assert wc.stats.column_writes == 0
+
+
+class TestCapacity:
+    def test_lru_eviction(self):
+        wc = WriteCombiningBuffer(entries=2)
+        wc.store(0, 16)  # column 0, partial
+        wc.store(32, 16)  # column 1, partial
+        wc.store(64, 16)  # column 2: evicts column 0
+        assert wc.stats.capacity_evictions == 1
+        assert wc.stats.partial_flushes == 1
+        assert wc.flushed[0][0] == 0
+
+    def test_touch_refreshes_lru(self):
+        wc = WriteCombiningBuffer(entries=2)
+        wc.store(0, 16)
+        wc.store(32, 16)
+        wc.store(8, 8)  # touch column 0 again
+        wc.store(64, 16)  # now column 1 is LRU
+        assert wc.flushed[0][0] == 32
+
+    def test_minimum_entries(self):
+        with pytest.raises(ValueError):
+            WriteCombiningBuffer(entries=0)
+
+
+class TestScatteredStoresPenalty:
+    def test_strided_stores_cannot_combine(self):
+        """Stores strided by a full column never share an entry: every
+        flush is a partial — the penalty a PIM-unfriendly layout pays."""
+        wc = WriteCombiningBuffer(entries=4)
+        for i in range(16):
+            wc.store(i * 2 * COLUMN_BYTES, 16)
+        wc.fence()
+        assert wc.stats.combined_flushes == 0
+        assert wc.stats.partial_flushes == 16
+        assert wc.stats.combining_ratio == 0.0

@@ -1,0 +1,40 @@
+"""Smoke tests for the python -m repro entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestCli:
+    def test_demo(self):
+        result = run_cli("demo")
+        assert result.returncode == 0
+        assert "DRAM cycles" in result.stdout
+
+    def test_specs(self):
+        result = run_cli("specs")
+        assert result.returncode == 0
+        assert "9.6 GFLOPs" in result.stdout
+
+    def test_trace(self):
+        result = run_cli("trace")
+        assert result.returncode == 0
+        assert "all-bank-pim" in result.stdout
+
+    def test_report(self):
+        result = run_cli("report")
+        assert result.returncode == 0
+        assert "Table I" in result.stdout
+        assert "Fig. 14" in result.stdout
+
+    def test_unknown_command(self):
+        result = run_cli("frobnicate")
+        assert result.returncode == 1

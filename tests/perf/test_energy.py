@@ -1,0 +1,117 @@
+"""Tests for the power/energy models (Figs. 11-13)."""
+
+import pytest
+
+from repro.apps.models import ALEXNET, DS2, GNMT
+from repro.perf.energy import DevicePowerModel, EnergyModel, SystemPowerParams
+from repro.perf.latency import PIM_HBM, PROC_HBM
+
+
+@pytest.fixture(scope="module")
+def hbm():
+    return EnergyModel(PROC_HBM)
+
+
+@pytest.fixture(scope="module")
+def pim():
+    return EnergyModel(PIM_HBM)
+
+
+@pytest.fixture(scope="module")
+def x4():
+    return EnergyModel(PROC_HBM, bandwidth_scale=4.0)
+
+
+class TestFig11DeviceBreakdown:
+    def test_hbm_fractions_sum_to_one(self):
+        assert sum(DevicePowerModel().hbm_breakdown().values()) == pytest.approx(1.0)
+
+    def test_pim_total_within_paper_band(self):
+        """Paper: PIM-HBM consumes only 5.4% more power than HBM."""
+        total = DevicePowerModel().pim_total
+        assert 1.02 <= total <= 1.09
+
+    def test_bank_components_scale_4x(self):
+        dev = DevicePowerModel()
+        hbm, pim = dev.hbm_breakdown(), dev.pim_breakdown()
+        assert pim["cell"] == pytest.approx(4 * hbm["cell"])
+        assert pim["iosa_decoders"] == pytest.approx(4 * hbm["iosa_decoders"])
+
+    def test_bus_power_mostly_eliminated(self):
+        dev = DevicePowerModel()
+        assert dev.pim_breakdown()["global_bus"] < 0.15 * dev.hbm_breakdown()["global_bus"]
+
+    def test_energy_per_bit_reduction_3p5x(self):
+        """Paper: PIM reduces energy per bit transfer by 3.5x."""
+        assert 3.2 <= DevicePowerModel().energy_per_bit_reduction <= 4.2
+
+    def test_gated_buffer_saving_about_10pct(self):
+        """Paper: gating the buffer-die I/O would save another ~10%."""
+        assert 0.05 <= DevicePowerModel().gated_buffer_saving <= 0.15
+
+
+class TestFig12Kernels:
+    def test_gemv_efficiency_8x(self, hbm, pim):
+        """Paper: PIM-HBM gives 8.25x higher GEMV energy efficiency."""
+        eh = hbm.kernel_energy_j(hbm.gemv_phase(1024, 4096))
+        ep = pim.kernel_energy_j(pim.gemv_phase(1024, 4096))
+        assert 6.5 <= eh / ep <= 10.5
+
+    def test_add_efficiency_1p4x(self, hbm, pim):
+        eh = hbm.kernel_energy_j(hbm.add_phase(2 * 1024 * 1024))
+        ep = pim.kernel_energy_j(pim.add_phase(2 * 1024 * 1024))
+        assert 1.1 <= eh / ep <= 1.8
+
+    def test_x4_efficiency_roughly_flat(self, hbm, x4):
+        """Paper: PROC-HBMx4 has efficiency similar to PROC-HBM for the
+        memory-bound microbenchmark (power and performance scale together)."""
+        eh = hbm.kernel_energy_j(hbm.gemv_phase(1024, 4096))
+        e4 = x4.kernel_energy_j(x4.gemv_phase(1024, 4096))
+        assert eh / e4 < 2.5  # far below PIM's ~8x
+
+
+class TestFig12Apps:
+    def test_ds2_3p2(self, hbm, pim):
+        eh, _ = hbm.app_energy_j(DS2)
+        ep, _ = pim.app_energy_j(DS2)
+        assert 2.6 <= eh / ep <= 3.9
+
+    def test_gnmt_1p38(self, hbm, pim):
+        eh, _ = hbm.app_energy_j(GNMT)
+        ep, _ = pim.app_energy_j(GNMT)
+        assert 1.1 <= eh / ep <= 1.7
+
+    def test_alexnet_1p5(self, hbm, pim):
+        eh, _ = hbm.app_energy_j(ALEXNET)
+        ep, _ = pim.app_energy_j(ALEXNET)
+        assert 1.05 <= eh / ep <= 1.8
+
+    def test_ds2_vs_x4(self, pim, x4):
+        """Paper: PIM-HBM is 2.8x more efficient than PROC-HBMx4 on DS2."""
+        ep, _ = pim.app_energy_j(DS2)
+        e4, _ = x4.app_energy_j(DS2)
+        assert 1.6 <= e4 / ep <= 3.4
+
+
+class TestFig13PowerTrace:
+    def test_trace_covers_execution(self, pim):
+        trace = pim.power_trace(DS2, points=32)
+        assert len(trace) == 32
+        times = [t for t, _ in trace]
+        assert times == sorted(times)
+
+    def test_pim_average_power_lower_than_hbm_during_lstm(self, hbm, pim):
+        """Fig. 13: PIM-HBM improves DS2 energy via shorter execution AND
+        lower average power."""
+        assert pim.app_average_power_w(DS2) < hbm.app_average_power_w(DS2) * 1.35
+
+    def test_powers_are_physical(self, hbm, pim):
+        params = SystemPowerParams()
+        for model in (hbm, pim):
+            for _, p in model.power_trace(DS2, points=16):
+                assert 0 < p < params.proc_peak_w + 4 * params.mem_stream_w
+
+    def test_hbm_runs_longer(self, hbm, pim):
+        _, t_hbm = hbm.app_energy_j(DS2)
+        _, t_pim = pim.app_energy_j(DS2)
+        assert t_hbm > 2 * t_pim

@@ -1,0 +1,74 @@
+"""Tests for the Table I MAC-unit model."""
+
+import pytest
+
+from repro.perf.macunits import PAPER_TABLE1, TABLE1_SPECS, MacUnitModel, MacUnitSpec
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MacUnitModel()
+
+
+class TestFitQuality:
+    def test_area_matches_paper_closely(self, model):
+        table = model.normalised_table()
+        for name, row in table.items():
+            paper = PAPER_TABLE1[name]["area"]
+            assert row["area"] == pytest.approx(paper, rel=0.05), name
+
+    def test_energy_within_band(self, model):
+        table = model.normalised_table()
+        for name, row in table.items():
+            paper = PAPER_TABLE1[name]["energy"]
+            assert row["energy"] == pytest.approx(paper, rel=0.20), name
+
+
+class TestOrderings:
+    """The orderings that drive the paper's FP16 choice must hold."""
+
+    def _by_name(self, model):
+        return {s.name: s for s in TABLE1_SPECS}
+
+    def test_fp32_area_prohibitive(self, model):
+        specs = self._by_name(model)
+        assert model.area(specs["FP32"]) > 2.5 * model.area(specs["FP16"])
+
+    def test_bf16_smaller_than_fp16(self, model):
+        specs = self._by_name(model)
+        assert model.area(specs["BFLOAT16"]) < model.area(specs["FP16"])
+
+    def test_fp16_comparable_to_int16(self, model):
+        specs = self._by_name(model)
+        ratio = model.area(specs["FP16"]) / model.area(specs["INT16 (w/ 48-bit Acc.)"])
+        assert 1.0 < ratio < 1.6
+
+    def test_int8_cheapest(self, model):
+        specs = self._by_name(model)
+        int8 = model.area(specs["INT8 (w/ 32-bit Acc.)"])
+        assert all(
+            int8 <= model.area(s) for s in TABLE1_SPECS
+        )
+
+    def test_smaller_accumulator_is_cheaper(self, model):
+        specs = self._by_name(model)
+        assert model.area(specs["INT8 (w/ 32-bit Acc.)"]) < model.area(
+            specs["INT8 (w/ 48-bit Acc.)"]
+        )
+
+
+class TestExtrapolation:
+    def test_custom_format(self, model):
+        fp8 = MacUnitSpec("FP8", sig_bits=4, exp_bits=4, acc_bits=4)
+        assert 0 < model.area(fp8) < model.area(TABLE1_SPECS[3])  # < FP16
+
+    def test_breakdown_components(self, model):
+        parts = model.breakdown(TABLE1_SPECS[3])  # FP16
+        assert parts["multiplier"] > 0
+        assert set(parts) == {
+            "constant", "multiplier", "accumulator", "exponent", "shift_round",
+        }
+
+    def test_breakdown_sums_to_area(self, model):
+        spec = TABLE1_SPECS[0]
+        assert sum(model.breakdown(spec).values()) == pytest.approx(model.area(spec))

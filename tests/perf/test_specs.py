@@ -1,0 +1,57 @@
+"""Tests for Table IV / V derivations."""
+
+import pytest
+
+from repro.perf.specs import PimDeviceSpec, PimUnitSpec
+
+
+class TestTableIV:
+    def test_throughput_9p6_gflops(self):
+        # 16 lanes x (mul + add) x 300 MHz.
+        assert PimUnitSpec().peak_gflops == pytest.approx(9.6)
+
+    def test_datapath_width(self):
+        assert PimUnitSpec().datapath_bits == 256
+
+    def test_register_file_sizes(self):
+        spec = PimUnitSpec()
+        assert spec.crf_bits == 32 * 32
+        assert spec.grf_bits == 16 * 256
+        assert spec.srf_bits == 16 * 16
+
+    def test_table_rendering(self):
+        table = PimUnitSpec().as_table()
+        assert table["# of MUL/ADD FPUs"] == "16/16"
+        assert "9.6 GFLOPs" in table["Throughput"]
+        assert "0.712" in table["Area"]
+
+
+class TestTableV:
+    def test_onchip_bandwidth(self):
+        # Table V: 1.229 TB/s (1.2 Gb/s x 64 b x 8 banks x 16 pCH).
+        assert PimDeviceSpec().onchip_bandwidth_tbps == pytest.approx(1.2288, rel=1e-3)
+
+    def test_onchip_bandwidth_min(self):
+        assert PimDeviceSpec().onchip_bandwidth_tbps_min == pytest.approx(1.024, rel=1e-3)
+
+    def test_io_bandwidth(self):
+        # 2.4 Gb/s x 64 b x 1 bank x 16 pCH = 307.2 GB/s.
+        assert PimDeviceSpec().io_bandwidth_gbps == pytest.approx(307.2)
+
+    def test_bandwidth_ratio_is_4x(self):
+        spec = PimDeviceSpec()
+        ratio = spec.onchip_bandwidth_tbps * 1000 / spec.io_bandwidth_gbps
+        assert ratio == pytest.approx(4.0)
+
+    def test_capacity_6gb(self):
+        # 4 x 4 Gb PIM dies + 4 x 8 Gb HBM dies = 6 GB.
+        assert PimDeviceSpec().capacity_gbyte == 6.0
+
+    def test_32_units_per_die(self):
+        assert PimDeviceSpec().pim_units_per_die == 32
+
+    def test_table_rendering(self):
+        table = PimDeviceSpec().as_table()
+        assert table["# of pCHs"] == "16"
+        assert table["# of banks per pCH"] == "16"
+        assert table["# of PIM exe. units per pCH"] == "8"

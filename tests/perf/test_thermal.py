@@ -1,0 +1,39 @@
+"""Tests for the TDP/thermal headroom check (Section VII-C)."""
+
+import pytest
+
+from repro.perf.thermal import ThermalBudget, thermal_report
+
+
+class TestThermalBudget:
+    def test_tdp_above_streaming(self):
+        budget = ThermalBudget()
+        assert budget.tdp_w > budget.hbm_streaming_w
+
+    def test_pim_stays_within_tdp(self):
+        """Paper: +5.4% power stays within the HBM system's TDP."""
+        report = thermal_report()
+        assert report["within_tdp"] == 1.0
+        assert report["pim_headroom"] > 0
+
+    def test_pim_headroom_smaller_than_hbm(self):
+        report = thermal_report()
+        assert 0 < report["pim_headroom"] < report["hbm_headroom"]
+
+    def test_gated_pim_has_thermal_advantage(self):
+        """Paper: with the buffer-die I/O gated, PIM would draw ~10% less
+        than HBM — 'PIM-HBM can also offer a thermal advantage'."""
+        report = thermal_report()
+        assert report["thermal_advantage_when_gated"] == 1.0
+        assert report["pim_gated_w"] < report["hbm_streaming_w"]
+
+    def test_tight_margin_fails(self):
+        """A SiP provisioned with under 5.4% margin could not take PIM."""
+        report = thermal_report(budget=ThermalBudget(margin=0.03))
+        assert report["within_tdp"] == 0.0
+
+    def test_absolute_numbers_scale(self):
+        big = thermal_report(budget=ThermalBudget(hbm_streaming_w=30.0))
+        small = thermal_report(budget=ThermalBudget(hbm_streaming_w=15.0))
+        assert big["pim_w"] == pytest.approx(2 * small["pim_w"])
+        assert big["pim_headroom"] == pytest.approx(small["pim_headroom"])

@@ -1,0 +1,120 @@
+"""Tests for the PIM microkernel assembler."""
+
+import pytest
+
+from repro.pim.assembler import AssemblyError, assemble, assemble_words, disassemble
+from repro.pim.isa import CRF_ENTRIES, Opcode, OperandSpace, decode
+
+
+class TestParsing:
+    def test_gemv_microkernel(self):
+        program = assemble(
+            """
+            MOV  GRF_A[A], HOST
+            JUMP -1, 7
+            MAC  GRF_B[A], EVEN_BANK, GRF_A[A]
+            JUMP -1, 7
+            JUMP -4, 3
+            MOV  EVEN_BANK[A], GRF_B[A]
+            JUMP -1, 7
+            EXIT
+            """
+        )
+        assert [i.opcode for i in program] == [
+            Opcode.MOV, Opcode.JUMP, Opcode.MAC, Opcode.JUMP,
+            Opcode.JUMP, Opcode.MOV, Opcode.JUMP, Opcode.EXIT,
+        ]
+        assert program[2].aam
+        assert program[2].src0.space is OperandSpace.EVEN_BANK
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("; header\n\nNOP  # trailing\n")
+        assert len(program) == 1
+
+    def test_mov_relu(self):
+        (instr,) = assemble("MOV(RELU) GRF_A[0], GRF_B[1]")
+        assert instr.relu
+        assert instr.opcode is Opcode.MOV
+
+    def test_register_indices(self):
+        (instr,) = assemble("ADD GRF_B[3], GRF_A[1], SRF_A[2]")
+        assert instr.dst.index == 3
+        assert instr.src0.index == 1
+        assert instr.src1.index == 2
+
+    def test_mad_four_operands(self):
+        (instr,) = assemble("MAD GRF_A[0], EVEN_BANK, SRF_M[2], SRF_A[2]")
+        assert instr.opcode is Opcode.MAD
+        assert instr.src2.space is OperandSpace.SRF_A
+
+    def test_evenbank_alias(self):
+        (instr,) = assemble("FILL GRF_A[0], EVENBANK")
+        assert instr.src0.space is OperandSpace.EVEN_BANK
+
+    def test_case_insensitive(self):
+        (instr,) = assemble("fill grf_a[0], odd_bank")
+        assert instr.src0.space is OperandSpace.ODD_BANK
+
+    def test_nop_default_count(self):
+        (instr,) = assemble("NOP")
+        assert instr.imm0 == 1
+
+    def test_nop_multi_cycle(self):
+        (instr,) = assemble("NOP 5")
+        assert instr.imm0 == 5
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("FROB GRF_A[0], GRF_B[0]")
+
+    def test_unknown_space(self):
+        with pytest.raises(AssemblyError):
+            assemble("MOV XRF[0], GRF_B[0]")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("MAC GRF_B[0], EVEN_BANK")
+
+    def test_jump_needs_two_args(self):
+        with pytest.raises(AssemblyError):
+            assemble("JUMP -1")
+
+    def test_crf_overflow(self):
+        src = "\n".join(["NOP"] * (CRF_ENTRIES + 1))
+        with pytest.raises(AssemblyError):
+            assemble(src)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble("NOP\nBAD OP")
+
+
+class TestWordsAndDisassembly:
+    def test_assemble_words_pads_to_crf(self):
+        words = assemble_words("EXIT")
+        assert len(words) == CRF_ENTRIES
+        assert decode(words[0]).opcode is Opcode.EXIT
+        assert all(w == 0 for w in words[1:])
+
+    def test_disassemble_stops_at_exit(self):
+        words = assemble_words("NOP\nEXIT")
+        lines = disassemble(words)
+        assert len(lines) == 2
+        assert lines[-1] == "EXIT"
+
+    def test_source_roundtrip(self):
+        source = """
+        FILL GRF_A[A], EVEN_BANK
+        JUMP -1, 7
+        ADD  GRF_B[A], GRF_A[A], ODD_BANK
+        JUMP -1, 7
+        MOV  EVEN_BANK[A], GRF_B[A]
+        JUMP -1, 7
+        JUMP -6, 99
+        EXIT
+        """
+        once = assemble(source)
+        again = assemble("\n".join(disassemble(assemble_words(source))))
+        assert once == again

@@ -1,0 +1,139 @@
+"""Tests for the BFLOAT16 execution-unit variant (Table I alternative).
+
+The paper weighed BF16 against FP16 (Table I) and chose FP16 for software
+compatibility.  The parameterised execution unit lets us run microkernels
+with BF16 lanes and observe the trade the paper describes: wider dynamic
+range, fewer significand bits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.fp16 import BF16, FP16, decode_format, encode_format, fp_mac
+from repro.dram.bank import Bank, BankConfig
+from repro.dram.timing import HBM2_1GHZ
+from repro.pim.assembler import assemble_words
+from repro.pim.exec_unit import ColumnTrigger, PimExecutionUnit
+from repro.pim.registers import LANES
+
+
+def make_unit(fmt):
+    cfg = BankConfig(num_rows=16)
+    return PimExecutionUnit(
+        0, Bank(cfg, HBM2_1GHZ), Bank(cfg, HBM2_1GHZ), lane_format=fmt
+    )
+
+
+def program(unit, source):
+    for i, word in enumerate(assemble_words(source)):
+        unit.regs.crf[i] = word
+    unit.start()
+
+
+def rd(row=0, col=0):
+    return ColumnTrigger(is_write=False, row=row, col=col)
+
+
+class TestFormatHelpers:
+    def test_encode_decode_roundtrip_bf16(self):
+        values = np.array([1.0, -2.5, 1e20, 1e-20, 0.0])
+        lanes = encode_format(BF16, values)
+        back = decode_format(BF16, lanes)
+        for v, b in zip(values, back):
+            assert b == BF16.round(v)
+
+    def test_fp16_fast_path_identical(self):
+        from repro.common.fp16 import format_vec_mul, vec_mul
+
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal(16).astype(np.float16)
+        b = rng.standard_normal(16).astype(np.float16)
+        assert np.array_equal(format_vec_mul(FP16, a, b), vec_mul(a, b))
+
+
+class TestBf16Execution:
+    def test_mac_matches_softfloat(self):
+        unit = make_unit(BF16)
+        a_vals = np.linspace(-3, 3, LANES)
+        b_vals = np.linspace(0.5, 2, LANES)
+        acc_vals = np.linspace(-1, 1, LANES)
+        unit.regs.grf_a[0] = encode_format(BF16, a_vals)
+        unit.regs.grf_b[0] = encode_format(BF16, acc_vals)
+        unit.even_bank.poke(0, 0, encode_format(BF16, b_vals).view(np.uint8))
+        program(unit, "MAC GRF_B[0], EVEN_BANK, GRF_A[0]\nEXIT")
+        unit.trigger(rd(0, 0))
+        result_bits = unit.regs.grf_b[0].view(np.uint16)
+        for lane in range(LANES):
+            expected = fp_mac(
+                BF16,
+                BF16.to_bits(BF16.round(acc_vals[lane])),
+                BF16.to_bits(BF16.round(b_vals[lane])),
+                BF16.to_bits(BF16.round(a_vals[lane])),
+            )
+            assert int(result_bits[lane]) == expected, lane
+
+    def test_bf16_survives_fp16_overflow(self):
+        """BF16's FP32-sized exponent handles magnitudes FP16 cannot —
+        the dynamic-range argument of Section III-C."""
+        big = 100000.0  # > FP16 max (65504)
+        results = {}
+        for fmt in (FP16, BF16):
+            unit = make_unit(fmt)
+            unit.regs.grf_a[0] = encode_format(fmt, np.full(LANES, big))
+            unit.regs.grf_b[0] = encode_format(fmt, np.full(LANES, 1.0))
+            program(unit, "MUL GRF_A[1], GRF_A[0], GRF_B[0]\nEXIT")
+            unit.trigger(rd())
+            results[fmt.name] = decode_format(fmt, unit.regs.grf_a[1])[0]
+        assert np.isinf(results["fp16"])
+        assert results["bfloat16"] == BF16.round(big)
+
+    def test_fp16_more_precise_than_bf16(self):
+        """...and the flip side: FP16 keeps more significand bits."""
+        value = 1.0 + 2.0**-9  # representable in FP16, not in BF16
+        errors = {}
+        for fmt in (FP16, BF16):
+            unit = make_unit(fmt)
+            unit.regs.grf_a[0] = encode_format(fmt, np.full(LANES, value))
+            unit.regs.grf_b[0] = encode_format(fmt, np.full(LANES, 1.0))
+            program(unit, "MUL GRF_A[1], GRF_A[0], GRF_B[0]\nEXIT")
+            unit.trigger(rd())
+            out = decode_format(fmt, unit.regs.grf_a[1])[0]
+            errors[fmt.name] = abs(out - value)
+        assert errors["fp16"] == 0.0
+        assert errors["bfloat16"] > 0.0
+
+    def test_bf16_gemv_slice_accuracy(self):
+        """An 8-MAC dot product in both formats vs float64."""
+        rng = np.random.default_rng(1)
+        w = rng.standard_normal((8, LANES)) * 0.3
+        x = rng.standard_normal(8) * 0.3
+        gold = (w * x[:, None]).sum(axis=0)
+        errs = {}
+        for fmt in (FP16, BF16):
+            unit = make_unit(fmt)
+            for k in range(8):
+                unit.even_bank.poke(0, k, encode_format(fmt, w[k]).view(np.uint8))
+            unit.regs.grf_b[0] = encode_format(fmt, np.zeros(LANES))
+            for k in range(8):
+                unit.regs.grf_a[0] = encode_format(fmt, np.full(LANES, x[k]))
+                program(unit, "MAC GRF_B[0], EVEN_BANK, GRF_A[0]\nEXIT")
+                # Restore accumulator clobbered by reprogramming? No: CRF
+                # programming does not touch GRF, and start() only resets
+                # the sequencer.
+                unit.trigger(rd(0, k))
+            out = decode_format(fmt, unit.regs.grf_b[0])
+            errs[fmt.name] = np.abs(out - gold).max()
+        # Both land near the truth; FP16 is tighter at this magnitude.
+        assert errs["fp16"] < 0.01
+        assert errs["bfloat16"] < 0.05
+        assert errs["fp16"] < errs["bfloat16"]
+
+
+class TestDeviceIntegration:
+    def test_bf16_channel(self):
+        from repro.pim.device import PimPseudoChannel
+
+        channel = PimPseudoChannel(
+            HBM2_1GHZ, BankConfig(num_rows=32), lane_format=BF16
+        )
+        assert all(u.lane_format is BF16 for u in channel.units)

@@ -1,0 +1,271 @@
+"""Tests for the PIM execution unit (pipeline semantics, AAM, control)."""
+
+import numpy as np
+import pytest
+
+from repro.common.fp16 import vec_relu
+from repro.dram.bank import Bank, BankConfig
+from repro.dram.timing import HBM2_1GHZ
+from repro.pim.assembler import assemble_words
+from repro.pim.exec_unit import ColumnTrigger, PimExecutionUnit, PimProgramError
+from repro.pim.registers import LANES
+
+
+@pytest.fixture
+def unit():
+    cfg = BankConfig(num_rows=16)
+    even = Bank(cfg, HBM2_1GHZ)
+    odd = Bank(cfg, HBM2_1GHZ)
+    return PimExecutionUnit(0, even, odd)
+
+
+def program(unit, source):
+    for i, word in enumerate(assemble_words(source)):
+        unit.regs.crf[i] = word
+    unit.start()
+
+
+def rd(row=0, col=0):
+    return ColumnTrigger(is_write=False, row=row, col=col)
+
+
+def wr(row=0, col=0, data=None):
+    if data is None:
+        data = np.zeros(32, dtype=np.uint8)
+    return ColumnTrigger(is_write=True, row=row, col=col, host_data=data)
+
+
+def lanes(value):
+    return np.full(LANES, value, dtype=np.float16)
+
+
+def bank_col(values):
+    return np.asarray(values, dtype=np.float16).view(np.uint8)
+
+
+class TestDataMovement:
+    def test_fill_loads_bank_into_grf(self, unit):
+        unit.even_bank.poke(2, 5, bank_col(lanes(3.0)))
+        program(unit, "FILL GRF_A[4], EVEN_BANK\nEXIT")
+        unit.trigger(rd(row=2, col=5))
+        assert (unit.regs.grf_a[4] == np.float16(3.0)).all()
+
+    def test_fill_from_odd_bank(self, unit):
+        unit.odd_bank.poke(1, 0, bank_col(lanes(-2.0)))
+        program(unit, "FILL GRF_B[0], ODD_BANK\nEXIT")
+        unit.trigger(rd(row=1, col=0))
+        assert (unit.regs.grf_b[0] == np.float16(-2.0)).all()
+
+    def test_mov_host_data_to_grf(self, unit):
+        program(unit, "MOV GRF_A[1], HOST\nEXIT")
+        unit.trigger(wr(data=bank_col(lanes(7.5))))
+        assert (unit.regs.grf_a[1] == np.float16(7.5)).all()
+
+    def test_mov_grf_to_bank_via_write_trigger(self, unit):
+        unit.regs.grf_b[2][:] = np.float16(1.25)
+        program(unit, "MOV EVEN_BANK, GRF_B[2]\nEXIT")
+        unit.trigger(wr(row=3, col=7))
+        stored = unit.even_bank.peek(3, 7).view(np.float16)
+        assert (stored == np.float16(1.25)).all()
+
+    def test_mov_grf_to_grf(self, unit):
+        unit.regs.grf_a[0][:] = np.float16(4.0)
+        program(unit, "MOV GRF_B[3], GRF_A[0]\nEXIT")
+        unit.trigger(rd())
+        assert (unit.regs.grf_b[3] == np.float16(4.0)).all()
+
+    def test_mov_srf_to_grf_broadcast(self, unit):
+        unit.regs.srf_a[2] = np.float16(-0.5)
+        program(unit, "MOV GRF_B[0], SRF_A[2]\nEXIT")
+        unit.trigger(rd())
+        assert (unit.regs.grf_b[0] == np.float16(-0.5)).all()
+
+    def test_mov_relu_zeroes_negatives(self, unit):
+        values = np.array([1.0, -1.0] * 8, dtype=np.float16)
+        unit.regs.grf_a[0][:] = values
+        program(unit, "MOV(RELU) GRF_B[0], GRF_A[0]\nEXIT")
+        unit.trigger(rd())
+        assert np.array_equal(unit.regs.grf_b[0], vec_relu(values))
+
+
+class TestTriggerKindConstraints:
+    def test_bank_source_requires_read(self, unit):
+        program(unit, "FILL GRF_A[0], EVEN_BANK\nEXIT")
+        with pytest.raises(PimProgramError):
+            unit.trigger(wr())
+
+    def test_bank_dest_requires_write(self, unit):
+        program(unit, "MOV EVEN_BANK, GRF_A[0]\nEXIT")
+        with pytest.raises(PimProgramError):
+            unit.trigger(rd())
+
+    def test_host_source_requires_write(self, unit):
+        program(unit, "MOV GRF_A[0], HOST\nEXIT")
+        with pytest.raises(PimProgramError):
+            unit.trigger(rd())
+
+
+class TestArithmetic:
+    def test_add(self, unit):
+        unit.regs.grf_a[0][:] = lanes(1.5)
+        unit.regs.grf_b[1][:] = lanes(2.0)
+        program(unit, "ADD GRF_A[2], GRF_A[0], GRF_B[1]\nEXIT")
+        unit.trigger(rd())
+        assert (unit.regs.grf_a[2] == np.float16(3.5)).all()
+
+    def test_mul_with_bank_operand(self, unit):
+        unit.even_bank.poke(0, 0, bank_col(lanes(3.0)))
+        unit.regs.grf_a[0][:] = lanes(2.0)
+        program(unit, "MUL GRF_B[0], EVEN_BANK, GRF_A[0]\nEXIT")
+        unit.trigger(rd(0, 0))
+        assert (unit.regs.grf_b[0] == np.float16(6.0)).all()
+
+    def test_mul_with_srf_scalar(self, unit):
+        unit.regs.srf_m[3] = np.float16(0.5)
+        unit.regs.grf_a[1][:] = lanes(8.0)
+        program(unit, "MUL GRF_A[0], GRF_A[1], SRF_M[3]\nEXIT")
+        unit.trigger(rd())
+        assert (unit.regs.grf_a[0] == np.float16(4.0)).all()
+
+    def test_mac_accumulates_into_dst(self, unit):
+        unit.regs.grf_b[0][:] = lanes(1.0)
+        unit.regs.grf_a[0][:] = lanes(2.0)
+        unit.even_bank.poke(0, 0, bank_col(lanes(3.0)))
+        program(unit, "MAC GRF_B[0], EVEN_BANK, GRF_A[0]\nEXIT")
+        unit.trigger(rd(0, 0))
+        assert (unit.regs.grf_b[0] == np.float16(7.0)).all()
+
+    def test_mad(self, unit):
+        unit.regs.srf_m[1] = np.float16(2.0)
+        unit.regs.srf_a[1] = np.float16(-1.0)
+        unit.even_bank.poke(0, 4, bank_col(lanes(5.0)))
+        program(unit, "MAD GRF_A[0], EVEN_BANK, SRF_M[1], SRF_A[1]\nEXIT")
+        unit.trigger(rd(0, 4))
+        assert (unit.regs.grf_a[0] == np.float16(9.0)).all()
+
+    def test_fp16_rounding_semantics(self, unit):
+        # 2049 is not representable in FP16; RNE rounds to 2048.
+        unit.regs.grf_a[0][:] = lanes(2048.0)
+        unit.regs.grf_b[0][:] = lanes(1.0)
+        program(unit, "ADD GRF_A[1], GRF_A[0], GRF_B[0]\nEXIT")
+        unit.trigger(rd())
+        assert (unit.regs.grf_a[1] == np.float16(2048.0)).all()
+
+    def test_flop_accounting(self, unit):
+        unit.regs.grf_a[0][:] = lanes(1.0)
+        program(unit, "MAC GRF_B[0], GRF_A[0], GRF_A[0]\nEXIT")
+        unit.trigger(rd())
+        assert unit.stats.flops == 2 * LANES
+
+
+class TestAddressAlignedMode:
+    def test_aam_index_from_column(self, unit):
+        for col in range(8):
+            unit.even_bank.poke(0, col, bank_col(lanes(float(col))))
+        program(unit, "FILL GRF_A[A], EVEN_BANK\nJUMP -1, 7\nEXIT")
+        for col in [3, 1, 7, 0, 6, 2, 5, 4]:  # arbitrary order
+            unit.trigger(rd(0, col))
+        for reg in range(8):
+            assert (unit.regs.grf_a[reg] == np.float16(reg)).all()
+
+    def test_aam_wraps_modulo_8(self, unit):
+        unit.even_bank.poke(0, 9, bank_col(lanes(9.0)))
+        program(unit, "FILL GRF_A[A], EVEN_BANK\nEXIT")
+        unit.trigger(rd(0, 9))
+        assert (unit.regs.grf_a[1] == np.float16(9.0)).all()
+
+    def test_non_aam_ignores_column(self, unit):
+        unit.even_bank.poke(0, 5, bank_col(lanes(5.0)))
+        program(unit, "FILL GRF_A[2], EVEN_BANK\nEXIT")
+        unit.trigger(rd(0, 5))
+        assert (unit.regs.grf_a[2] == np.float16(5.0)).all()
+        assert unit.regs.grf_a[5].sum() == 0
+
+
+class TestControlFlow:
+    def test_zero_cycle_jump_loop(self, unit):
+        unit.regs.grf_a[0][:] = lanes(1.0)
+        unit.regs.grf_b[0][:] = lanes(0.0)
+        program(unit, "ADD GRF_B[0], GRF_B[0], GRF_A[0]\nJUMP -1, 4\nEXIT")
+        for _ in range(5):  # 1 initial + 4 repeats, JUMP consumes nothing
+            unit.trigger(rd())
+        assert (unit.regs.grf_b[0] == np.float16(5.0)).all()
+        assert unit.exited
+
+    def test_nested_loop_rearms(self, unit):
+        # Inner loop of 2, outer loop of 3: instruction runs 6 times.
+        unit.regs.grf_a[0][:] = lanes(1.0)
+        program(
+            unit,
+            "ADD GRF_B[0], GRF_B[0], GRF_A[0]\nJUMP -1, 1\nJUMP -2, 2\nEXIT",
+        )
+        for _ in range(6):
+            unit.trigger(rd())
+        assert (unit.regs.grf_b[0] == np.float16(6.0)).all()
+        assert unit.exited
+
+    def test_jump_zero_iterations_falls_through(self, unit):
+        program(unit, "NOP\nJUMP -1, 0\nEXIT")
+        unit.trigger(rd())
+        assert unit.exited
+
+    def test_multi_cycle_nop(self, unit):
+        program(unit, "NOP 3\nMOV GRF_A[0], GRF_B[0]\nEXIT")
+        for _ in range(3):
+            unit.trigger(rd())
+        assert not unit.exited
+        unit.trigger(rd())
+        assert unit.exited
+        assert unit.stats.instructions == 4
+
+    def test_triggers_after_exit_are_ignored(self, unit):
+        program(unit, "EXIT")
+        unit.trigger(rd())
+        unit.trigger(rd())
+        assert unit.stats.ignored_after_exit == 2
+        assert unit.stats.instructions == 0
+
+    def test_start_resets_state(self, unit):
+        program(unit, "MOV GRF_A[0], GRF_B[0]\nJUMP -1, 2\nEXIT")
+        for _ in range(3):
+            unit.trigger(rd())
+        assert unit.exited
+        unit.start()
+        assert not unit.exited
+        assert unit.ppc == 0
+
+    def test_not_started_unit_ignores_triggers(self, unit):
+        unit.regs.crf[0] = assemble_words("EXIT")[0]
+        unit.trigger(rd())
+        assert unit.stats.ignored_after_exit == 1
+
+    def test_runaway_jump_detected(self, unit):
+        # Nested re-arming jumps whose product of iteration counts is
+        # astronomically large: the resolver's convergence guard must fire
+        # instead of spinning for ~1.7e10 steps.
+        with pytest.raises(PimProgramError):
+            program(
+                unit,
+                "JUMP 1, 1\nJUMP -1, 131071\nJUMP -2, 131071\nEXIT",
+            )
+            unit.trigger(rd())
+
+    def test_ppc_out_of_range(self, unit):
+        # A CRF full of single NOPs with no EXIT: PPC walks off the end.
+        for i in range(32):
+            unit.regs.crf[i] = assemble_words("NOP")[0]
+        unit.start()
+        with pytest.raises(PimProgramError):
+            for _ in range(33):
+                unit.trigger(rd())
+
+
+class TestStats:
+    def test_bank_access_counters(self, unit):
+        unit.even_bank.poke(0, 0, bank_col(lanes(1.0)))
+        program(unit, "FILL GRF_A[0], EVEN_BANK\nMOV ODD_BANK, GRF_A[0]\nEXIT")
+        unit.trigger(rd(0, 0))
+        unit.trigger(wr(0, 1))
+        assert unit.stats.bank_reads == 1
+        assert unit.stats.bank_writes == 1
+        assert unit.stats.triggers == 2

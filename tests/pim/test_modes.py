@@ -1,0 +1,103 @@
+"""Tests for the mode FSM and PIM_CONF memory map."""
+
+import pytest
+
+from repro.pim.modes import ModeController, PimMemoryMap, PimMode
+
+
+@pytest.fixture
+def mm():
+    return PimMemoryMap(num_rows=256)
+
+
+@pytest.fixture
+def fsm(mm):
+    return ModeController(mm)
+
+
+class TestMemoryMap:
+    def test_reserved_rows_at_top(self, mm):
+        assert mm.abmr_row == 255
+        assert mm.sbmr_row == 254
+        assert mm.conf_row == 253
+        assert mm.crf_row == 252
+        assert mm.grf_row == 251
+        assert mm.srf_row == 250
+        assert mm.first_reserved_row == 250
+
+    def test_is_reserved(self, mm):
+        assert mm.is_reserved(250)
+        assert mm.is_reserved(255)
+        assert not mm.is_reserved(249)
+
+    def test_register_rows(self, mm):
+        for row in (mm.conf_row, mm.crf_row, mm.grf_row, mm.srf_row):
+            assert mm.is_register_row(row)
+        # The transition rows are not column-register rows.
+        assert not mm.is_register_row(mm.abmr_row)
+        assert not mm.is_register_row(mm.sbmr_row)
+        assert not mm.is_register_row(0)
+
+
+class TestTransitions:
+    def test_starts_in_sb(self, fsm):
+        assert fsm.mode is PimMode.SB
+        assert not fsm.all_bank
+
+    def test_enter_ab_via_act_pre(self, fsm, mm):
+        fsm.observe_act(mm.abmr_row)
+        assert fsm.observe_pre()
+        assert fsm.mode is PimMode.AB
+        assert fsm.all_bank
+
+    def test_act_to_normal_row_disarms(self, fsm, mm):
+        fsm.observe_act(mm.abmr_row)
+        fsm.observe_act(5)  # another ACT in between cancels the sequence
+        assert not fsm.observe_pre()
+        assert fsm.mode is PimMode.SB
+
+    def test_exit_via_sbmr(self, fsm, mm):
+        fsm.observe_act(mm.abmr_row)
+        fsm.observe_pre()
+        fsm.observe_act(mm.sbmr_row)
+        assert fsm.observe_pre()
+        assert fsm.mode is PimMode.SB
+
+    def test_sbmr_in_sb_mode_is_noop(self, fsm, mm):
+        fsm.observe_act(mm.sbmr_row)
+        assert not fsm.observe_pre()
+        assert fsm.mode is PimMode.SB
+
+    def test_pim_op_mode_requires_ab(self, fsm):
+        assert not fsm.set_pim_op_mode(True)
+        assert fsm.mode is PimMode.SB
+
+    def test_enter_and_exit_ab_pim(self, fsm, mm):
+        fsm.observe_act(mm.abmr_row)
+        fsm.observe_pre()
+        assert fsm.set_pim_op_mode(True)
+        assert fsm.mode is PimMode.AB_PIM
+        assert fsm.pim_executing
+        assert fsm.set_pim_op_mode(False)
+        assert fsm.mode is PimMode.AB
+
+    def test_redundant_op_mode_writes(self, fsm, mm):
+        fsm.observe_act(mm.abmr_row)
+        fsm.observe_pre()
+        fsm.set_pim_op_mode(True)
+        assert not fsm.set_pim_op_mode(True)  # already in AB-PIM
+
+    def test_sbmr_exits_even_from_ab_pim(self, fsm, mm):
+        fsm.observe_act(mm.abmr_row)
+        fsm.observe_pre()
+        fsm.set_pim_op_mode(True)
+        fsm.observe_act(mm.sbmr_row)
+        assert fsm.observe_pre()
+        assert fsm.mode is PimMode.SB
+
+    def test_transition_count(self, fsm, mm):
+        fsm.observe_act(mm.abmr_row)
+        fsm.observe_pre()
+        fsm.set_pim_op_mode(True)
+        fsm.set_pim_op_mode(False)
+        assert fsm.transition_count == 3

@@ -1,0 +1,110 @@
+"""Tests for the 5-stage pipeline timing model (Section IV-B)."""
+
+import pytest
+
+from repro.pim.assembler import assemble
+from repro.pim.pipeline import STAGES, PipelineModel, stages_for
+
+
+def instr(text):
+    (parsed,) = assemble(text)
+    return parsed
+
+
+class TestStageRules:
+    def test_mac_with_bank_uses_all_five(self):
+        mac = instr("MAC GRF_B[0], EVEN_BANK, GRF_A[0]")
+        assert stages_for(mac) == STAGES
+
+    def test_mul_skips_add(self):
+        mul = instr("MUL GRF_B[0], EVEN_BANK, GRF_A[0]")
+        stages = stages_for(mul)
+        assert "ADD" not in stages
+        assert "MULT" in stages
+
+    def test_add_skips_mult(self):
+        add = instr("ADD GRF_B[0], GRF_A[0], GRF_A[1]")
+        stages = stages_for(add)
+        assert "MULT" not in stages
+        assert "ADD" in stages
+
+    def test_register_only_instruction_skips_bank_read(self):
+        """Section IV-B: 'The PIM execution unit can skip the second stage
+        when a given PIM instruction does not require any data from a
+        bank (e.g., MAD GRF_B[0], GRF_A[0], GRF_B[1]).'"""
+        mad = instr("MAD GRF_A[0], GRF_A[1], SRF_M[2], SRF_A[2]")
+        assert "BANK_READ" not in stages_for(mad)
+
+    def test_bank_operand_requires_bank_read(self):
+        fill = instr("FILL GRF_A[0], EVEN_BANK")
+        assert "BANK_READ" in stages_for(fill)
+
+    def test_mov_skips_alu(self):
+        mov = instr("MOV GRF_A[0], GRF_B[0]")
+        stages = stages_for(mov)
+        assert "MULT" not in stages and "ADD" not in stages
+        assert stages[-1] == "WRITE_BACK"
+
+    def test_control_instructions_only_fetch(self):
+        assert stages_for(instr("NOP")) == ("FETCH_DECODE",)
+        assert stages_for(instr("EXIT")) == ("FETCH_DECODE",)
+        assert stages_for(instr("JUMP -1, 7")) == ("FETCH_DECODE",)
+
+
+class TestDeterministicLatency:
+    def test_latency_is_per_class_constant(self):
+        model = PipelineModel()
+        mac1 = instr("MAC GRF_B[0], EVEN_BANK, GRF_A[0]")
+        mac2 = instr("MAC GRF_B[7], ODD_BANK, GRF_A[3]")
+        assert model.latency(mac1) == model.latency(mac2) == 5
+
+    def test_latencies_ordered_by_depth(self):
+        model = PipelineModel()
+        mov = model.latency(instr("MOV GRF_A[0], GRF_B[0]"))
+        add = model.latency(instr("ADD GRF_B[0], GRF_A[0], GRF_A[1]"))
+        mac = model.latency(instr("MAC GRF_B[0], EVEN_BANK, GRF_A[0]"))
+        assert mov < add < mac
+
+    def test_completion_times_deterministic(self):
+        model = PipelineModel()
+        mac = instr("MAC GRF_B[0], EVEN_BANK, GRF_A[0]")
+        stream = [(mac, t) for t in (0, 4, 8, 12)]
+        completions, _ = model.schedule(stream)
+        deltas = [b - a for a, b in zip(completions, completions[1:])]
+        assert deltas == [4, 4, 4]  # exactly the trigger cadence
+
+
+class TestStructuralHazards:
+    def test_no_hazard_at_tccd_l_cadence(self):
+        """At the AB-mode cadence (tCCD_L = 4 core cycles) a MAC stream
+        flows hazard-free — the basis of the deterministic-latency claim."""
+        model = PipelineModel()
+        mac = instr("MAC GRF_B[0], EVEN_BANK, GRF_A[0]")
+        stream = [(mac, 4 * i) for i in range(16)]
+        assert model.hazards(stream) == []
+
+    def test_uniform_stream_pipelines_at_cadence_one(self):
+        model = PipelineModel()
+        mac = instr("MAC GRF_B[0], EVEN_BANK, GRF_A[0]")
+        assert model.min_safe_cadence([mac] * 8) == 1
+
+    def test_mixed_depth_stream_can_collide(self):
+        """A deep instruction followed immediately by a shallow one can
+        reach WRITE_BACK in the same cycle — mixed streams need spacing."""
+        model = PipelineModel()
+        mac = instr("MAC GRF_B[0], EVEN_BANK, GRF_A[0]")  # 5 stages
+        mov = instr("MOV GRF_A[0], GRF_B[0]")  # 2 stages
+        colliding = [(mac, 0), (mov, 3)]  # both hit WRITE_BACK at cycle 4
+        assert model.hazards(colliding)
+        safe = [(mac, 0), (mov, 4)]
+        assert model.hazards(safe) == []
+
+    def test_gemv_microkernel_stream_is_clean(self):
+        """The actual GEMV microkernel (staging MOVs + MACs) at tCCD_L."""
+        from repro.stack.kernels import GemvKernel
+
+        program = assemble(GemvKernel.MICROKERNEL.format(reps=1))
+        data_instrs = [i for i in program if not i.opcode.is_control]
+        model = PipelineModel()
+        stream = [(data_instrs[i % len(data_instrs)], 4 * i) for i in range(12)]
+        assert model.hazards(stream) == []

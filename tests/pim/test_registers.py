@@ -1,0 +1,103 @@
+"""Tests for the PIM register files and their memory-mapped access."""
+
+import numpy as np
+import pytest
+
+from repro.pim.isa import CRF_ENTRIES, GRF_REGS, OperandSpace, SRF_REGS
+from repro.pim.registers import GRF_REG_BYTES, LANES, RegisterFiles
+
+
+@pytest.fixture
+def regs():
+    return RegisterFiles()
+
+
+class TestGeometry:
+    def test_crf_32_entries(self, regs):
+        assert len(regs.crf) == CRF_ENTRIES
+
+    def test_grf_split(self, regs):
+        assert regs.grf_a.shape == (GRF_REGS, LANES)
+        assert regs.grf_b.shape == (GRF_REGS, LANES)
+
+    def test_srf_split(self, regs):
+        assert regs.srf_m.shape == (SRF_REGS,)
+        assert regs.srf_a.shape == (SRF_REGS,)
+
+    def test_one_grf_register_is_one_column(self):
+        assert GRF_REG_BYTES == 32
+
+
+class TestTypedAccess:
+    def test_grf_selector(self, regs):
+        assert regs.grf(OperandSpace.GRF_A) is regs.grf_a
+        assert regs.grf(OperandSpace.GRF_B) is regs.grf_b
+        with pytest.raises(ValueError):
+            regs.grf(OperandSpace.SRF_M)
+
+    def test_srf_selector(self, regs):
+        assert regs.srf(OperandSpace.SRF_M) is regs.srf_m
+        with pytest.raises(ValueError):
+            regs.srf(OperandSpace.GRF_A)
+
+    def test_srf_read_broadcasts(self, regs):
+        regs.srf_m[3] = np.float16(2.5)
+        vec = regs.read_vector(OperandSpace.SRF_M, 3)
+        assert vec.shape == (LANES,)
+        assert (vec == np.float16(2.5)).all()
+
+    def test_grf_read_is_a_copy(self, regs):
+        vec = regs.read_vector(OperandSpace.GRF_A, 0)
+        vec[:] = 1.0
+        assert regs.grf_a[0].sum() == 0
+
+    def test_write_vector(self, regs):
+        value = np.arange(LANES, dtype=np.float16)
+        regs.write_vector(OperandSpace.GRF_B, 2, value)
+        assert np.array_equal(regs.grf_b[2], value)
+
+    def test_write_vector_to_srf_raises(self, regs):
+        with pytest.raises(ValueError):
+            regs.write_vector(OperandSpace.SRF_A, 0, np.zeros(LANES))
+
+
+class TestMemoryMappedColumns:
+    def test_crf_column_roundtrip(self, regs):
+        words = np.arange(8, dtype="<u4") * 0x01010101
+        regs.write_crf_column(2, words.view(np.uint8))
+        assert regs.crf[16:24] == list(words)
+        assert np.array_equal(regs.read_crf_column(2), words.view(np.uint8))
+
+    def test_crf_column_out_of_range(self, regs):
+        with pytest.raises(IndexError):
+            regs.write_crf_column(4, np.zeros(32, dtype=np.uint8))
+
+    def test_grf_column_mapping(self, regs):
+        value = np.arange(LANES, dtype=np.float16)
+        regs.write_grf_column(3, value.view(np.uint8))  # GRF_A[3]
+        regs.write_grf_column(11, (value * 2).view(np.uint8))  # GRF_B[3]
+        assert np.array_equal(regs.grf_a[3], value)
+        assert np.array_equal(regs.grf_b[3], value * 2)
+
+    def test_grf_column_read(self, regs):
+        regs.grf_b[5][:] = np.float16(1.5)
+        raw = regs.read_grf_column(13)
+        assert np.array_equal(raw.view(np.float16), regs.grf_b[5])
+
+    def test_srf_column_mapping(self, regs):
+        scalars = np.arange(SRF_REGS, dtype=np.float16)
+        payload = np.zeros(GRF_REG_BYTES, dtype=np.uint8)
+        payload[: SRF_REGS * 2] = scalars.view(np.uint8)
+        regs.write_srf_column(0, payload)
+        regs.write_srf_column(1, payload)
+        assert np.array_equal(regs.srf_m, scalars)
+        assert np.array_equal(regs.srf_a, scalars)
+
+    def test_srf_column_read(self, regs):
+        regs.srf_a[:] = np.float16(0.5)
+        raw = regs.read_srf_column(1)
+        assert np.array_equal(raw[: SRF_REGS * 2].view(np.float16), regs.srf_a)
+
+    def test_srf_column_out_of_range(self, regs):
+        with pytest.raises(IndexError):
+            regs.write_srf_column(2, np.zeros(32, dtype=np.uint8))

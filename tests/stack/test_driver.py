@@ -1,0 +1,68 @@
+"""Tests for the PIM device driver allocator."""
+
+import pytest
+
+from repro.dram.bank import BankConfig
+from repro.dram.device import DeviceConfig
+from repro.pim.device import PimHbmDevice
+from repro.stack.driver import PimAllocationError, PimDeviceDriver
+
+
+@pytest.fixture
+def driver():
+    device = PimHbmDevice(
+        DeviceConfig(num_pchs=2, bank_config=BankConfig(num_rows=64))
+    )
+    return PimDeviceDriver(device)
+
+
+class TestReservation:
+    def test_register_rows_excluded(self, driver):
+        # 6 reserved rows at the top (ABMR/SBMR/CONF/CRF/GRF/SRF).
+        assert driver.rows_total == 64 - 6
+
+    def test_region_is_uncacheable(self, driver):
+        assert driver.uncacheable
+
+    def test_check_row(self, driver):
+        driver.check_row(0)
+        driver.check_row(57)
+        with pytest.raises(PimAllocationError):
+            driver.check_row(58)
+
+
+class TestAllocation:
+    def test_contiguous_blocks(self, driver):
+        a = driver.alloc_rows(10)
+        b = driver.alloc_rows(5)
+        assert (a.start, a.stop) == (0, 10)
+        assert (b.start, b.stop) == (10, 15)
+        assert a.num_rows == 10
+
+    def test_row_indexing(self, driver):
+        block = driver.alloc_rows(4)
+        assert block.row(3) == 3
+        with pytest.raises(IndexError):
+            block.row(4)
+
+    def test_exhaustion(self, driver):
+        driver.alloc_rows(58)
+        with pytest.raises(PimAllocationError):
+            driver.alloc_rows(1)
+
+    def test_zero_alloc_rejected(self, driver):
+        with pytest.raises(PimAllocationError):
+            driver.alloc_rows(0)
+
+    def test_reset_frees_everything(self, driver):
+        driver.alloc_rows(50)
+        driver.reset()
+        assert driver.rows_free == driver.rows_total
+        driver.alloc_rows(50)
+
+    def test_alloc_bytes(self, driver):
+        per_row = driver.bytes_per_row_set()
+        # 1 KiB x 16 banks x 2 pCHs = 32 KiB per row set.
+        assert per_row == 32 * 1024
+        block = driver.alloc_bytes(per_row + 1)
+        assert block.num_rows == 2

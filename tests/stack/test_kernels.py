@@ -1,0 +1,170 @@
+"""Tests for PIM kernels: layouts, command streams, bit-exact numerics."""
+
+import numpy as np
+import pytest
+
+from repro.stack.blas import add_reference, gemv_reference
+from repro.stack.kernels import ElementwiseKernel, GemvKernel
+from repro.stack.runtime import PimSystem
+
+
+@pytest.fixture
+def system():
+    return PimSystem(num_pchs=2, num_rows=128)
+
+
+def rand(shape, seed, scale=0.1):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(shape) * scale).astype(np.float16)
+
+
+class TestGemvPlan:
+    def test_plan_geometry(self, system):
+        kernel = GemvKernel(system, m=200, n=96)
+        plan = kernel.plan
+        assert plan.tiles == 2  # ceil(200 / 128)
+        assert plan.n_slice == 48  # ceil(96/2) -> padded to 8
+        assert plan.chunks == 6
+        assert plan.outputs_per_tile == 128
+
+    def test_weight_location_walks_rows(self, system):
+        kernel = GemvKernel(system, m=128, n=512)  # 32 chunks per pCH slice
+        plan = kernel.plan
+        row0, col0 = plan.weight_location(0, 0)
+        row1, col1 = plan.weight_location(0, 4)
+        assert row1 == row0 + 1 and col1 == col0 == 0
+        assert plan.weight_location(0, 3)[1] == 24
+
+    def test_out_rows_follow_weights(self, system):
+        kernel = GemvKernel(system, m=200, n=96)
+        plan = kernel.plan
+        out_row, _ = plan.out_location(0)
+        assert out_row >= plan.weight_base_row + plan.tiles * plan.rows_per_tile
+
+    def test_oversized_gemv_rejected(self, system):
+        with pytest.raises(Exception):
+            GemvKernel(system, m=128 * 1000, n=4096)
+
+    def test_kernels_get_disjoint_rows(self, system):
+        a = GemvKernel(system, m=128, n=64)
+        b = GemvKernel(system, m=128, n=64)
+        assert b.plan.weight_base_row >= a.plan.out_base_row + 1
+
+
+class TestGemvExecution:
+    def test_bit_exact_vs_reference(self, system):
+        w = rand((200, 96), 1)
+        x = rand(96, 2)
+        kernel = GemvKernel(system, 200, 96)
+        kernel.load_weights(w)
+        y, report = kernel(x)
+        assert np.array_equal(y, gemv_reference(w, x, num_pchs=2))
+        assert report.cycles > 0
+
+    def test_close_to_fp32(self, system):
+        w = rand((128, 64), 3)
+        x = rand(64, 4)
+        kernel = GemvKernel(system, 128, 64)
+        kernel.load_weights(w)
+        y, _ = kernel(x)
+        gold = w.astype(np.float32) @ x.astype(np.float32)
+        assert np.abs(y - gold).max() < 1e-3
+
+    def test_sampled_simulation_matches_full(self, system):
+        w = rand((136, 72), 5)
+        x = rand(72, 6)
+        kernel = GemvKernel(system, 136, 72)
+        kernel.load_weights(w)
+        y_full, rep_full = kernel(x)
+        y_sampled, rep_sampled = kernel(x, simulate_pchs=1)
+        assert np.array_equal(y_full, y_sampled)
+        assert rep_sampled.simulated_pchs == 1
+        assert rep_sampled.scale_factor() == 2.0
+
+    def test_repeated_invocations(self, system):
+        w = rand((128, 64), 7)
+        kernel = GemvKernel(system, 128, 64)
+        kernel.load_weights(w)
+        for seed in (8, 9):
+            x = rand(64, seed)
+            y, _ = kernel(x)
+            assert np.array_equal(y, gemv_reference(w, x, num_pchs=2))
+
+    def test_requires_loaded_weights(self, system):
+        kernel = GemvKernel(system, 128, 64)
+        with pytest.raises(RuntimeError):
+            kernel(rand(64, 0))
+
+    def test_shape_validation(self, system):
+        kernel = GemvKernel(system, 128, 64)
+        with pytest.raises(ValueError):
+            kernel.load_weights(rand((64, 128), 0))
+        kernel.load_weights(rand((128, 64), 0))
+        with pytest.raises(ValueError):
+            kernel(rand(65, 0))
+
+    def test_identity_matrix(self, system):
+        n = 128
+        kernel = GemvKernel(system, n, n)
+        kernel.load_weights(np.eye(n, dtype=np.float16))
+        x = rand(n, 11, scale=1.0)
+        y, _ = kernel(x)
+        assert np.allclose(y, x.astype(np.float32), atol=1e-6)
+
+    def test_report_command_accounting(self, system):
+        kernel = GemvKernel(system, 128, 64)
+        kernel.load_weights(rand((128, 64), 12))
+        _, report = kernel(rand(64, 13))
+        plan = kernel.plan
+        expected = plan.tiles * (plan.chunks * 16 + 8) * 2  # both pCHs
+        assert report.column_commands == expected
+        assert report.pim_flops == 2 * 128 * plan.n_slice * 2  # padded dims
+
+
+class TestElementwiseExecution:
+    @pytest.mark.parametrize("length", [100, 2048, 5000])
+    def test_add_exact(self, system, length):
+        a = rand(length, 20, scale=2.0)
+        b = rand(length, 21, scale=2.0)
+        kernel = ElementwiseKernel(system, "add", length)
+        out, report = kernel(a, b)
+        assert np.array_equal(out, add_reference(a, b))
+        assert report.fences > 0
+
+    def test_mul_exact(self, system):
+        a, b = rand(1000, 22), rand(1000, 23)
+        out, _ = ElementwiseKernel(system, "mul", 1000)(a, b)
+        assert np.array_equal(out, (a * b).astype(np.float16))
+
+    def test_relu_exact(self, system):
+        a = rand(1000, 24, scale=3.0)
+        out, _ = ElementwiseKernel(system, "relu", 1000)(a)
+        expected = np.where(a.view(np.uint16) >> 15 != 0, np.float16(0), a)
+        assert np.array_equal(out, expected)
+
+    def test_bn_exact(self, system):
+        a = rand(1000, 25, scale=3.0)
+        out, _ = ElementwiseKernel(system, "bn", 1000)(a, scalars=(1.5, -0.25))
+        expected = ((a * np.float16(1.5)).astype(np.float16) + np.float16(-0.25)).astype(np.float16)
+        assert np.array_equal(out, expected)
+
+    def test_sampled_matches_full(self, system):
+        a, b = rand(3000, 26), rand(3000, 27)
+        full, _ = ElementwiseKernel(system, "add", 3000)(a, b)
+        sampled, _ = ElementwiseKernel(system, "add", 3000)(a, b, simulate_pchs=1)
+        assert np.array_equal(full, sampled)
+
+    def test_missing_second_operand(self, system):
+        with pytest.raises(ValueError):
+            ElementwiseKernel(system, "add", 100)(rand(100, 0))
+
+    def test_unknown_op(self, system):
+        with pytest.raises(ValueError):
+            ElementwiseKernel(system, "sub", 100)
+
+    def test_add_uses_more_commands_than_bn(self, system):
+        """ADD needs the FILL phase (24 vs 16 commands per group)."""
+        a, b = rand(2048, 28), rand(2048, 29)
+        _, add_rep = ElementwiseKernel(system, "add", 2048)(a, b)
+        _, bn_rep = ElementwiseKernel(system, "bn", 2048)(a, scalars=(1.0, 0.0))
+        assert add_rep.column_commands == bn_rep.column_commands * 3 // 2

@@ -1,0 +1,83 @@
+"""Tests for the session profiler."""
+
+import numpy as np
+import pytest
+
+from repro.stack.blas import PimBlas
+from repro.stack.profiler import KernelProfile, Profiler, SessionProfile
+from repro.stack.runtime import PimSystem
+
+
+def rand(shape, seed, scale=0.1):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(shape) * scale).astype(np.float16)
+
+
+@pytest.fixture()
+def profiled():
+    system = PimSystem(num_pchs=1, num_rows=256)
+    return Profiler(PimBlas(system))
+
+
+class TestProfiler:
+    def test_records_gemv_calls(self, profiled):
+        w = rand((128, 64), 0)
+        profiled.gemv(w, rand(64, 1))
+        profiled.gemv(w, rand(64, 2))
+        profile = profiled.profile.kernels["gemv[128x64]"]
+        assert profile.invocations == 2
+        assert profile.cycles > 0
+        assert profile.pim_flops > 0
+
+    def test_results_pass_through_unchanged(self, profiled):
+        w, x = rand((128, 64), 3), rand(64, 4)
+        y, report = profiled.gemv(w, x)
+        gold = w.astype(np.float32) @ x.astype(np.float32)
+        assert np.abs(y - gold).max() < 1e-3
+        assert report.cycles > 0
+
+    def test_mixed_kernels_profiled_separately(self, profiled):
+        profiled.gemv(rand((128, 64), 5), rand(64, 6))
+        profiled.add(rand(2000, 7), rand(2000, 8))
+        names = set(profiled.profile.kernels)
+        assert any(n.startswith("gemv") for n in names)
+        assert any(n.startswith("add") for n in names)
+
+    def test_time_share_sums_to_one(self, profiled):
+        profiled.gemv(rand((128, 64), 9), rand(64, 10))
+        profiled.add(rand(2000, 11), rand(2000, 12))
+        shares = profiled.profile.time_share()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_lstm_cell_reports_collected(self, profiled):
+        h, d = 48, 32
+        profiled.lstm_cell(
+            rand((4 * h, d), 13), rand((4 * h, h), 14),
+            rand(4 * h, 15).astype(np.float32),
+            rand(d, 16), rand(h, 17), rand(h, 18),
+        )
+        total = sum(k.invocations for k in profiled.profile.kernels.values())
+        assert total == 2  # two GEMVs inside the cell
+
+    def test_render_table(self, profiled):
+        profiled.gemv(rand((128, 64), 19), rand(64, 20))
+        lines = profiled.profile.render()
+        assert len(lines) >= 2
+        assert "GFLOP/s" in lines[0]
+
+    def test_command_utilisation_bounded(self, profiled):
+        profiled.add(rand(4000, 21), rand(4000, 22))
+        for profile in profiled.profile.kernels.values():
+            assert 0.0 < profile.command_utilisation() <= 1.0
+
+
+class TestProfileDataStructures:
+    def test_empty_session(self):
+        session = SessionProfile()
+        assert session.time_share() == {}
+        assert session.total_ns == 0
+
+    def test_empty_kernel_profile(self):
+        profile = KernelProfile("x")
+        assert profile.command_utilisation() == 0.0
+        assert profile.gflops() == 0.0
