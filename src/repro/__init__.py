@@ -10,20 +10,23 @@ figure of the paper.
 Quick start::
 
     import numpy as np
-    from repro import PimSystem, PimBlas
+    from repro import PimContext, SystemConfig
 
-    system = PimSystem(num_pchs=4)
-    blas = PimBlas(system)
     w = np.random.randn(256, 128).astype(np.float16)
     x = np.random.randn(128).astype(np.float16)
-    y, report = blas.gemv(w, x)   # executed by the simulated PIM device
+    with PimContext(SystemConfig.fast_functional()) as ctx:
+        y = ctx.blas.gemv(w, x)   # executed by the simulated PIM device
+        print("\\n".join(ctx.report()))
 """
 
 from .stack import (
     GraphBuilder,
     GraphExecutor,
     PimBlas,
+    PimContext,
+    PimServer,
     PimSystem,
+    SystemConfig,
 )
 from .pim import PimHbmDevice, PimMode, assemble, disassemble
 from .dram import HbmDevice, MemoryController, SchedulerPolicy
@@ -34,7 +37,10 @@ __all__ = [
     "GraphBuilder",
     "GraphExecutor",
     "PimBlas",
+    "PimContext",
+    "PimServer",
     "PimSystem",
+    "SystemConfig",
     "PimHbmDevice",
     "PimMode",
     "assemble",

@@ -2,10 +2,11 @@
 
 ::
 
-    python -m repro report    # full paper-vs-model reproduction report
-    python -m repro demo      # quick functional demo on the simulator
-    python -m repro specs     # Tables IV & V
-    python -m repro trace     # a GEMV kernel's command stream, annotated
+    python -m repro report       # full paper-vs-model reproduction report
+    python -m repro demo         # quick functional demo on the simulator
+    python -m repro specs        # Tables IV & V
+    python -m repro trace        # a GEMV kernel's command stream, annotated
+    python -m repro serve-bench  # serving engine under a Poisson load
 """
 
 from __future__ import annotations
@@ -33,10 +34,10 @@ def _report() -> None:
 def _demo() -> None:
     import numpy as np
 
-    from .stack import PimBlas, PimSystem
+    from .stack import PimBlas, PimSystem, SystemConfig
 
     print("Building a 4-channel PIM-HBM system...")
-    system = PimSystem(num_pchs=4, num_rows=256)
+    system = PimSystem(SystemConfig(num_pchs=4, num_rows=256))
     blas = PimBlas(system)
     rng = np.random.default_rng(0)
     w = (rng.standard_normal((512, 256)) * 0.1).astype(np.float16)
@@ -63,10 +64,10 @@ def _specs() -> None:
 def _trace() -> None:
     import numpy as np
 
-    from .stack import PimBlas, PimSystem
+    from .stack import PimBlas, PimSystem, SystemConfig
     from .tools import trace_channel
 
-    system = PimSystem(num_pchs=1, num_rows=128)
+    system = PimSystem(SystemConfig(num_pchs=1, num_rows=128))
     blas = PimBlas(system)
     rng = np.random.default_rng(0)
     w = (rng.standard_normal((128, 64)) * 0.1).astype(np.float16)
@@ -79,7 +80,52 @@ def _trace() -> None:
         print(" ", line)
 
 
-_COMMANDS = {"report": _report, "demo": _demo, "specs": _specs, "trace": _trace}
+def _serve_bench() -> None:
+    import numpy as np
+
+    from .stack import PimServer, PimSystem, SystemConfig
+
+    config = SystemConfig(num_pchs=4, num_rows=256, simulate_pchs=1)
+    m, n, length = 64, 96, 256
+    rng = np.random.default_rng(7)
+    w = (rng.standard_normal((m, n)) * 0.25).astype(np.float16)
+    print("Serving a mixed GEMV+ADD Poisson stream (2 lanes, max_batch=8)")
+    print(f"  device: {config.num_pchs} pCH, gemv {m}x{n}, add[{length}]")
+    print("  offered gap     req/s   mean batch   mean wait   p95 turnaround")
+    for gap_ns in (8000.0, 2000.0, 500.0):
+        arrivals = np.cumsum(rng.exponential(gap_ns, size=32))
+        system = PimSystem(config)
+        with PimServer(system, lanes=2, max_batch=8) as server:
+            for i, arrival in enumerate(arrivals):
+                if i % 2 == 0:
+                    server.submit(
+                        "gemv", weights=w,
+                        a=(rng.standard_normal(n) * 0.25).astype(np.float16),
+                        arrival_ns=float(arrival),
+                    )
+                else:
+                    server.submit(
+                        "add",
+                        a=(rng.standard_normal(length) * 0.25).astype(np.float16),
+                        b=(rng.standard_normal(length) * 0.25).astype(np.float16),
+                        arrival_ns=float(arrival),
+                    )
+            profile = server.run()
+        print(
+            f"  {gap_ns:8.0f}ns {profile.throughput_rps():9,.0f} "
+            f"{profile.mean_batch_size():10.1f} "
+            f"{profile.mean_wait_ns() / 1000:9.1f}us "
+            f"{profile.p95_turnaround_ns() / 1000:13.1f}us"
+        )
+
+
+_COMMANDS = {
+    "report": _report,
+    "demo": _demo,
+    "specs": _specs,
+    "trace": _trace,
+    "serve-bench": _serve_bench,
+}
 
 
 def main(argv=None) -> int:

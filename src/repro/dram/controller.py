@@ -119,6 +119,12 @@ class MemoryController:
         self.fence_penalty = fence_penalty
         self.fence_count = 0
         self._rng = random.Random(seed)
+        # Cycles this channel spent actively working through its queue,
+        # summed over drains.  A serving lane's occupancy is this against
+        # the session makespan; the gap is time the channel sat idle
+        # waiting for requests (what pipelining across channel sets is
+        # meant to eliminate).
+        self.busy_cycles = 0
         self._queue: Deque[Request] = deque()
         self._epoch = 0
         self._cycle = start_cycle
@@ -268,6 +274,7 @@ class MemoryController:
         issue_order: List[Tuple[int, Request]] = []
         read_data: Dict[Any, np.ndarray] = {}
         start_counts = dict(self.channel.cmd_counts)
+        entry_cycle = self._cycle
         active_epoch: Optional[int] = None
         while self._queue:
             head_epoch = self._queue[0].epoch
@@ -314,6 +321,7 @@ class MemoryController:
                 read_data[request.tag] = data
             issue_order.append((self._cycle, request))
             self._queue.remove(request)
+        self.busy_cycles += self._cycle - entry_cycle
         counts = {
             ct: self.channel.cmd_counts[ct] - start_counts.get(ct, 0)
             for ct in CommandType

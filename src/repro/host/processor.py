@@ -19,7 +19,7 @@ need three things from the host:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..dram.controller import MemoryController, SchedulerPolicy
 from ..dram.device import HbmDevice
@@ -124,23 +124,59 @@ class HostSystem:
         """The memory controller of one pseudo-channel."""
         return self.controllers[pch]
 
-    def now_cycles(self) -> int:
-        """Current time: channels run concurrently, so the max front."""
-        return max(c.current_cycle for c in self.controllers)
+    def resolve_pchs(self, pchs: Union[None, int, Sequence[int]]) -> List[int]:
+        """Normalise a channel selector to a list of channel indices.
 
-    def sync_channels(self) -> int:
-        """Barrier across all thread groups: align channel clocks."""
-        now = self.now_cycles()
-        for controller in self.controllers:
+        ``None`` means every channel, an ``int`` means the first N (the
+        historical ``simulate_pchs`` convention), and a sequence names an
+        explicit channel set (a serving lane).
+        """
+        if pchs is None:
+            return list(range(len(self.controllers)))
+        if isinstance(pchs, int):
+            return list(range(min(pchs, len(self.controllers))))
+        return list(pchs)
+
+    def now_cycles(self, pchs: Union[None, int, Sequence[int]] = None) -> int:
+        """Current time over a channel set: channels run concurrently, so
+        the max front."""
+        ids = self.resolve_pchs(pchs)
+        return max(self.controllers[i].current_cycle for i in ids)
+
+    def sync_set(self, pchs: Union[None, int, Sequence[int]] = None) -> int:
+        """Barrier across one channel set's thread groups only.
+
+        This is the per-channel-set fence the serving engine relies on:
+        kernels bound to a lane align their own channels' clocks without
+        stalling — or even observing — channels leased to other lanes.
+        """
+        ids = self.resolve_pchs(pchs)
+        now = self.now_cycles(ids)
+        for i in ids:
+            controller = self.controllers[i]
             controller._next_ca = max(controller._next_ca, now)
             controller._cycle = max(controller._cycle, now)
         return now
 
+    def sync_channels(self) -> int:
+        """Barrier across all thread groups: align channel clocks."""
+        return self.sync_set(None)
+
+    def drain_set(self, pchs: Union[None, int, Sequence[int]] = None) -> int:
+        """Drain one channel set's queues and align only those clocks."""
+        ids = self.resolve_pchs(pchs)
+        for i in ids:
+            self.controllers[i].drain()
+        return self.sync_set(ids)
+
+    def fence_set(self, pchs: Union[None, int, Sequence[int]] = None) -> None:
+        """Insert a fence on every controller of one channel set."""
+        for i in self.resolve_pchs(pchs):
+            self.controllers[i].fence()
+
     def drain_all(self) -> int:
         """Drain every channel's queue and align the clocks."""
-        for controller in self.controllers:
-            controller.drain()
-        return self.sync_channels()
+        return self.drain_set(None)
 
     def cycles_to_ns(self, cycles: int) -> float:
         """Convert CA-clock cycles to nanoseconds."""

@@ -16,7 +16,7 @@ from .graph import (
     Node,
     RunReport,
 )
-from .driver import PimAllocationError, PimDeviceDriver, RowSetRange
+from .driver import ChannelSet, PimAllocationError, PimDeviceDriver, RowSetRange
 from .memory import (
     MicrokernelCache,
     PimLayout,
@@ -33,8 +33,16 @@ from .kernels import (
 )
 from .collaborative import CollaborativeGemv, CollaborativeReport, optimal_split
 from .lstm import LstmLayerOperator, LstmStepReport
-from .profiler import KernelProfile, Profiler, SessionProfile
-from .runtime import PimExecutor, PimSystem
+from .profiler import (
+    KernelProfile,
+    Profiler,
+    RequestStats,
+    ServingProfile,
+    SessionProfile,
+)
+from .runtime import PimExecutor, PimSystem, SystemConfig
+from .server import PimRequest, PimServer
+from .context import PimContext
 
 __all__ = [
     "PimBlas",
@@ -43,6 +51,7 @@ __all__ = [
     "gemv_reference",
     "mul_reference",
     "relu_reference",
+    "ChannelSet",
     "PimAllocationError",
     "PimDeviceDriver",
     "RowSetRange",
@@ -58,9 +67,15 @@ __all__ = [
     "LstmStepReport",
     "KernelProfile",
     "Profiler",
+    "RequestStats",
+    "ServingProfile",
     "SessionProfile",
     "PimExecutor",
     "PimSystem",
+    "SystemConfig",
+    "PimContext",
+    "PimRequest",
+    "PimServer",
     "MicrokernelCache",
     "PimLayout",
     "aligned_size",

@@ -1,0 +1,102 @@
+"""One-object entry point to the whole software stack.
+
+The historical way to stand up the evaluation platform was to assemble
+``PimSystem`` + ``PimBlas`` + ``Profiler`` by hand and thread nine keyword
+arguments through.  :class:`PimContext` replaces that with a single
+context-managed object configured by one :class:`~repro.stack.runtime.SystemConfig`::
+
+    from repro.stack import PimContext, SystemConfig
+
+    with PimContext(SystemConfig.fast_functional()) as ctx:
+        y = ctx.blas.gemv(w, x)           # reports="profile": result only
+        with ctx.server(lanes=2) as srv:  # serving engine on the same device
+            ...
+        print("\\n".join(ctx.report()))
+
+Inside the context the BLAS runs in ``reports="profile"`` mode: calls
+return plain results and every execution report is folded into the
+context's profiler.  Pass ``reports="attach"`` to keep the historical
+``(result, report)`` tuples while still using the new assembly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .blas import PimBlas
+from .profiler import Profiler
+from .runtime import PimSystem, SystemConfig
+from .server import PimServer
+
+__all__ = ["PimContext"]
+
+
+class PimContext:
+    """The assembled platform: system + driver + BLAS + profiler."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        reports: str = "profile",
+    ):
+        self.config = config or SystemConfig()
+        self.system = PimSystem(self.config)
+        self.profiler = Profiler()
+        self.blas = PimBlas(
+            self.system,
+            simulate_pchs=self.config.simulate_pchs,
+            reports=reports,
+            profiler=self.profiler if reports == "profile" else None,
+        )
+        self._servers: List[PimServer] = []
+
+    def __enter__(self) -> "PimContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release any serving lanes still leased from the driver."""
+        for server in self._servers:
+            server.close()
+        self._servers = []
+
+    # -- factories ----------------------------------------------------------------
+
+    def server(
+        self,
+        lanes: int = 2,
+        max_batch: int = 8,
+        simulate_pchs: Optional[int] = None,
+    ) -> PimServer:
+        """A serving engine over this context's device and profiler.
+
+        The server's per-request statistics and batch reports land in this
+        context's profiler; its channel leases are released when the server
+        (or the context) closes.
+        """
+        server = PimServer(
+            self.system,
+            lanes=lanes,
+            max_batch=max_batch,
+            simulate_pchs=(
+                simulate_pchs
+                if simulate_pchs is not None
+                else self.config.simulate_pchs
+            ),
+            profiler=self.profiler,
+        )
+        self._servers.append(server)
+        return server
+
+    # -- reporting ----------------------------------------------------------------
+
+    def report(self, tccd_l: int = 4) -> List[str]:
+        """Render the profiler's kernel table plus any serving session."""
+        lines = ["kernel profile:"]
+        lines.extend(self.profiler.profile.render(tccd_l=tccd_l))
+        if self.profiler.serving is not None:
+            lines.append("serving profile:")
+            lines.extend(self.profiler.serving.render())
+        return lines

@@ -16,11 +16,11 @@ are never allocatable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..pim.device import PimHbmDevice
 
-__all__ = ["RowSetRange", "PimDeviceDriver", "PimAllocationError"]
+__all__ = ["RowSetRange", "ChannelSet", "PimDeviceDriver", "PimAllocationError"]
 
 
 class PimAllocationError(RuntimeError):
@@ -45,6 +45,25 @@ class RowSetRange:
         return self.start + index
 
 
+@dataclass(frozen=True)
+class ChannelSet:
+    """A disjoint set of pseudo-channels leased to one serving lane.
+
+    Channel independence (Section VIII) is what makes this sound: each
+    pseudo-channel has its own controller and mode FSM, so kernels running
+    on disjoint channel sets never observe each other — the property the
+    request-serving engine exploits to pipeline operators.
+    """
+
+    channels: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def __iter__(self):
+        return iter(self.channels)
+
+
 class PimDeviceDriver:
     """Reserves and allocates the PIM memory region of a device."""
 
@@ -55,6 +74,11 @@ class PimDeviceDriver:
         self._limit = self.memory_map.first_reserved_row
         self._cursor = 0
         self._allocations: List[RowSetRange] = []
+        # Freed blocks, kept sorted by start and coalesced; allocations
+        # first-fit from here before bumping the cursor.
+        self._free_list: List[RowSetRange] = []
+        # Channel leases: channel index -> True while leased to a lane.
+        self._leased_channels: set = set()
         self.uncacheable = True  # the whole region bypasses the cache
 
     @property
@@ -63,7 +87,8 @@ class PimDeviceDriver:
 
     @property
     def rows_free(self) -> int:
-        return self._limit - self._cursor
+        reclaimed = sum(b.num_rows for b in self._free_list)
+        return self._limit - self._cursor + reclaimed
 
     def bytes_per_row_set(self) -> int:
         """Capacity of one row set across the whole device."""
@@ -76,6 +101,19 @@ class PimDeviceDriver:
         """Allocate ``count`` physically contiguous row sets."""
         if count <= 0:
             raise PimAllocationError("allocation must be positive")
+        # First fit from the free list (rows reclaimed by operator-cache
+        # eviction), splitting the block if it is larger than needed.
+        for i, candidate in enumerate(self._free_list):
+            if candidate.num_rows >= count:
+                block = RowSetRange(candidate.start, candidate.start + count)
+                if candidate.num_rows == count:
+                    self._free_list.pop(i)
+                else:
+                    self._free_list[i] = RowSetRange(
+                        candidate.start + count, candidate.stop
+                    )
+                self._allocations.append(block)
+                return block
         if self._cursor + count > self._limit:
             raise PimAllocationError(
                 f"requested {count} row sets, only {self.rows_free} free"
@@ -91,10 +129,70 @@ class PimDeviceDriver:
         rows = -(-nbytes // per_row)
         return self.alloc_rows(rows)
 
+    def free(self, block: RowSetRange) -> None:
+        """Return a block to the pool (operator-cache eviction path)."""
+        try:
+            self._allocations.remove(block)
+        except ValueError:
+            raise PimAllocationError(f"block {block} was not allocated")
+        self._free_list.append(block)
+        self._free_list.sort(key=lambda b: b.start)
+        # Coalesce neighbours so long-running serving sessions don't
+        # fragment the region.
+        merged: List[RowSetRange] = []
+        for b in self._free_list:
+            if merged and merged[-1].stop == b.start:
+                merged[-1] = RowSetRange(merged[-1].start, b.stop)
+            else:
+                merged.append(b)
+        # A block touching the bump cursor is given back to the cursor.
+        if merged and merged[-1].stop == self._cursor:
+            self._cursor = merged[-1].start
+            merged.pop()
+        self._free_list = merged
+
     def reset(self) -> None:
         """Free everything (bump allocator, per-process teardown)."""
         self._cursor = 0
         self._allocations.clear()
+        self._free_list.clear()
+        self._leased_channels.clear()
+
+    # -- channel-set leases -----------------------------------------------------
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.device)
+
+    @property
+    def channels_free(self) -> List[int]:
+        return [
+            p for p in range(self.num_channels) if p not in self._leased_channels
+        ]
+
+    def alloc_channels(self, count: int) -> ChannelSet:
+        """Lease ``count`` pseudo-channels to one serving lane.
+
+        Lanes hold disjoint sets; kernels bound to a lane only touch its
+        controllers, so independent operators pipeline across lanes.
+        """
+        free = self.channels_free
+        if count <= 0:
+            raise PimAllocationError("channel lease must be positive")
+        if count > len(free):
+            raise PimAllocationError(
+                f"requested {count} channels, only {len(free)} free"
+            )
+        leased = tuple(free[:count])
+        self._leased_channels.update(leased)
+        return ChannelSet(leased)
+
+    def release_channels(self, channel_set: ChannelSet) -> None:
+        """Return a leased channel set to the pool."""
+        for p in channel_set:
+            if p not in self._leased_channels:
+                raise PimAllocationError(f"channel {p} was not leased")
+        self._leased_channels.difference_update(channel_set.channels)
 
     def check_row(self, row: int) -> None:
         """Raise if ``row`` is outside the allocatable PIM region."""

@@ -29,7 +29,7 @@ reordering only within the 8-register GRF window (Section IV-C / VII-B).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -49,6 +49,11 @@ __all__ = [
 ]
 
 _COL_GROUP = GRF_REGS  # 8 columns per AAM window / fence interval
+
+# A channel selector: None = all channels, int = the first N (the
+# historical ``simulate_pchs`` convention), or an explicit sequence of
+# channel indices (a serving lane's channel set).
+ChannelSelector = Union[None, int, Sequence[int]]
 
 
 @dataclass
@@ -114,22 +119,30 @@ class PimSession:
             raise TypeError("PimSession requires a PIM-HBM device")
         self.map = channel.memory_map
 
-    def _each(self, count: Optional[int] = None):
-        controllers = self.sys.controllers
-        if count is not None:
-            controllers = controllers[:count]
-        return controllers
+    def _ids(self, pchs: ChannelSelector = None) -> List[int]:
+        resolve = getattr(self.sys, "resolve_pchs", None)
+        if resolve is not None:
+            return resolve(pchs)
+        count = len(self.sys.controllers)
+        if pchs is None:
+            return list(range(count))
+        if isinstance(pchs, int):
+            return list(range(min(pchs, count)))
+        return list(pchs)
+
+    def _each(self, pchs: ChannelSelector = None):
+        return [self.sys.controllers[i] for i in self._ids(pchs)]
 
     # -- mode transitions ------------------------------------------------------
 
-    def enter_ab(self, pchs: Optional[int] = None) -> None:
-        """PREA + (ACT, PRE) to the ABMR row on every channel."""
+    def enter_ab(self, pchs: ChannelSelector = None) -> None:
+        """PREA + (ACT, PRE) to the ABMR row on the selected channels."""
         for mc in self._each(pchs):
             mc.drain()
             mc.precharge_all()
             mc.closed_page_access(0, 0, self.map.abmr_row)
 
-    def exit_to_sb(self, pchs: Optional[int] = None) -> None:
+    def exit_to_sb(self, pchs: ChannelSelector = None) -> None:
         """PREA + (ACT, PRE) to the SBMR row: back to standard DRAM."""
         for mc in self._each(pchs):
             mc.drain()
@@ -146,7 +159,7 @@ class PimSession:
 
     # -- register programming ----------------------------------------------------
 
-    def program_crf(self, source: str, pchs: Optional[int] = None) -> None:
+    def program_crf(self, source: str, pchs: ChannelSelector = None) -> None:
         """Assemble and broadcast a microkernel into every unit's CRF.
 
         The memory manager caches microkernel code (Section V-A): when a
@@ -166,7 +179,8 @@ class PimSession:
         words = cache.get(source)
         image = np.array(words, dtype="<u4").view(np.uint8)
         cols = len(image) // GRF_REG_BYTES
-        for index, mc in enumerate(self._each(pchs)):
+        for index in self._ids(pchs):
+            mc = self.sys.controllers[index]
             if loaded.get(index) == source:
                 continue  # the CRF already holds this microkernel
             for col in range(cols):
@@ -185,7 +199,7 @@ class PimSession:
         self,
         mul_scalars: Optional[np.ndarray] = None,
         add_scalars: Optional[np.ndarray] = None,
-        pchs: Optional[int] = None,
+        pchs: ChannelSelector = None,
     ) -> None:
         """Program SRF_M / SRF_A (each 8 FP16 scalars, zero-padded)."""
         for mc in self._each(pchs):
@@ -206,33 +220,65 @@ class PimSession:
 
 @dataclass(frozen=True)
 class GemvPlan:
-    """Placement plan for one GEMV operand set."""
+    """Placement plan for one GEMV operand set.
+
+    The *layout* is expressed in **slices** of the input dimension, not in
+    physical channels: the FP16 MAC grouping (and therefore the bit-exact
+    result) depends only on ``num_slices``.  A kernel bound to a channel
+    set smaller than ``num_slices`` runs several slices per channel in
+    consecutive *passes*, so a serving lane on 2 of 4 channels still
+    produces results bit-identical to a whole-device invocation.
+    """
 
     m: int
     n: int
-    num_pchs: int
-    n_slice: int  # padded input dims per pCH
+    num_slices: int  # input-dimension slices (canonical math shape)
+    n_slice: int  # padded input dims per slice
     chunks: int  # n_slice // 8
     tiles: int  # output tiles of 128
     chunks_per_row: int
     rows_per_tile: int
+    passes: int  # slices executed per channel (ceil(num_slices / channels))
+    batch_slots: int  # independent partial-sum areas for fused batching
     weight_base_row: int
     out_base_row: int
+
+    @property
+    def num_pchs(self) -> int:
+        """Historical alias: slices coincided with channels before lanes."""
+        return self.num_slices
 
     @property
     def outputs_per_tile(self) -> int:
         return UNITS_PER_PCH * LANES
 
-    def weight_location(self, tile: int, chunk: int) -> Tuple[int, int]:
+    @property
+    def weight_rows_per_pass(self) -> int:
+        return self.tiles * self.rows_per_tile
+
+    @property
+    def out_rows_per_pass(self) -> int:
+        return -(-self.tiles // self.chunks_per_row)
+
+    def weight_location(self, tile: int, chunk: int, pass_: int = 0) -> Tuple[int, int]:
         """(row, column base) of a weight chunk for one tile."""
-        row = self.weight_base_row + tile * self.rows_per_tile + chunk // self.chunks_per_row
+        row = (
+            self.weight_base_row
+            + pass_ * self.weight_rows_per_pass
+            + tile * self.rows_per_tile
+            + chunk // self.chunks_per_row
+        )
         col_base = (chunk % self.chunks_per_row) * _COL_GROUP
         return row, col_base
 
-    def out_location(self, tile: int) -> Tuple[int, int]:
+    def out_location(self, tile: int, pass_: int = 0, slot: int = 0) -> Tuple[int, int]:
         """(row, column base) of a tile's 8 partial-sum columns."""
         tiles_per_row = self.chunks_per_row
-        row = self.out_base_row + tile // tiles_per_row
+        row = (
+            self.out_base_row
+            + (slot * self.passes + pass_) * self.out_rows_per_pass
+            + tile // tiles_per_row
+        )
         col_base = (tile % tiles_per_row) * _COL_GROUP
         return row, col_base
 
@@ -257,38 +303,86 @@ class GemvKernel:
     EXIT
     """
 
-    def __init__(self, system: HostSystem, m: int, n: int):
+    def __init__(
+        self,
+        system: HostSystem,
+        m: int,
+        n: int,
+        channels: Optional[Sequence[int]] = None,
+        layout_pchs: Optional[int] = None,
+        max_batch: int = 1,
+    ):
         self.sys = system
         self.session = PimSession(system)
         self.m = m
         self.n = n
+        if channels is None:
+            channels = range(system.num_pchs)
+        self.channels: Tuple[int, ...] = tuple(channels)
+        if not self.channels:
+            raise ValueError("GemvKernel needs at least one channel")
+        for p in self.channels:
+            if not 0 <= p < system.num_pchs:
+                raise ValueError(f"channel {p} out of range")
+        # The layout slice count fixes the FP16 accumulation grouping, so
+        # results are independent of which (and how many) channels execute
+        # the kernel; it defaults to the whole device's channel count.
+        self.layout_pchs = system.num_pchs if layout_pchs is None else layout_pchs
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = max_batch
+        self._block = None  # RowSetRange, set by _plan via the driver
         self.plan = self._plan(m, n)
         self._weights: Optional[np.ndarray] = None  # padded, fp16
+        self._released = False
 
     def _plan(self, m: int, n: int) -> GemvPlan:
-        num_pchs = self.sys.num_pchs
+        num_slices = self.layout_pchs
         cols_per_row = self.sys.device.config.bank_config.cols_per_row
         chunks_per_row = cols_per_row // _COL_GROUP
-        n_slice = -(-n // num_pchs)
+        n_slice = -(-n // num_slices)
         n_slice = -(-n_slice // _COL_GROUP) * _COL_GROUP
         chunks = n_slice // _COL_GROUP
         tiles = -(-m // (UNITS_PER_PCH * LANES))
         rows_per_tile = -(-chunks // chunks_per_row)
-        weight_rows = tiles * rows_per_tile
-        out_rows = -(-tiles // chunks_per_row)
+        passes = -(-num_slices // len(self.channels))
+        weight_rows = passes * tiles * rows_per_tile
+        out_rows_per_pass = -(-tiles // chunks_per_row)
+        out_rows = self.max_batch * passes * out_rows_per_pass
         block = _alloc_rows(self.sys, weight_rows + out_rows)
+        self._block = block
         return GemvPlan(
             m=m,
             n=n,
-            num_pchs=num_pchs,
+            num_slices=num_slices,
             n_slice=n_slice,
             chunks=chunks,
             tiles=tiles,
             chunks_per_row=chunks_per_row,
             rows_per_tile=rows_per_tile,
+            passes=passes,
+            batch_slots=self.max_batch,
             weight_base_row=block.start,
             out_base_row=block.start + weight_rows,
         )
+
+    def _slice_channel(self, s: int) -> Tuple[int, int]:
+        """(channel index, pass) executing slice ``s``."""
+        k = len(self.channels)
+        return self.channels[s % k], s // k
+
+    def release(self) -> None:
+        """Return the kernel's rows to the driver (cache eviction)."""
+        if self._released:
+            return
+        self._released = True
+        driver = getattr(self.sys, "driver", None)
+        if driver is not None and self._block is not None:
+            driver.free(self._block)
+
+    def _check_alive(self) -> None:
+        if self._released:
+            raise RuntimeError("kernel was evicted; its rows were reclaimed")
 
     # -- staging ------------------------------------------------------------------
 
@@ -298,23 +392,25 @@ class GemvKernel:
         Performed by the PIM BLAS when weights are first brought to memory
         (Section VIII); not part of per-invocation timing.
         """
+        self._check_alive()
         w = np.asarray(w, dtype=np.float16)
         if w.shape != (self.m, self.n):
             raise ValueError(f"expected {(self.m, self.n)} weights, got {w.shape}")
         plan = self.plan
         padded = np.zeros(
-            (plan.tiles * plan.outputs_per_tile, plan.num_pchs * plan.n_slice),
+            (plan.tiles * plan.outputs_per_tile, plan.num_slices * plan.n_slice),
             dtype=np.float16,
         )
         padded[: self.m, : self.n] = w
         self._weights = padded
-        for p in range(plan.num_pchs):
-            channel = self.sys.device.pch(p)
+        for s in range(plan.num_slices):
+            pch, pass_ = self._slice_channel(s)
+            channel = self.sys.device.pch(pch)
             for tile in range(plan.tiles):
                 for chunk in range(plan.chunks):
-                    row, col_base = plan.weight_location(tile, chunk)
+                    row, col_base = plan.weight_location(tile, chunk, pass_)
                     for j in range(_COL_GROUP):
-                        dim = p * plan.n_slice + chunk * _COL_GROUP + j
+                        dim = s * plan.n_slice + chunk * _COL_GROUP + j
                         for unit in range(UNITS_PER_PCH):
                             out0 = tile * plan.outputs_per_tile + unit * LANES
                             column = np.ascontiguousarray(
@@ -337,40 +433,49 @@ class GemvKernel:
         bit-equivalent vectorised model and their results staged so the
         device state matches a full run.
         """
+        self._check_alive()
         if self._weights is None:
             raise RuntimeError("load_weights() before invoking the kernel")
         x = np.asarray(x, dtype=np.float16)
         if x.shape != (self.n,):
             raise ValueError(f"expected input of shape ({self.n},)")
         plan = self.plan
-        nsim = plan.num_pchs if simulate_pchs is None else min(simulate_pchs, plan.num_pchs)
-        x_padded = np.zeros(plan.num_pchs * plan.n_slice, dtype=np.float16)
+        k = len(self.channels)
+        nsim_ch = k if simulate_pchs is None else min(simulate_pchs, k)
+        sim_channels = self.channels[:nsim_ch]
+        x_padded = np.zeros(plan.num_slices * plan.n_slice, dtype=np.float16)
         x_padded[: self.n] = x
 
         report = ExecutionReport(
             kernel=f"gemv[{self.m}x{self.n}]",
-            simulated_pchs=nsim,
-            total_pchs=plan.num_pchs,
+            simulated_pchs=self._simulated_slices(nsim_ch),
+            total_pchs=plan.num_slices,
         )
-        start = self.sys.drain_all()
-        self.session.enter_ab(pchs=nsim)
+        start = self.sys.drain_set(self.channels)
+        self.session.enter_ab(pchs=sim_channels)
         self.session.program_crf(
-            self.MICROKERNEL.format(reps=plan.chunks - 1), pchs=nsim
+            self.MICROKERNEL.format(reps=plan.chunks - 1), pchs=sim_channels
         )
-        for p in range(nsim):
-            self._stream_pch(p, x_padded)
-        self.session.exit_to_sb(pchs=nsim)
-        for p in range(nsim, plan.num_pchs):
-            self._shortcut_pch(p, x_padded)
-        partials = self._read_partials(nsim)
-        end = self.sys.drain_all()
+        for s in range(plan.num_slices):
+            if s % k < nsim_ch:
+                self._stream_slice(s, x_padded)
+        self.session.exit_to_sb(pchs=sim_channels)
+        for s in range(plan.num_slices):
+            if s % k >= nsim_ch:
+                self._shortcut_slice(s, x_padded)
+        partials = self._read_partials(nsim_ch)
+        end = self.sys.drain_set(self.channels)
 
         y = partials.astype(np.float32).sum(axis=(0, 1))[: self.m]
-        self._fill_report(report, start, end)
+        self._account_commands(report)
+        self._fill_timing(report, start, end, launches=1)
         return y, report
 
     def batched(
-        self, xs: np.ndarray, simulate_pchs: Optional[int] = None
+        self,
+        xs: np.ndarray,
+        simulate_pchs: Optional[int] = None,
+        fused: bool = False,
     ) -> Tuple[np.ndarray, ExecutionReport]:
         """Run a batch of inputs through the resident operator.
 
@@ -378,14 +483,24 @@ class GemvKernel:
         batch dimension), which is exactly why Fig. 10 shows the speedup
         shrinking with batch size while the host amortises into GEMM.
         The operator setup (weights, microkernel cache) is shared.
+
+        With ``fused=True`` — the serving engine's batched entry point —
+        the whole batch runs as *one* kernel launch: one SB->AB transition
+        and one CRF broadcast cover up to ``max_batch`` inputs, each batch
+        element writing its partial sums to its own out-row slot (larger
+        batches are processed in groups of ``max_batch``).  The outputs
+        are bit-identical to ``fused=False``; only the setup overheads are
+        amortised.
         """
         xs = np.asarray(xs, dtype=np.float16)
         if xs.ndim != 2 or xs.shape[1] != self.n:
             raise ValueError(f"expected batch of shape (B, {self.n})")
+        if fused:
+            return self._batched_fused(xs, simulate_pchs)
         outputs = []
         merged = ExecutionReport(
             kernel=f"gemv[{self.m}x{self.n}]xB{xs.shape[0]}",
-            total_pchs=self.plan.num_pchs,
+            total_pchs=self.plan.num_slices,
         )
         for x in xs:
             y, report = self(x, simulate_pchs=simulate_pchs)
@@ -400,49 +515,98 @@ class GemvKernel:
             merged.simulated_pchs = report.simulated_pchs
         return np.stack(outputs), merged
 
-    def _stream_pch(self, p: int, x_padded: np.ndarray) -> None:
+    def _batched_fused(
+        self, xs: np.ndarray, simulate_pchs: Optional[int]
+    ) -> Tuple[np.ndarray, ExecutionReport]:
+        self._check_alive()
+        if self._weights is None:
+            raise RuntimeError("load_weights() before invoking the kernel")
         plan = self.plan
-        mc = self.sys.controller(p)
+        k = len(self.channels)
+        nsim_ch = k if simulate_pchs is None else min(simulate_pchs, k)
+        sim_channels = self.channels[:nsim_ch]
+        batch = xs.shape[0]
+        merged = ExecutionReport(
+            kernel=f"gemv[{self.m}x{self.n}]xB{batch}",
+            simulated_pchs=self._simulated_slices(nsim_ch),
+            total_pchs=plan.num_slices,
+        )
+        outputs: List[np.ndarray] = []
+        launches = 0
+        start = self.sys.drain_set(self.channels)
+        for base in range(0, batch, plan.batch_slots):
+            group = xs[base : base + plan.batch_slots]
+            padded = []
+            for x in group:
+                xp = np.zeros(plan.num_slices * plan.n_slice, dtype=np.float16)
+                xp[: self.n] = x
+                padded.append(xp)
+            launches += 1
+            self.session.enter_ab(pchs=sim_channels)
+            self.session.program_crf(
+                self.MICROKERNEL.format(reps=plan.chunks - 1), pchs=sim_channels
+            )
+            for slot, xp in enumerate(padded):
+                for s in range(plan.num_slices):
+                    if s % k < nsim_ch:
+                        self._stream_slice(s, xp, slot=slot)
+            self.session.exit_to_sb(pchs=sim_channels)
+            for slot, xp in enumerate(padded):
+                for s in range(plan.num_slices):
+                    if s % k >= nsim_ch:
+                        self._shortcut_slice(s, xp, slot=slot)
+                partials = self._read_partials(nsim_ch, slot=slot)
+                outputs.append(partials.astype(np.float32).sum(axis=(0, 1))[: self.m])
+        end = self.sys.drain_set(self.channels)
+        self._account_commands(merged, invocations=batch)
+        self._fill_timing(merged, start, end, launches=launches)
+        return np.stack(outputs), merged
+
+    def _stream_slice(self, s: int, x_padded: np.ndarray, slot: int = 0) -> None:
+        plan = self.plan
+        pch, pass_ = self._slice_channel(s)
+        mc = self.sys.controller(pch)
         for tile in range(plan.tiles):
             self.session.zero_grf_b(mc)
             self.session.set_pim_op_mode(mc, True)
             for chunk in range(plan.chunks):
-                row, col_base = plan.weight_location(tile, chunk)
+                row, col_base = plan.weight_location(tile, chunk, pass_)
                 for j in range(_COL_GROUP):
-                    value = x_padded[p * plan.n_slice + chunk * _COL_GROUP + j]
+                    value = x_padded[s * plan.n_slice + chunk * _COL_GROUP + j]
                     burst = np.full(LANES, value, dtype=np.float16).view(np.uint8)
                     mc.write(0, 0, row, col_base + j, burst)
                 mc.fence()
                 for j in range(_COL_GROUP):
                     mc.read(0, 0, row, col_base + j)
                 mc.fence()
-            out_row, out_base = plan.out_location(tile)
+            out_row, out_base = plan.out_location(tile, pass_, slot)
             for j in range(_COL_GROUP):
                 mc.write(0, 0, out_row, out_base + j, _dummy_column())
             mc.fence()
             self.session.set_pim_op_mode(mc, False)
             mc.drain()
 
-    def _shortcut_pch(self, p: int, x_padded: np.ndarray) -> None:
-        """Bit-equivalent functional model of one pCH's slice.
+    def _shortcut_slice(self, s: int, x_padded: np.ndarray, slot: int = 0) -> None:
+        """Bit-equivalent functional model of one input slice.
 
         Reproduces the sequential FP16 MAC order (one MAC per chunk into
         each sub-accumulator) and pokes the partial sums where the epilogue
         MOV would have written them.
         """
         plan = self.plan
-        channel = self.sys.device.pch(p)
+        pch, pass_ = self._slice_channel(s)
+        channel = self.sys.device.pch(pch)
         w = self._weights
         for tile in range(plan.tiles):
             out0 = tile * plan.outputs_per_tile
             acc = np.zeros((plan.outputs_per_tile, _COL_GROUP), dtype=np.float16)
             for chunk in range(plan.chunks):
-                dims = p * plan.n_slice + chunk * _COL_GROUP
+                dims = s * plan.n_slice + chunk * _COL_GROUP
                 wk = w[out0 : out0 + plan.outputs_per_tile, dims : dims + _COL_GROUP]
                 xk = x_padded[dims : dims + _COL_GROUP]
                 prod = (wk * xk[np.newaxis, :]).astype(np.float16)
                 acc = (acc + prod).astype(np.float16)
-            out_row, out_base = plan.out_location(tile)
+            out_row, out_base = plan.out_location(tile, pass_, slot)
             for unit in range(UNITS_PER_PCH):
                 for j in range(_COL_GROUP):
                     column = np.ascontiguousarray(
@@ -452,60 +616,82 @@ class GemvKernel:
                         out_row, out_base + j, column.view(np.uint8)
                     )
 
-    def _read_partials(self, nsim: int) -> np.ndarray:
+    def _read_partials(self, nsim_ch: int, slot: int = 0) -> np.ndarray:
         """Read partial sums back (timed SB-mode reads on simulated pCHs)."""
         plan = self.plan
+        k = len(self.channels)
         partials = np.zeros(
-            (plan.num_pchs, _COL_GROUP, plan.tiles * plan.outputs_per_tile),
+            (plan.num_slices, _COL_GROUP, plan.tiles * plan.outputs_per_tile),
             dtype=np.float16,
         )
-        for p in range(plan.num_pchs):
-            mc = self.sys.controller(p)
-            timed = p < nsim
+        for pos, pch in enumerate(self.channels):
+            mc = self.sys.controller(pch)
+            timed = pos < nsim_ch
+            slices = range(pos, plan.num_slices, k)
             columns = {}
-            for tile in range(plan.tiles):
-                out_row, out_base = plan.out_location(tile)
-                for unit in range(UNITS_PER_PCH):
-                    bg, ba = _bank_coords(2 * unit)
-                    for j in range(_COL_GROUP):
-                        if timed:
-                            mc.read(bg, ba, out_row, out_base + j, tag=(tile, unit, j))
             if timed:
+                for s in slices:
+                    pass_ = s // k
+                    for tile in range(plan.tiles):
+                        out_row, out_base = plan.out_location(tile, pass_, slot)
+                        for unit in range(UNITS_PER_PCH):
+                            bg, ba = _bank_coords(2 * unit)
+                            for j in range(_COL_GROUP):
+                                mc.read(
+                                    bg, ba, out_row, out_base + j,
+                                    tag=(s, tile, unit, j),
+                                )
                 columns = mc.drain().read_data
-            channel = self.sys.device.pch(p)
-            for tile in range(plan.tiles):
-                out_row, out_base = plan.out_location(tile)
-                out0 = tile * plan.outputs_per_tile
-                for unit in range(UNITS_PER_PCH):
-                    for j in range(_COL_GROUP):
-                        if timed:
-                            raw = columns[(tile, unit, j)]
-                        else:
-                            raw = channel.banks[2 * unit].peek(out_row, out_base + j)
-                        partials[p, j, out0 + unit * LANES : out0 + (unit + 1) * LANES] = (
-                            raw.view(np.float16)
-                        )
+            channel = self.sys.device.pch(pch)
+            for s in slices:
+                pass_ = s // k
+                for tile in range(plan.tiles):
+                    out_row, out_base = plan.out_location(tile, pass_, slot)
+                    out0 = tile * plan.outputs_per_tile
+                    for unit in range(UNITS_PER_PCH):
+                        for j in range(_COL_GROUP):
+                            if timed:
+                                raw = columns[(s, tile, unit, j)]
+                            else:
+                                raw = channel.banks[2 * unit].peek(
+                                    out_row, out_base + j
+                                )
+                            partials[
+                                s, j, out0 + unit * LANES : out0 + (unit + 1) * LANES
+                            ] = raw.view(np.float16)
         return partials
 
-    def _fill_report(self, report: ExecutionReport, start: int, end: int) -> None:
-        report.cycles = end - start
-        report.ns = (
-            self.sys.cycles_to_ns(report.cycles) + self.sys.host.kernel_launch_ns
-        )
+    def _simulated_slices(self, nsim_ch: int) -> int:
+        k = len(self.channels)
+        return sum(1 for s in range(self.plan.num_slices) if s % k < nsim_ch)
+
+    def _account_commands(self, report: ExecutionReport, invocations: int = 1) -> None:
+        """Fill the command/FLOP/traffic counters (per simulated slice)."""
         plan = self.plan
-        per_pch_cols = plan.tiles * (plan.chunks * 2 * _COL_GROUP + _COL_GROUP)
-        report.column_commands = per_pch_cols * report.simulated_pchs
-        report.fences = plan.tiles * (plan.chunks * 2 + 3) * report.simulated_pchs
+        scale = report.simulated_pchs * invocations
+        per_slice_cols = plan.tiles * (plan.chunks * 2 * _COL_GROUP + _COL_GROUP)
+        report.column_commands = per_slice_cols * scale
+        report.fences = plan.tiles * (plan.chunks * 2 + 3) * scale
         units = UNITS_PER_PCH
-        report.pim_instructions = per_pch_cols * units * report.simulated_pchs
+        report.pim_instructions = per_slice_cols * units * scale
         report.pim_flops = (
             plan.tiles * plan.chunks * _COL_GROUP * units * LANES * 2
-        ) * report.simulated_pchs
+        ) * scale
         # Off-chip traffic: the staged x bursts plus partial-sum readback.
         report.host_bytes = (
             plan.tiles * plan.chunks * _COL_GROUP * GRF_REG_BYTES
             + plan.tiles * units * _COL_GROUP * GRF_REG_BYTES
-        ) * report.simulated_pchs
+        ) * scale
+
+    def _fill_timing(
+        self, report: ExecutionReport, start: int, end: int, launches: int = 1
+    ) -> None:
+        report.cycles = end - start
+        report.ns = (
+            self.sys.cycles_to_ns(report.cycles)
+            + launches * self.sys.host.kernel_launch_ns
+        )
+        report.notes["launches"] = launches
 
 
 # ---------------------------------------------------------------------------
@@ -603,7 +789,7 @@ ELEMENTWISE_OPS: Dict[str, ElementwiseOp] = {
 @dataclass(frozen=True)
 class ElementwisePlan:
     length: int
-    num_pchs: int
+    num_pchs: int  # channel *slots* of the executing set, not device channels
     blocks: int  # padded 16-element blocks, total
     seq_per_unit: int  # blocks per unit stream (padded to 8)
     groups: int  # 8-column groups per unit stream
@@ -618,20 +804,41 @@ class ElementwisePlan:
 
 
 class ElementwiseKernel:
-    """Elementwise vector operator over the PIM region."""
+    """Elementwise vector operator over the PIM region.
 
-    def __init__(self, system: HostSystem, op: str, length: int):
+    ``channels`` binds the operator to a subset of pseudo-channels (a
+    serving lane); elementwise math is per-block, so the result is
+    bit-identical regardless of the executing channel set.
+    """
+
+    def __init__(
+        self,
+        system: HostSystem,
+        op: str,
+        length: int,
+        channels: Optional[Sequence[int]] = None,
+    ):
         if op not in ELEMENTWISE_OPS:
             raise ValueError(f"unknown elementwise op {op!r}")
         self.sys = system
         self.session = PimSession(system)
         self.op = ELEMENTWISE_OPS[op]
         self.length = length
+        if channels is None:
+            channels = range(system.num_pchs)
+        self.channels: Tuple[int, ...] = tuple(channels)
+        if not self.channels:
+            raise ValueError("ElementwiseKernel needs at least one channel")
+        for p in self.channels:
+            if not 0 <= p < system.num_pchs:
+                raise ValueError(f"channel {p} out of range")
+        self._block = None
         self.plan = self._plan(length)
         self.srf_scalars: Tuple[float, float] = (1.0, 0.0)  # gamma, beta for BN
+        self._released = False
 
     def _plan(self, length: int) -> ElementwisePlan:
-        num_pchs = self.sys.num_pchs
+        num_pchs = len(self.channels)
         cols_per_row = self.sys.device.config.bank_config.cols_per_row
         in_cols = cols_per_row // 2  # half the row for inputs, half for results
         stride = num_pchs * UNITS_PER_PCH
@@ -643,6 +850,7 @@ class ElementwiseKernel:
         groups = seq // _COL_GROUP
         rows = -(-seq // in_cols)
         block = _alloc_rows(self.sys, rows)
+        self._block = block
         return ElementwisePlan(
             length=length,
             num_pchs=num_pchs,
@@ -653,6 +861,19 @@ class ElementwiseKernel:
             in_cols=in_cols,
         )
 
+    def release(self) -> None:
+        """Return the kernel's rows to the driver (cache eviction)."""
+        if self._released:
+            return
+        self._released = True
+        driver = getattr(self.sys, "driver", None)
+        if driver is not None and self._block is not None:
+            driver.free(self._block)
+
+    def _check_alive(self) -> None:
+        if self._released:
+            raise RuntimeError("kernel was evicted; its rows were reclaimed")
+
     # -- staging -------------------------------------------------------------------
 
     def _scatter(self, values: np.ndarray, odd: bool) -> None:
@@ -662,13 +883,13 @@ class ElementwiseKernel:
         padded[: self.length] = values
         blocks = padded.reshape(plan.blocks, LANES)
         for b in range(plan.blocks):
-            p = b % plan.num_pchs
+            pch = self.channels[b % plan.num_pchs]
             rest = b // plan.num_pchs
             unit = rest % UNITS_PER_PCH
             seq = rest // UNITS_PER_PCH
             row, col = plan.location(seq)
             bank_index = 2 * unit + (1 if odd else 0)
-            self.sys.device.pch(p).banks[bank_index].poke(
+            self.sys.device.pch(pch).banks[bank_index].poke(
                 row, col, blocks[b].view(np.uint8)
             )
 
@@ -677,12 +898,12 @@ class ElementwiseKernel:
         out = np.zeros(plan.blocks * LANES, dtype=np.float16)
         blocks = out.reshape(plan.blocks, LANES)
         for b in range(plan.blocks):
-            p = b % plan.num_pchs
+            pch = self.channels[b % plan.num_pchs]
             rest = b // plan.num_pchs
             unit = rest % UNITS_PER_PCH
             seq = rest // UNITS_PER_PCH
             row, col = plan.location(seq)
-            raw = self.sys.device.pch(p).banks[2 * unit].peek(row, col + plan.in_cols)
+            raw = self.sys.device.pch(pch).banks[2 * unit].peek(row, col + plan.in_cols)
             blocks[b] = raw.view(np.float16)
         return out[: self.length]
 
@@ -695,17 +916,11 @@ class ElementwiseKernel:
         scalars: Optional[Tuple[float, float]] = None,
         simulate_pchs: Optional[int] = None,
     ) -> Tuple[np.ndarray, ExecutionReport]:
-        a = np.asarray(a, dtype=np.float16).reshape(-1)
-        if a.size != self.length:
-            raise ValueError(f"expected {self.length} elements")
-        if self.op.uses_second_operand:
-            if b is None:
-                raise ValueError(f"{self.op.name} needs a second operand")
-            b = np.asarray(b, dtype=np.float16).reshape(-1)
-            if b.size != self.length:
-                raise ValueError("operand shapes differ")
+        self._check_alive()
+        a, b = self._validate(a, b)
         plan = self.plan
         nsim = plan.num_pchs if simulate_pchs is None else min(simulate_pchs, plan.num_pchs)
+        sim_channels = self.channels[:nsim]
 
         self._scatter(a, odd=False)
         if self.op.uses_second_operand:
@@ -716,31 +931,98 @@ class ElementwiseKernel:
             simulated_pchs=nsim,
             total_pchs=plan.num_pchs,
         )
-        start = self.sys.drain_all()
-        self.session.enter_ab(pchs=nsim)
+        start = self.sys.drain_set(self.channels)
+        self.session.enter_ab(pchs=sim_channels)
         self.session.program_crf(
-            self.op.microkernel.format(reps=plan.groups - 1), pchs=nsim
+            self.op.microkernel.format(reps=plan.groups - 1), pchs=sim_channels
         )
+        self._program_srf(scalars, sim_channels)
+        for pos in range(nsim):
+            self._stream_pch(pos)
+        self.session.exit_to_sb(pchs=sim_channels)
+        for pos in range(nsim, plan.num_pchs):
+            self._shortcut_pch(pos, a, b, scalars)
+        end = self.sys.drain_set(self.channels)
+        result = self._gather_result()
+        self._fill_report(report, start, end)
+        return result, report
+
+    def batched(
+        self,
+        items: Sequence[Tuple],
+        simulate_pchs: Optional[int] = None,
+    ) -> Tuple[List[np.ndarray], ExecutionReport]:
+        """Run a batch of operand sets as one fused kernel launch.
+
+        ``items`` is a sequence of ``(a,)``, ``(a, b)`` or ``(a, b, scalars)``
+        tuples.  The batch shares one SB->AB transition and one CRF
+        broadcast; each element streams its operands through the resident
+        layout in turn, so outputs are bit-identical to sequential calls.
+        """
+        self._check_alive()
+        plan = self.plan
+        nsim = plan.num_pchs if simulate_pchs is None else min(simulate_pchs, plan.num_pchs)
+        sim_channels = self.channels[:nsim]
+        normalised = []
+        for item in items:
+            a = item[0]
+            b = item[1] if len(item) > 1 else None
+            scalars = item[2] if len(item) > 2 else None
+            normalised.append((*self._validate(a, b), scalars))
+
+        merged = ExecutionReport(
+            kernel=f"{self.op.name}[{self.length}]xB{len(normalised)}",
+            simulated_pchs=nsim,
+            total_pchs=plan.num_pchs,
+        )
+        results: List[np.ndarray] = []
+        start = self.sys.drain_set(self.channels)
+        self.session.enter_ab(pchs=sim_channels)
+        self.session.program_crf(
+            self.op.microkernel.format(reps=plan.groups - 1), pchs=sim_channels
+        )
+        for a, b, scalars in normalised:
+            self._program_srf(scalars, sim_channels)
+            self._scatter(a, odd=False)
+            if self.op.uses_second_operand:
+                self._scatter(b, odd=True)
+            for pos in range(nsim):
+                self._stream_pch(pos)
+            for pos in range(nsim, plan.num_pchs):
+                self._shortcut_pch(pos, a, b, scalars)
+            self.sys.drain_set(sim_channels)
+            results.append(self._gather_result())
+        self.session.exit_to_sb(pchs=sim_channels)
+        end = self.sys.drain_set(self.channels)
+        self._fill_report(merged, start, end, invocations=len(normalised), launches=1)
+        return results, merged
+
+    def _validate(
+        self, a: np.ndarray, b: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        a = np.asarray(a, dtype=np.float16).reshape(-1)
+        if a.size != self.length:
+            raise ValueError(f"expected {self.length} elements")
+        if self.op.uses_second_operand:
+            if b is None:
+                raise ValueError(f"{self.op.name} needs a second operand")
+            b = np.asarray(b, dtype=np.float16).reshape(-1)
+            if b.size != self.length:
+                raise ValueError("operand shapes differ")
+        return a, b
+
+    def _program_srf(self, scalars, sim_channels) -> None:
         if self.op.name == "bn" and scalars is not None:
             gamma, beta = scalars
             self.session.write_srf(
                 mul_scalars=np.full(_COL_GROUP, gamma, dtype=np.float16),
                 add_scalars=np.full(_COL_GROUP, beta, dtype=np.float16),
-                pchs=nsim,
+                pchs=sim_channels,
             )
-        for p in range(nsim):
-            self._stream_pch(p)
-        self.session.exit_to_sb(pchs=nsim)
-        for p in range(nsim, plan.num_pchs):
-            self._shortcut_pch(p, a, b, scalars)
-        end = self.sys.drain_all()
-        result = self._gather_result()
-        self._fill_report(report, start, end)
-        return result, report
 
-    def _stream_pch(self, p: int) -> None:
+    def _stream_pch(self, pos: int) -> None:
         plan = self.plan
-        mc = self.sys.controller(p)
+        mc = self.sys.controller(self.channels[pos])
         self.session.set_pim_op_mode(mc, True)
         groups_per_row = plan.in_cols // _COL_GROUP
         for g in range(plan.groups):
@@ -761,7 +1043,7 @@ class ElementwiseKernel:
 
     def _shortcut_pch(
         self,
-        p: int,
+        pos: int,
         a: np.ndarray,
         b: Optional[np.ndarray],
         scalars: Optional[Tuple[float, float]],
@@ -792,35 +1074,39 @@ class ElementwiseKernel:
         else:
             raise AssertionError(name)
         blocks = result.reshape(plan.blocks, LANES)
+        pch = self.channels[pos]
         for block_index in range(plan.blocks):
-            if block_index % plan.num_pchs != p:
+            if block_index % plan.num_pchs != pos:
                 continue
             rest = block_index // plan.num_pchs
             unit = rest % UNITS_PER_PCH
             seq = rest // UNITS_PER_PCH
             row, col = plan.location(seq)
-            self.sys.device.pch(p).banks[2 * unit].poke(
+            self.sys.device.pch(pch).banks[2 * unit].poke(
                 row, col + plan.in_cols, blocks[block_index].view(np.uint8)
             )
 
-    def _fill_report(self, report: ExecutionReport, start: int, end: int) -> None:
+    def _fill_report(
+        self,
+        report: ExecutionReport,
+        start: int,
+        end: int,
+        invocations: int = 1,
+        launches: int = 1,
+    ) -> None:
         plan = self.plan
         report.cycles = end - start
         report.ns = (
-            self.sys.cycles_to_ns(report.cycles) + self.sys.host.kernel_launch_ns
+            self.sys.cycles_to_ns(report.cycles)
+            + launches * self.sys.host.kernel_launch_ns
         )
-        report.column_commands = (
-            plan.groups * self.op.commands_per_group * report.simulated_pchs
-        )
-        report.fences = plan.groups * self.op.fences_per_group * report.simulated_pchs
+        report.notes["launches"] = launches
+        scale = report.simulated_pchs * invocations
+        report.column_commands = plan.groups * self.op.commands_per_group * scale
+        report.fences = plan.groups * self.op.fences_per_group * scale
         report.pim_instructions = (
-            plan.groups
-            * self.op.instructions_per_group
-            * UNITS_PER_PCH
-            * report.simulated_pchs
+            plan.groups * self.op.instructions_per_group * UNITS_PER_PCH * scale
         )
         elements = plan.groups * _COL_GROUP * LANES * UNITS_PER_PCH
-        report.pim_flops = (
-            elements * self.op.flops_per_element * report.simulated_pchs
-        )
+        report.pim_flops = elements * self.op.flops_per_element * scale
         report.host_bytes = 0  # operands and results stay in memory

@@ -5,6 +5,11 @@ workload produces and aggregates them into the quantities an operator of
 the real system would watch: device-time share per kernel, command-stream
 utilisation against the tCCD_L floor, fence share, and achieved on-chip
 compute bandwidth versus the Table V peak.
+
+The serving layer (:mod:`repro.stack.server`) additionally feeds
+per-request queueing statistics into a :class:`ServingProfile`:
+wait/service/turnaround per request, aggregate throughput, and per-channel
+occupancy over the session makespan.
 """
 
 from __future__ import annotations
@@ -14,7 +19,13 @@ from typing import Dict, List, Optional
 
 from .kernels import ExecutionReport
 
-__all__ = ["KernelProfile", "SessionProfile", "Profiler"]
+__all__ = [
+    "KernelProfile",
+    "SessionProfile",
+    "Profiler",
+    "RequestStats",
+    "ServingProfile",
+]
 
 
 @dataclass
@@ -90,15 +101,142 @@ class SessionProfile:
         return lines
 
 
-class Profiler:
-    """Wraps a :class:`~repro.stack.blas.PimBlas` (or any object whose
-    methods return ``(result, ExecutionReport)``) and records every call."""
+@dataclass
+class RequestStats:
+    """Queueing statistics of one served request."""
 
-    def __init__(self, blas):
+    request_id: int
+    op: str
+    arrival_ns: float
+    start_ns: float
+    finish_ns: float
+    batch_size: int = 1
+    lane: int = 0
+
+    @property
+    def wait_ns(self) -> float:
+        return self.start_ns - self.arrival_ns
+
+    @property
+    def service_ns(self) -> float:
+        return self.finish_ns - self.start_ns
+
+    @property
+    def turnaround_ns(self) -> float:
+        return self.finish_ns - self.arrival_ns
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (no numpy dependency for the hot path)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class ServingProfile:
+    """Aggregate statistics of one serving session."""
+
+    requests: List[RequestStats] = field(default_factory=list)
+    makespan_ns: float = 0.0
+    makespan_cycles: int = 0
+    # channel index -> cycles its controller spent working its queue.
+    channel_busy_cycles: Dict[int, int] = field(default_factory=dict)
+    batches: int = 0
+    launches: int = 0
+
+    def record(self, stats: RequestStats) -> None:
+        """Fold one served request into the session statistics."""
+        self.requests.append(stats)
+        self.makespan_ns = max(self.makespan_ns, stats.finish_ns)
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    def throughput_rps(self) -> float:
+        """Served requests per (simulated) second."""
+        if self.makespan_ns == 0:
+            return 0.0
+        return self.num_requests / (self.makespan_ns * 1e-9)
+
+    def mean_wait_ns(self) -> float:
+        """Average time requests spent queued before dispatch."""
+        if not self.requests:
+            return 0.0
+        return sum(r.wait_ns for r in self.requests) / len(self.requests)
+
+    def mean_service_ns(self) -> float:
+        """Average in-service (dispatch to finish) time."""
+        if not self.requests:
+            return 0.0
+        return sum(r.service_ns for r in self.requests) / len(self.requests)
+
+    def mean_turnaround_ns(self) -> float:
+        """Average arrival-to-finish latency."""
+        if not self.requests:
+            return 0.0
+        return sum(r.turnaround_ns for r in self.requests) / len(self.requests)
+
+    def p95_turnaround_ns(self) -> float:
+        """95th-percentile arrival-to-finish latency (nearest rank)."""
+        return _percentile([r.turnaround_ns for r in self.requests], 0.95)
+
+    def mean_batch_size(self) -> float:
+        """Average number of requests fused per dispatched batch."""
+        if self.batches == 0:
+            return 0.0
+        return self.num_requests / self.batches
+
+    def channel_occupancy(self) -> Dict[int, float]:
+        """Per-channel busy fraction over the session makespan."""
+        if self.makespan_cycles <= 0:
+            return {p: 0.0 for p in self.channel_busy_cycles}
+        return {
+            p: min(1.0, busy / self.makespan_cycles)
+            for p, busy in sorted(self.channel_busy_cycles.items())
+        }
+
+    def render(self) -> List[str]:
+        """A text table summarising the serving session."""
+        lines = [
+            f"  requests served        : {self.num_requests}",
+            f"  batches (launches)     : {self.batches} ({self.launches})",
+            f"  mean batch size        : {self.mean_batch_size():.2f}",
+            f"  makespan               : {self.makespan_ns / 1000:.1f} us",
+            f"  throughput             : {self.throughput_rps():,.0f} req/s",
+            f"  mean wait / service    : {self.mean_wait_ns() / 1000:.1f} / "
+            f"{self.mean_service_ns() / 1000:.1f} us",
+            f"  mean / p95 turnaround  : {self.mean_turnaround_ns() / 1000:.1f} / "
+            f"{self.p95_turnaround_ns() / 1000:.1f} us",
+        ]
+        occupancy = self.channel_occupancy()
+        if occupancy:
+            shares = " ".join(f"pch{p}:{o:4.0%}" for p, o in occupancy.items())
+            lines.append(f"  channel occupancy      : {shares}")
+        return lines
+
+
+class Profiler:
+    """Collects execution reports, optionally wrapping a
+    :class:`~repro.stack.blas.PimBlas` (or any object whose methods return
+    ``(result, ExecutionReport)``).
+
+    Standalone form (``Profiler()``) is the report sink the
+    ``reports="profile"`` BLAS mode and the serving engine feed through
+    :meth:`record`.
+    """
+
+    def __init__(self, blas=None):
         self._blas = blas
         self.profile = SessionProfile()
+        self.serving: Optional[ServingProfile] = None
 
     def __getattr__(self, name: str):
+        if self._blas is None:
+            raise AttributeError(name)
         target = getattr(self._blas, name)
         if not callable(target):
             return target
@@ -109,6 +247,30 @@ class Profiler:
             return result
 
         return wrapped
+
+    def record(self, report: ExecutionReport) -> None:
+        """Fold one execution report into the session profile."""
+        profile = self.profile.kernels.get(report.kernel)
+        if profile is None:
+            profile = KernelProfile(report.kernel)
+            self.profile.kernels[report.kernel] = profile
+        profile.merge(report)
+
+    def record_serving(self, serving: "ServingProfile") -> None:
+        """Attach (or merge) a serving session's queueing statistics."""
+        if self.serving is None:
+            self.serving = serving
+            return
+        merged = self.serving
+        merged.requests.extend(serving.requests)
+        merged.makespan_ns = max(merged.makespan_ns, serving.makespan_ns)
+        merged.makespan_cycles = max(merged.makespan_cycles, serving.makespan_cycles)
+        merged.batches += serving.batches
+        merged.launches += serving.launches
+        for p, busy in serving.channel_busy_cycles.items():
+            merged.channel_busy_cycles[p] = (
+                merged.channel_busy_cycles.get(p, 0) + busy
+            )
 
     def _record(self, result) -> None:
         reports: List[ExecutionReport] = []
@@ -121,8 +283,4 @@ class Profiler:
                 ):
                     reports.extend(item)
         for report in reports:
-            profile = self.profile.kernels.get(report.kernel)
-            if profile is None:
-                profile = KernelProfile(report.kernel)
-                self.profile.kernels[report.kernel] = profile
-            profile.merge(report)
+            self.record(report)

@@ -7,17 +7,26 @@ The runtime owns three user-level modules:
   operates on the graph framework's representation.
 * **memory manager** — keeps resident PIM operators (weights stay laid out
   in the PIM region across invocations) and caches generated microkernels.
+  Both operator caches are LRU-bounded so long-running serving sessions
+  don't grow without limit; evicted kernels return their rows to the
+  driver.
 * **executor** — configures a PIM kernel and invokes it, accounting the
   per-launch overhead.
 
-:class:`PimSystem` assembles a full evaluation platform: a PIM-HBM device
-behind per-channel JEDEC controllers with a host model.
+:class:`SystemConfig` is the single configuration surface: one dataclass
+(with ``fast_functional`` / ``paper_scale`` presets) assembles the whole
+evaluation platform — a PIM-HBM device behind per-channel JEDEC
+controllers with a host model.  The legacy kwarg-soup ``PimSystem(...)``
+constructor still works through a thin shim that emits a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,80 +39,209 @@ from ..pim.device import PimHbmDevice
 from .driver import PimDeviceDriver
 from .kernels import ElementwiseKernel, ExecutionReport, GemvKernel
 
-__all__ = ["PimSystem", "PimExecutor"]
+__all__ = ["SystemConfig", "PimSystem", "PimExecutor"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to assemble one PIM evaluation platform.
+
+    Replaces the nine keyword arguments of the historical
+    ``PimSystem.__init__``; pass it to :class:`PimSystem` (or, preferably,
+    to :class:`repro.stack.context.PimContext`).
+    """
+
+    num_pchs: int = 4
+    num_rows: int = 256
+    timing: TimingParams = HBM2_1GHZ
+    host: Optional[HostConfig] = None
+    policy: SchedulerPolicy = SchedulerPolicy.FRFCFS
+    fence_penalty_cycles: Optional[int] = None
+    scheduler_seed: Optional[int] = None
+    refresh: bool = False
+    ecc: bool = False
+    # Default per-call sampling: cycle-simulate only the first N channels
+    # of a kernel's set (None = all).  Used by PimBlas/PimContext.
+    simulate_pchs: Optional[int] = None
+    # LRU bounds of the executor's operator caches.
+    gemv_cache_size: int = 32
+    elementwise_cache_size: int = 64
+
+    def replace(self, **overrides) -> "SystemConfig":
+        """A copy with ``overrides`` applied (dataclasses.replace)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def fast_functional(cls, **overrides) -> "SystemConfig":
+        """Small device, single-channel sampling: fast functional runs."""
+        base = cls(num_pchs=4, num_rows=256, simulate_pchs=1)
+        return base.replace(**overrides) if overrides else base
+
+    @classmethod
+    def paper_scale(cls, **overrides) -> "SystemConfig":
+        """The Table V device shape: 16 pCHs, 8192 rows per bank.
+
+        Rows are backed sparsely, so construction is cheap; full
+        cycle-accurate runs at this scale are slow — combine with
+        ``simulate_pchs`` sampling for tractable experiments.
+        """
+        base = cls(num_pchs=16, num_rows=8192, simulate_pchs=1)
+        return base.replace(**overrides) if overrides else base
+
+
+_LEGACY_KWARGS = (
+    "num_pchs",
+    "num_rows",
+    "timing",
+    "host",
+    "policy",
+    "fence_penalty_cycles",
+    "scheduler_seed",
+    "refresh",
+    "ecc",
+)
 
 
 class PimSystem(HostSystem):
     """A host with PIM-HBM devices, the device driver, and the runtime.
 
-    ``num_pchs``/``num_rows`` default small enough for fast functional
-    simulation; benchmarks scale them up or use per-channel sampling.
+    Configure with one :class:`SystemConfig`::
+
+        system = PimSystem(SystemConfig.fast_functional())
+
+    The historical keyword form ``PimSystem(num_pchs=4, num_rows=256, ...)``
+    still works but is deprecated.
+    """
+
+    def __init__(self, config: Optional[SystemConfig] = None, **legacy):
+        if isinstance(config, int):
+            # Historical positional form: PimSystem(4, 256, ...).
+            legacy["num_pchs"] = config
+            config = None
+        if legacy:
+            unknown = set(legacy) - set(_LEGACY_KWARGS)
+            if unknown:
+                raise TypeError(f"unexpected arguments: {sorted(unknown)}")
+            if config is not None:
+                raise TypeError("pass either a SystemConfig or legacy kwargs, not both")
+            warnings.warn(
+                "PimSystem(num_pchs=..., ...) is deprecated; pass a "
+                "SystemConfig (or use PimContext) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = SystemConfig(**legacy)
+        elif config is None:
+            config = SystemConfig()
+        self.config = config
+        device_config = DeviceConfig(
+            timing=config.timing,
+            bank_config=BankConfig(num_rows=config.num_rows),
+            num_pchs=config.num_pchs,
+            ecc=config.ecc,
+        )
+        device = PimHbmDevice(device_config)
+        super().__init__(
+            device,
+            host=config.host,
+            policy=config.policy,
+            fence_penalty_cycles=config.fence_penalty_cycles,
+            scheduler_seed=config.scheduler_seed,
+            refresh=config.refresh,
+        )
+        self.driver = PimDeviceDriver(device)
+        self.executor = PimExecutor(
+            self,
+            gemv_cache_size=config.gemv_cache_size,
+            elementwise_cache_size=config.elementwise_cache_size,
+        )
+
+
+class PimExecutor:
+    """The runtime executor plus memory-manager operator cache.
+
+    Both caches are LRU-bounded: a long-running serving session touching
+    many distinct operators evicts the least recently used kernel and
+    returns its rows to the driver instead of growing without limit.
     """
 
     def __init__(
         self,
-        num_pchs: int = 4,
-        num_rows: int = 256,
-        timing: TimingParams = HBM2_1GHZ,
-        host: Optional[HostConfig] = None,
-        policy: SchedulerPolicy = SchedulerPolicy.FRFCFS,
-        fence_penalty_cycles: Optional[int] = None,
-        scheduler_seed: Optional[int] = None,
-        refresh: bool = False,
-        ecc: bool = False,
+        system: PimSystem,
+        gemv_cache_size: int = 32,
+        elementwise_cache_size: int = 64,
     ):
-        config = DeviceConfig(
-            timing=timing,
-            bank_config=BankConfig(num_rows=num_rows),
-            num_pchs=num_pchs,
-            ecc=ecc,
-        )
-        device = PimHbmDevice(config)
-        super().__init__(
-            device,
-            host=host,
-            policy=policy,
-            fence_penalty_cycles=fence_penalty_cycles,
-            scheduler_seed=scheduler_seed,
-            refresh=refresh,
-        )
-        self.driver = PimDeviceDriver(device)
-        self.executor = PimExecutor(self)
-
-
-class PimExecutor:
-    """The runtime executor plus memory-manager operator cache."""
-
-    def __init__(self, system: PimSystem):
         self.sys = system
-        self._gemv_cache: Dict[Tuple[int, int, int], GemvKernel] = {}
-        self._elementwise_cache: Dict[Tuple[str, int], ElementwiseKernel] = {}
+        self.gemv_cache_size = gemv_cache_size
+        self.elementwise_cache_size = elementwise_cache_size
+        self._gemv_cache: "OrderedDict[Tuple, GemvKernel]" = OrderedDict()
+        self._elementwise_cache: "OrderedDict[Tuple, ElementwiseKernel]" = OrderedDict()
+        self.evictions = 0
         self.launch_count = 0
 
     # -- resident operators -----------------------------------------------------
 
-    def gemv_operator(self, w: np.ndarray) -> GemvKernel:
+    def _cache_get(self, cache: OrderedDict, key, factory, limit: int):
+        kernel = cache.get(key)
+        if kernel is not None:
+            cache.move_to_end(key)
+            return kernel
+        kernel = factory()
+        cache[key] = kernel
+        while len(cache) > limit:
+            _, evicted = cache.popitem(last=False)
+            evicted.release()  # rows go back to the driver
+            self.evictions += 1
+        return kernel
+
+    def gemv_operator(
+        self,
+        w: np.ndarray,
+        channels: Optional[Sequence[int]] = None,
+        max_batch: int = 1,
+    ) -> GemvKernel:
         """A resident GEMV with ``w`` staged; cached by identity and shape.
 
         The memory manager keeps operand data "in cache area for later use"
         (Section V-A): repeated inference steps reuse the staged weights.
         """
-        key = (id(w), w.shape[0], w.shape[1])
-        kernel = self._gemv_cache.get(key)
-        if kernel is None:
-            kernel = GemvKernel(self.sys, w.shape[0], w.shape[1])
-            kernel.load_weights(w)
-            self._gemv_cache[key] = kernel
-        return kernel
+        channel_key = None if channels is None else tuple(channels)
+        key = (id(w), w.shape[0], w.shape[1], channel_key, max_batch)
 
-    def elementwise_operator(self, op: str, length: int) -> ElementwiseKernel:
-        """A resident elementwise operator, cached by (op, length)."""
-        key = (op, length)
-        kernel = self._elementwise_cache.get(key)
-        if kernel is None:
-            kernel = ElementwiseKernel(self.sys, op, length)
-            self._elementwise_cache[key] = kernel
-        return kernel
+        def build():
+            kernel = GemvKernel(
+                self.sys, w.shape[0], w.shape[1],
+                channels=channels, max_batch=max_batch,
+            )
+            kernel.load_weights(w)
+            return kernel
+
+        return self._cache_get(self._gemv_cache, key, build, self.gemv_cache_size)
+
+    def elementwise_operator(
+        self,
+        op: str,
+        length: int,
+        scalars: Optional[Tuple[float, float]] = None,
+        channels: Optional[Sequence[int]] = None,
+    ) -> ElementwiseKernel:
+        """A resident elementwise operator.
+
+        The cache key includes the scalar-register signature: two BN
+        operators with different ``(gamma, beta)`` must not share an entry,
+        or a cached kernel could run with a stale SRF on part of the
+        device.
+        """
+        channel_key = None if channels is None else tuple(channels)
+        scalar_key = None if scalars is None else tuple(float(s) for s in scalars)
+        key = (op, length, scalar_key, channel_key)
+
+        def build():
+            return ElementwiseKernel(self.sys, op, length, channels=channels)
+
+        return self._cache_get(
+            self._elementwise_cache, key, build, self.elementwise_cache_size
+        )
 
     # -- invocations ---------------------------------------------------------------
 
@@ -124,5 +262,7 @@ class PimExecutor:
     ) -> Tuple[np.ndarray, ExecutionReport]:
         """Invoke a (cached) elementwise operator."""
         self.launch_count += 1
-        kernel = self.elementwise_operator(op, int(np.asarray(a).size))
+        kernel = self.elementwise_operator(
+            op, int(np.asarray(a).size), scalars=scalars
+        )
         return kernel(a, b, scalars=scalars, simulate_pchs=simulate_pchs)

@@ -1,0 +1,346 @@
+"""A pipelined multi-request serving engine over the PIM runtime.
+
+Section V of the paper describes a software stack whose device driver and
+runtime let *multiple* user-level workloads share one PIM-HBM device.  This
+module models that serving layer:
+
+* **lanes** — the device's pseudo-channels are split into disjoint
+  :class:`~repro.stack.driver.ChannelSet` leases ("lanes").  Channels are
+  controlled independently (Section VIII), so lanes advance on independent
+  clocks: a GEMV batch on lane 0 overlaps — in simulated time — with an
+  elementwise batch on lane 1.  Per-channel-set fences
+  (:meth:`~repro.host.processor.HostSystem.drain_set`) keep each lane's
+  stream ordered without ever stalling another lane.
+* **batching** — contiguous same-operator requests queued on a lane are
+  fused into one kernel launch: one SB->AB transition, one CRF broadcast,
+  and one kernel-launch overhead cover up to ``max_batch`` requests
+  (:meth:`GemvKernel.batched(fused=True) <repro.stack.kernels.GemvKernel.batched>`
+  and :meth:`ElementwiseKernel.batched
+  <repro.stack.kernels.ElementwiseKernel.batched>`).  Results are
+  bit-identical to sequential calls; only the setup overheads amortise.
+* **accounting** — every request's wait / service / turnaround time and the
+  aggregate throughput and per-channel occupancy land in a
+  :class:`~repro.stack.profiler.ServingProfile`.
+
+The arrival process is externally supplied (``submit`` takes an
+``arrival_ns``), so offered load is entirely under the caller's control —
+see ``benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .driver import ChannelSet
+from .kernels import ELEMENTWISE_OPS, ElementwiseKernel, GemvKernel
+from .profiler import Profiler, RequestStats, ServingProfile
+from .runtime import PimSystem
+
+__all__ = ["PimRequest", "PimServer"]
+
+
+@dataclass
+class PimRequest:
+    """One operation submitted to the serving engine.
+
+    ``op`` is ``"gemv"`` or one of the elementwise operators
+    (``add``/``mul``/``relu``/``bn``).  After :meth:`PimServer.run` the
+    request carries its result, execution report, and queueing timestamps.
+    """
+
+    request_id: int
+    op: str
+    arrival_ns: float = 0.0
+    a: Optional[np.ndarray] = None
+    b: Optional[np.ndarray] = None
+    weights: Optional[np.ndarray] = None
+    scalars: Optional[Tuple[float, float]] = None
+    # Filled in by the server.
+    result: Optional[np.ndarray] = None
+    report: object = None
+    start_ns: float = 0.0
+    finish_ns: float = 0.0
+    batch_size: int = 1
+    lane: int = 0
+
+    @property
+    def signature(self) -> Tuple:
+        """Requests with equal signatures may share one fused launch."""
+        if self.op == "gemv":
+            return ("gemv", id(self.weights), self.weights.shape)
+        scalar_key = (
+            None
+            if self.scalars is None
+            else tuple(float(s) for s in self.scalars)
+        )
+        return (self.op, int(np.asarray(self.a).size), scalar_key)
+
+    @property
+    def wait_ns(self) -> float:
+        return self.start_ns - self.arrival_ns
+
+    @property
+    def service_ns(self) -> float:
+        return self.finish_ns - self.start_ns
+
+    @property
+    def turnaround_ns(self) -> float:
+        return self.finish_ns - self.arrival_ns
+
+    def stats(self) -> RequestStats:
+        """This request's queueing statistics for the serving profile."""
+        return RequestStats(
+            request_id=self.request_id,
+            op=self.op,
+            arrival_ns=self.arrival_ns,
+            start_ns=self.start_ns,
+            finish_ns=self.finish_ns,
+            batch_size=self.batch_size,
+            lane=self.lane,
+        )
+
+
+@dataclass
+class _Lane:
+    """One leased channel set with its FIFO and clock."""
+
+    index: int
+    channels: ChannelSet
+    queue: Deque[PimRequest] = field(default_factory=deque)
+    ready_ns: float = 0.0
+    # Resident kernels keyed by request signature.
+    gemv_kernels: Dict[Tuple, GemvKernel] = field(default_factory=dict)
+    elementwise_kernels: Dict[Tuple, ElementwiseKernel] = field(
+        default_factory=dict
+    )
+
+
+class PimServer:
+    """Serves concurrent PIM requests with batching and lane pipelining.
+
+    ::
+
+        server = PimServer(system, lanes=2, max_batch=8)
+        for i in range(64):
+            server.submit("gemv", weights=w, a=x[i], arrival_ns=i * 2000.0)
+        profile = server.run()
+        print("\\n".join(profile.render()))
+
+    Lanes lease disjoint channel sets from the device driver; operator
+    signatures are bound to lanes round-robin in first-seen order, so two
+    independent operators pipeline across channel sets instead of
+    serialising behind a global drain.
+    """
+
+    def __init__(
+        self,
+        system: PimSystem,
+        lanes: int = 2,
+        max_batch: int = 8,
+        simulate_pchs: Optional[int] = None,
+        profiler: Optional[Profiler] = None,
+    ):
+        driver = getattr(system, "driver", None)
+        if driver is None:
+            raise TypeError("PimServer needs a PimSystem with a device driver")
+        if lanes < 1:
+            raise ValueError("need at least one lane")
+        free = len(driver.channels_free)
+        per_lane = free // lanes
+        if per_lane < 1:
+            raise ValueError(
+                f"cannot split {free} free channels into {lanes} lanes"
+            )
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.sys = system
+        self.max_batch = max_batch
+        if simulate_pchs is None:
+            config = getattr(system, "config", None)
+            simulate_pchs = config.simulate_pchs if config is not None else None
+        self.simulate_pchs = simulate_pchs
+        self.profiler = profiler
+        self.lanes: List[_Lane] = [
+            _Lane(index=i, channels=driver.alloc_channels(per_lane))
+            for i in range(lanes)
+        ]
+        self._affinity: Dict[Tuple, int] = {}
+        self._next_lane = 0
+        self._next_id = 0
+        self._pending: List[PimRequest] = []
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release kernel rows and return leased channels to the driver."""
+        if self._closed:
+            return
+        self._closed = True
+        driver = self.sys.driver
+        for lane in self.lanes:
+            for kernel in lane.gemv_kernels.values():
+                kernel.release()
+            for kernel in lane.elementwise_kernels.values():
+                kernel.release()
+            driver.release_channels(lane.channels)
+
+    def __enter__(self) -> "PimServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(
+        self,
+        op: str,
+        a: Optional[np.ndarray] = None,
+        b: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+        scalars: Optional[Tuple[float, float]] = None,
+        arrival_ns: float = 0.0,
+    ) -> PimRequest:
+        """Queue one request; returns the (not yet served) request object."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if op == "gemv":
+            if weights is None or a is None:
+                raise ValueError("gemv needs weights and an input vector")
+        elif op in ELEMENTWISE_OPS:
+            if a is None:
+                raise ValueError(f"{op} needs an input vector")
+            if ELEMENTWISE_OPS[op].uses_second_operand and b is None:
+                raise ValueError(f"{op} needs a second operand")
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        request = PimRequest(
+            request_id=self._next_id,
+            op=op,
+            arrival_ns=float(arrival_ns),
+            a=a,
+            b=b,
+            weights=weights,
+            scalars=scalars,
+        )
+        self._next_id += 1
+        self._pending.append(request)
+        return request
+
+    def _lane_for(self, signature: Tuple) -> _Lane:
+        lane_index = self._affinity.get(signature)
+        if lane_index is None:
+            # Round-robin in first-seen order: independent operators land
+            # on different lanes and pipeline across channel sets.
+            lane_index = self._next_lane % len(self.lanes)
+            self._next_lane += 1
+            self._affinity[signature] = lane_index
+        return self.lanes[lane_index]
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> ServingProfile:
+        """Serve every pending request and return the session's profile.
+
+        Requests drain in arrival order per lane.  A dispatch takes the
+        head of the lane's queue plus any queued same-signature requests
+        that have arrived by dispatch time, up to ``max_batch``; requests
+        of other signatures keep their relative order.
+        """
+        serving = ServingProfile()
+        controllers = self.sys.controllers
+        busy_before = [mc.busy_cycles for mc in controllers]
+        cycle_before = max(mc.current_cycle for mc in controllers)
+
+        for request in sorted(
+            self._pending, key=lambda r: (r.arrival_ns, r.request_id)
+        ):
+            self._lane_for(request.signature).queue.append(request)
+        self._pending = []
+
+        for lane in self.lanes:
+            while lane.queue:
+                head = lane.queue.popleft()
+                t0 = max(lane.ready_ns, head.arrival_ns)
+                batch = [head]
+                skipped: Deque[PimRequest] = deque()
+                while lane.queue and len(batch) < self.max_batch:
+                    candidate = lane.queue.popleft()
+                    if (
+                        candidate.signature == head.signature
+                        and candidate.arrival_ns <= t0
+                    ):
+                        batch.append(candidate)
+                    else:
+                        skipped.append(candidate)
+                while skipped:
+                    lane.queue.appendleft(skipped.pop())
+                report = self._execute(lane, batch)
+                finish = t0 + report.ns
+                for member in batch:
+                    member.start_ns = t0
+                    member.finish_ns = finish
+                    member.report = report
+                    member.batch_size = len(batch)
+                    member.lane = lane.index
+                    serving.record(member.stats())
+                lane.ready_ns = finish
+                serving.batches += 1
+                serving.launches += int(report.notes.get("launches", 1))
+                if self.profiler is not None:
+                    self.profiler.record(report)
+
+        serving.makespan_cycles = (
+            max(mc.current_cycle for mc in controllers) - cycle_before
+        )
+        for lane in self.lanes:
+            for pch in lane.channels:
+                serving.channel_busy_cycles[pch] = (
+                    controllers[pch].busy_cycles - busy_before[pch]
+                )
+        if self.profiler is not None:
+            self.profiler.record_serving(serving)
+        return serving
+
+    def _execute(self, lane: _Lane, batch: List[PimRequest]):
+        head = batch[0]
+        if head.op == "gemv":
+            kernel = lane.gemv_kernels.get(head.signature)
+            if kernel is None:
+                kernel = GemvKernel(
+                    self.sys,
+                    head.weights.shape[0],
+                    head.weights.shape[1],
+                    channels=lane.channels.channels,
+                    max_batch=self.max_batch,
+                )
+                kernel.load_weights(head.weights)
+                lane.gemv_kernels[head.signature] = kernel
+            xs = np.stack([np.asarray(r.a, dtype=np.float16) for r in batch])
+            ys, report = kernel.batched(
+                xs, simulate_pchs=self.simulate_pchs, fused=True
+            )
+            for request, y in zip(batch, ys):
+                request.result = y
+        else:
+            kernel = lane.elementwise_kernels.get(head.signature)
+            if kernel is None:
+                kernel = ElementwiseKernel(
+                    self.sys,
+                    head.op,
+                    int(np.asarray(head.a).size),
+                    channels=lane.channels.channels,
+                )
+                lane.elementwise_kernels[head.signature] = kernel
+            items = [(r.a, r.b, r.scalars) for r in batch]
+            results, report = kernel.batched(
+                items, simulate_pchs=self.simulate_pchs
+            )
+            for request, result in zip(batch, results):
+                request.result = result
+        return report
