@@ -264,7 +264,11 @@ class Profiler:
         merged = self.serving
         merged.requests.extend(serving.requests)
         merged.makespan_ns = max(merged.makespan_ns, serving.makespan_ns)
-        merged.makespan_cycles = max(merged.makespan_cycles, serving.makespan_cycles)
+        # Sessions recorded into one profiler ran back-to-back on the
+        # device, so their device-time denominators add — as their
+        # channel_busy_cycles numerators do.  Taking max() here would
+        # inflate channel_occupancy() for multi-session runs.
+        merged.makespan_cycles += serving.makespan_cycles
         merged.batches += serving.batches
         merged.launches += serving.launches
         for p, busy in serving.channel_busy_cycles.items():

@@ -204,6 +204,9 @@ class PimExecutor:
 
         The memory manager keeps operand data "in cache area for later use"
         (Section V-A): repeated inference steps reuse the staged weights.
+        The cached kernel pins a reference to ``w`` so the ``id()`` in the
+        cache key cannot be recycled by a later same-shape allocation while
+        the entry is alive (the kernel itself stages only a padded copy).
         """
         channel_key = None if channels is None else tuple(channels)
         key = (id(w), w.shape[0], w.shape[1], channel_key, max_batch)
@@ -214,6 +217,7 @@ class PimExecutor:
                 channels=channels, max_batch=max_batch,
             )
             kernel.load_weights(w)
+            kernel.source_weights = w
             return kernel
 
         return self._cache_get(self._gemv_cache, key, build, self.gemv_cache_size)

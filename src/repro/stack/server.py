@@ -29,6 +29,7 @@ see ``benchmarks/bench_serving.py``.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -66,18 +67,38 @@ class PimRequest:
     finish_ns: float = 0.0
     batch_size: int = 1
     lane: int = 0
+    _signature: Optional[Tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def signature(self) -> Tuple:
-        """Requests with equal signatures may share one fused launch."""
-        if self.op == "gemv":
-            return ("gemv", id(self.weights), self.weights.shape)
-        scalar_key = (
-            None
-            if self.scalars is None
-            else tuple(float(s) for s in self.scalars)
-        )
-        return (self.op, int(np.asarray(self.a).size), scalar_key)
+        """Requests with equal signatures may share one fused launch.
+
+        GEMV requests key on weight *content* (shape, dtype, and a digest
+        of the bytes), never on object identity: a freed array's ``id()``
+        can be reused by a later allocation, and the resident kernel only
+        holds a padded copy — an identity key would silently serve the
+        stale weights.  Equal-content matrices share one resident kernel,
+        which keeps results bit-exact by construction.
+        """
+        if self._signature is None:
+            if self.op == "gemv":
+                w = np.ascontiguousarray(self.weights)
+                digest = hashlib.sha1(w.tobytes()).hexdigest()
+                self._signature = ("gemv", w.shape, str(w.dtype), digest)
+            else:
+                scalar_key = (
+                    None
+                    if self.scalars is None
+                    else tuple(float(s) for s in self.scalars)
+                )
+                self._signature = (
+                    self.op,
+                    int(np.asarray(self.a).size),
+                    scalar_key,
+                )
+        return self._signature
 
     @property
     def wait_ns(self) -> float:
@@ -150,7 +171,7 @@ class PimServer:
         if lanes < 1:
             raise ValueError("need at least one lane")
         free = len(driver.channels_free)
-        per_lane = free // lanes
+        per_lane, extra = divmod(free, lanes)
         if per_lane < 1:
             raise ValueError(
                 f"cannot split {free} free channels into {lanes} lanes"
@@ -164,8 +185,16 @@ class PimServer:
             simulate_pchs = config.simulate_pchs if config is not None else None
         self.simulate_pchs = simulate_pchs
         self.profiler = profiler
+        # When lanes does not divide the free channel count, spread the
+        # remainder over the first lanes so no channel sits permanently
+        # idle (3 lanes on 4 channels -> 2+1+1, not 1+1+1 with one dark).
         self.lanes: List[_Lane] = [
-            _Lane(index=i, channels=driver.alloc_channels(per_lane))
+            _Lane(
+                index=i,
+                channels=driver.alloc_channels(
+                    per_lane + (1 if i < extra else 0)
+                ),
+            )
             for i in range(lanes)
         ]
         self._affinity: Dict[Tuple, int] = {}

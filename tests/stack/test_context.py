@@ -225,9 +225,24 @@ class TestServingProfileMath:
 
     def test_profiler_merges_serving_sessions(self):
         profiler = Profiler()
-        first = ServingProfile(makespan_cycles=10, batches=1, launches=1)
-        second = ServingProfile(makespan_cycles=20, batches=2, launches=2)
+        first = ServingProfile(
+            makespan_cycles=10,
+            batches=1,
+            launches=1,
+            channel_busy_cycles={0: 8},
+        )
+        second = ServingProfile(
+            makespan_cycles=20,
+            batches=2,
+            launches=2,
+            channel_busy_cycles={0: 10},
+        )
         profiler.record_serving(first)
         profiler.record_serving(second)
         assert profiler.serving.batches == 3
-        assert profiler.serving.makespan_cycles == 20
+        # Sequential sessions: busy cycles AND the makespan denominator
+        # both add, so merged occupancy stays an honest average.
+        assert profiler.serving.makespan_cycles == 30
+        assert profiler.serving.channel_occupancy()[0] == pytest.approx(
+            18 / 30
+        )

@@ -42,6 +42,16 @@ class TestOperatorCache:
         a, b = rand((128, 64), 1), rand((128, 64), 2)
         assert system.executor.gemv_operator(a) is not system.executor.gemv_operator(b)
 
+    def test_cached_gemv_pins_source_array(self):
+        """The cache key uses ``id(w)``, which is only sound while the
+        cached kernel keeps the caller's array alive: a dropped array's
+        id could be recycled by a same-shape allocation and silently hit
+        the stale entry."""
+        system = PimSystem(num_pchs=1, num_rows=128)
+        w = rand((128, 64), 7)
+        op = system.executor.gemv_operator(w)
+        assert op.source_weights is w
+
     def test_elementwise_cached_by_op_and_length(self):
         system = PimSystem(num_pchs=1, num_rows=128)
         k1 = system.executor.elementwise_operator("add", 1000)

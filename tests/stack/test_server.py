@@ -17,7 +17,7 @@ from repro.dram.controller import SchedulerPolicy
 from repro.stack.blas import PimBlas
 from repro.stack.kernels import ElementwiseKernel, GemvKernel
 from repro.stack.runtime import PimSystem, SystemConfig
-from repro.stack.server import PimServer
+from repro.stack.server import PimRequest, PimServer
 
 PLAIN = SystemConfig(num_pchs=4, num_rows=256, simulate_pchs=1)
 HARDENED = PLAIN.replace(refresh=True, ecc=True)
@@ -164,6 +164,59 @@ class TestServerMechanics:
             assert stats.turnaround_ns == pytest.approx(
                 stats.wait_ns + stats.service_ns
             )
+
+    def test_gemv_signature_keys_on_content_not_identity(self):
+        """Equal bytes share a launch; an ``id()``-recycled array must not.
+
+        The resident-kernel cache outlives run() calls, so identity keys
+        would serve stale weights once a freed array's id is reused.
+        """
+        w = rand((16, 32), 0)
+        same = PimRequest(0, "gemv", weights=w, a=rand(32, 1))
+        copy = PimRequest(1, "gemv", weights=w.copy(), a=rand(32, 2))
+        other = PimRequest(2, "gemv", weights=rand((16, 32), 9), a=rand(32, 3))
+        assert same.signature == copy.signature
+        assert same.signature != other.signature
+
+    def test_same_shape_weights_across_runs_stay_correct(self):
+        """A second run with different same-shape weights (the old array
+        dropped, so its id may be recycled) must use the new weights."""
+        system = PimSystem(PLAIN)
+        ref = PimBlas(PimSystem(PLAIN), simulate_pchs=1)
+        with PimServer(system, lanes=1, max_batch=2) as server:
+            w1 = rand((48, 80), 21)
+            x1 = rand(80, 22)
+            first = server.submit("gemv", weights=w1, a=x1)
+            server.run()
+            want1 = ref.gemv(w1, x1)[0]
+            del w1  # allow id reuse by the next allocation
+            w2 = rand((48, 80), 23)
+            x2 = rand(80, 24)
+            second = server.submit("gemv", weights=w2, a=x2)
+            server.run()
+            assert np.array_equal(first.result, want1)
+            assert np.array_equal(second.result, ref.gemv(w2, x2)[0])
+            # Distinct contents got distinct resident kernels; a
+            # byte-identical resubmission reuses rather than reloads.
+            assert len(server.lanes[0].gemv_kernels) == 2
+            third = server.submit("gemv", weights=w2.copy(), a=rand(80, 25))
+            server.run()
+            assert len(server.lanes[0].gemv_kernels) == 2
+            assert third.result is not None
+
+    def test_uneven_lane_split_leases_every_channel(self):
+        """3 lanes on 4 channels -> 2+1+1, no channel left permanently idle."""
+        system = PimSystem(PLAIN)
+        server = PimServer(system, lanes=3)
+        sizes = sorted(len(lane.channels) for lane in server.lanes)
+        assert sizes == [1, 1, 2]
+        leased = set()
+        for lane in server.lanes:
+            leased.update(lane.channels)
+        assert leased == set(range(system.num_pchs))
+        assert system.driver.channels_free == []
+        server.close()
+        assert len(system.driver.channels_free) == system.num_pchs
 
     def test_submit_validates_operands(self):
         system = PimSystem(PLAIN)
