@@ -17,12 +17,14 @@ serving engine must clear 1.5x the sequential throughput.
 import numpy as np
 import pytest
 
+from repro.faults import FaultConfig
 from repro.stack.blas import PimBlas
 from repro.stack.runtime import PimSystem, SystemConfig
 from repro.stack.server import PimServer
 
 CONFIG = SystemConfig(num_pchs=4, num_rows=256, simulate_pchs=1)
 M, N, LENGTH = 64, 96, 256
+FAULT_RATES = (0.0, 1e-6, 1e-4)
 
 
 def make_workload(num_requests: int, mean_interarrival_ns: float, seed: int = 7):
@@ -65,11 +67,11 @@ def run_sequential(workload):
     return results, ready
 
 
-def run_server(workload, lanes=2, max_batch=8):
+def run_server(workload, lanes=2, max_batch=8, config=CONFIG):
     """Serve the stream through PimServer; returns (results, profile)."""
-    system = PimSystem(CONFIG)
+    system = PimSystem(config)
     with PimServer(
-        system, lanes=lanes, max_batch=max_batch, simulate_pchs=CONFIG.simulate_pchs
+        system, lanes=lanes, max_batch=max_batch, simulate_pchs=config.simulate_pchs
     ) as server:
         handles = [
             server.submit(op, arrival_ns=arrival, **kw)
@@ -77,6 +79,16 @@ def run_server(workload, lanes=2, max_batch=8):
         ]
         profile = server.run()
     return [h.result for h in handles], profile
+
+
+def faulty_config(rate: float) -> SystemConfig:
+    """The benchmark platform hardened with ECC, scrub, and bit flips."""
+    faults = FaultConfig(bit_flip_rate=rate, check_flip_rate=rate, seed=7)
+    return CONFIG.replace(
+        ecc=True,
+        faults=faults if faults.active else None,
+        scrub_interval=2,
+    )
 
 
 def test_serving_bit_exact_and_speedup(benchmark):
@@ -133,6 +145,40 @@ def test_throughput_vs_offered_load(benchmark):
     assert rows[-1][2] >= rows[-1][1] * 1.5
 
 
+def test_throughput_vs_fault_rate(benchmark):
+    """Throughput degradation under injected storage faults.
+
+    One Poisson stream is served on ECC-hardened platforms whose fault
+    injectors flip stored bits at increasing rates.  Every run must stay
+    bit-exact against the fault-free run (the self-healing layer's job);
+    the reported metric is the throughput each rate sustains.
+    """
+    workload = make_workload(num_requests=24, mean_interarrival_ns=1000.0)
+
+    def sweep():
+        rows = []
+        for rate in FAULT_RATES:
+            results, profile = run_server(workload, config=faulty_config(rate))
+            rows.append((rate, results, profile))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    baseline = rows[0]
+    print("\n  flip rate     req/s   retries   fallbacks   scrub fixed")
+    for rate, results, profile in rows:
+        print(
+            f"  {rate:9.0e} {profile.throughput_rps():9,.0f} "
+            f"{profile.retries:7d} {profile.fallbacks:11d} "
+            f"{profile.scrub_corrected:13d}"
+        )
+        assert all(r is not None for r in results)
+        for got, want in zip(results, baseline[1]):
+            assert np.array_equal(got, want)
+        benchmark.extra_info[f"rps@{rate:g}"] = round(profile.throughput_rps())
+    # Faults cost throughput, never correctness; degradation stays bounded.
+    assert rows[-1][2].throughput_rps() >= baseline[2].throughput_rps() * 0.2
+
+
 def main():
     print("Serving throughput vs offered load (mixed GEMV+ADD, 2 lanes)")
     print(f"  device: {CONFIG.num_pchs} pCH, gemv {M}x{N}, add[{LENGTH}]")
@@ -148,6 +194,23 @@ def main():
         print(
             f"  {gap_ns:8.0f}ns {seq_rps:11,.0f} {profile.throughput_rps():14,.0f} "
             f"{profile.mean_batch_size():10.1f} {profile.throughput_rps() / seq_rps:9.2f}x"
+        )
+
+    print("\nThroughput vs storage fault rate (ECC + scrub every 2 batches)")
+    workload = make_workload(num_requests=24, mean_interarrival_ns=1000.0)
+    baseline = None
+    print("  flip rate     req/s   retries   fallbacks   scrub fixed")
+    for rate in FAULT_RATES:
+        results, profile = run_server(workload, config=faulty_config(rate))
+        if baseline is None:
+            baseline = results
+        assert all(
+            np.array_equal(a, b) for a, b in zip(results, baseline)
+        ), "faulty run diverged from the fault-free results"
+        print(
+            f"  {rate:9.0e} {profile.throughput_rps():9,.0f} "
+            f"{profile.retries:7d} {profile.fallbacks:11d} "
+            f"{profile.scrub_corrected:13d}"
         )
 
 

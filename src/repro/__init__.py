@@ -19,6 +19,14 @@ Quick start::
         print("\\n".join(ctx.report()))
 """
 
+from .errors import (
+    PimAllocationError,
+    PimChannelError,
+    PimDataError,
+    PimError,
+    PimProgramError,
+)
+from .faults import FaultConfig, FaultInjector
 from .stack import (
     GraphBuilder,
     GraphExecutor,
@@ -34,6 +42,13 @@ from .dram import HbmDevice, MemoryController, SchedulerPolicy
 __version__ = "1.0.0"
 
 __all__ = [
+    "PimError",
+    "PimDataError",
+    "PimChannelError",
+    "PimAllocationError",
+    "PimProgramError",
+    "FaultConfig",
+    "FaultInjector",
     "GraphBuilder",
     "GraphExecutor",
     "PimBlas",

@@ -80,15 +80,124 @@ def _trace() -> None:
         print(" ", line)
 
 
-def _serve_bench() -> None:
+def _serve_bench(argv=None) -> int:
+    """Serving benchmark; ``--faults`` runs the fault-injection smoke.
+
+    The fault smoke hard-fails a whole lane's channels, sprinkles
+    single-bit flips over the allocated rows, and then *asserts* that the
+    self-healing server completed every request bit-exactly with nonzero
+    corrected and fallback counters — a nonzero exit code means the
+    fault-tolerance layer regressed (used by CI).
+    """
+    import argparse
+
     import numpy as np
 
-    from .stack import PimServer, PimSystem, SystemConfig
+    from .stack import (
+        PimServer,
+        PimSystem,
+        SystemConfig,
+        add_reference,
+        gemv_reference,
+    )
+
+    parser = argparse.ArgumentParser(prog="repro serve-bench")
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="run the fault-injection smoke instead of the load sweep",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=1e-4,
+        help="per-bit flip probability per injection epoch",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=7,
+        help="seed of the fault injector",
+    )
+    parser.add_argument(
+        "--scrub-interval", type=int, default=2,
+        help="run driver.scrub() every N batches (0 disables)",
+    )
+    parser.add_argument(
+        "--fail-channels", default="0,1",
+        help="comma-separated channels to hard-fail (fault mode only)",
+    )
+    args = parser.parse_args(argv or [])
 
     config = SystemConfig(num_pchs=4, num_rows=256, simulate_pchs=1)
     m, n, length = 64, 96, 256
     rng = np.random.default_rng(7)
     w = (rng.standard_normal((m, n)) * 0.25).astype(np.float16)
+
+    if args.faults:
+        from .faults import FaultConfig
+
+        failed = tuple(
+            int(p) for p in args.fail_channels.split(",") if p.strip() != ""
+        )
+        config = config.replace(
+            ecc=True,
+            faults=FaultConfig(
+                bit_flip_rate=args.fault_rate,
+                check_flip_rate=args.fault_rate,
+                register_fault_rate=0.05,
+                failed_channels=failed,
+                seed=args.fault_seed,
+            ),
+            scrub_interval=args.scrub_interval,
+        )
+        print(
+            f"Fault smoke: channels {failed} dead, bit flips at "
+            f"{args.fault_rate:g}/bit/epoch, scrub every "
+            f"{args.scrub_interval} batches"
+        )
+        arrivals = np.cumsum(rng.exponential(2000.0, size=24))
+        system = PimSystem(config)
+        requests = []
+        with PimServer(system, lanes=2, max_batch=8) as server:
+            for i, arrival in enumerate(arrivals):
+                if i % 2 == 0:
+                    x = (rng.standard_normal(n) * 0.25).astype(np.float16)
+                    requests.append(
+                        (server.submit("gemv", weights=w, a=x,
+                                       arrival_ns=float(arrival)), "gemv")
+                    )
+                else:
+                    a = (rng.standard_normal(length) * 0.25).astype(np.float16)
+                    b = (rng.standard_normal(length) * 0.25).astype(np.float16)
+                    requests.append(
+                        (server.submit("add", a=a, b=b,
+                                       arrival_ns=float(arrival)), "add")
+                    )
+            profile = server.run()
+        print("\n".join(profile.render()))
+        exact = 0
+        for request, op in requests:
+            if request.result is None:
+                continue
+            if op == "gemv":
+                gold = gemv_reference(w, request.a, config.num_pchs)
+            else:
+                gold = add_reference(request.a, request.b)
+            if np.array_equal(request.result, gold):
+                exact += 1
+        corrected = profile.ecc_corrected + profile.scrub_corrected
+        checks = {
+            "all requests completed": all(
+                r.result is not None for r, _ in requests
+            ),
+            "all results bit-exact": exact == len(requests),
+            "nonzero corrected counter": corrected > 0,
+            "nonzero fallback counter": profile.fallbacks > 0,
+            "failed channels quarantined": set(failed).issubset(
+                set(profile.quarantined_channels)
+            ),
+        }
+        failed_checks = [name for name, ok in checks.items() if not ok]
+        for name, ok in checks.items():
+            print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        return 1 if failed_checks else 0
+
     print("Serving a mixed GEMV+ADD Poisson stream (2 lanes, max_batch=8)")
     print(f"  device: {config.num_pchs} pCH, gemv {m}x{n}, add[{length}]")
     print("  offered gap     req/s   mean batch   mean wait   p95 turnaround")
@@ -117,6 +226,7 @@ def _serve_bench() -> None:
             f"{profile.mean_wait_ns() / 1000:9.1f}us "
             f"{profile.p95_turnaround_ns() / 1000:13.1f}us"
         )
+    return 0
 
 
 _COMMANDS = {
@@ -129,15 +239,23 @@ _COMMANDS = {
 
 
 def main(argv=None) -> int:
-    """Dispatch a CLI subcommand; returns the process exit code."""
+    """Dispatch a CLI subcommand; returns the process exit code.
+
+    Arguments after the subcommand are forwarded to handlers that accept
+    them (currently ``serve-bench``); a handler's integer return value
+    becomes the exit code.
+    """
     argv = sys.argv[1:] if argv is None else argv
     command = argv[0] if argv else "demo"
     handler = _COMMANDS.get(command)
     if handler is None:
         print(__doc__)
         return 1
-    handler()
-    return 0
+    if handler is _serve_bench:
+        result = handler(argv[1:])
+    else:
+        result = handler()
+    return int(result) if result is not None else 0
 
 
 if __name__ == "__main__":

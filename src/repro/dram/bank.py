@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..errors import PimChannelError
 from .timing import TimingParams
 
 __all__ = ["BankState", "BankConfig", "Bank", "TimingViolation"]
@@ -68,10 +69,30 @@ class Bank:
         self.act_count = 0
         self.rd_count = 0
         self.wr_count = 0
+        # Hard-failure flag (fault injection): set to the owning channel's
+        # index when the whole pseudo-channel is declared dead.
+        self._failed_channel: Optional[int] = None
+
+    # -- fault state --------------------------------------------------------
+
+    def fail(self, channel_index: int) -> None:
+        """Hard-fail this bank: every subsequent data access raises
+        :class:`~repro.errors.PimChannelError` naming ``channel_index``."""
+        self._failed_channel = channel_index
+
+    @property
+    def is_failed(self) -> bool:
+        """Whether this bank belongs to a hard-failed channel."""
+        return self._failed_channel is not None
 
     # -- backing store ------------------------------------------------------
 
     def _row_array(self, row: int) -> np.ndarray:
+        if self._failed_channel is not None:
+            raise PimChannelError(
+                f"data access to a bank of failed channel {self._failed_channel}",
+                channels=(self._failed_channel,),
+            )
         if row < 0 or row >= self.config.num_rows:
             raise IndexError(f"row {row} out of range")
         array = self._rows.get(row)
@@ -92,6 +113,26 @@ class Bank:
             raise ValueError(f"column write must be {self.config.col_bytes} bytes")
         start = col * self.config.col_bytes
         self._row_array(row)[start : start + self.config.col_bytes] = data
+
+    def materialized_rows(self) -> List[int]:
+        """Row indices holding live (ever-written) data, sorted.
+
+        The fault injector and the ECC scrubber walk only these: an
+        unmaterialised row is all-zero and (with ``encode(0) == 0``)
+        trivially consistent.
+        """
+        return sorted(self._rows)
+
+    def flip_bit(self, row: int, bit: int) -> None:
+        """Flip one stored data bit of ``row`` (fault injection).
+
+        ``bit`` indexes the whole row (``row_bytes * 8`` bits).  Check
+        bits, where present, are deliberately left untouched — that is
+        what makes the flip an *error*.
+        """
+        if not 0 <= bit < self.config.row_bytes * 8:
+            raise ValueError("bit index out of row range")
+        self._row_array(row)[bit // 8] ^= 1 << (bit % 8)
 
     # -- timing queries -------------------------------------------------------
 
@@ -134,6 +175,17 @@ class Bank:
         self.state = BankState.IDLE
         self.open_row = None
         self.next_act = max(self.next_act, cycle + t.trp)
+
+    def force_precharge(self, cycle: int) -> None:
+        """Close the bank unconditionally (channel-recovery path).
+
+        Unlike :meth:`precharge` this ignores the tRAS/tWR/tRTP bound —
+        the recovery sequence models a driver that waits out the worst
+        case, so the next ACT is simply pushed past ``cycle + tRP``.
+        """
+        self.state = BankState.IDLE
+        self.open_row = None
+        self.next_act = max(self.next_act, cycle + self.timing.trp)
 
     def read(self, row: int, col: int, cycle: int) -> np.ndarray:
         """Column read; returns the 32-byte burst.

@@ -361,6 +361,29 @@ class MemoryController:
         self._issue(Command(CommandType.PRE, bg, ba))
         self._open_rows[(bg, ba)] = None
 
+    def reset_channel(self) -> None:
+        """Abandon pending work and return the channel to a clean state.
+
+        The self-healing serving layer calls this after a mid-kernel fault
+        unwound through :meth:`drain`, which leaves unissued requests
+        queued and may leave the channel stranded in AB(-PIM) mode with
+        open rows.  The recovery models the driver's sequence — wait out
+        the worst-case bank bound, PREA, force SB mode — without moving
+        data: queued requests are dropped (their kernel is being retried
+        from scratch), the open-row shadow is cleared, and the CA clock
+        advances past every per-bank bound so the next command is legal.
+        """
+        self._queue.clear()
+        self._open_rows.clear()
+        bound = self._cycle
+        for bank in self.channel.banks:
+            bound = max(
+                bound, bank.next_act, bank.next_pre, bank.next_rd, bank.next_wr
+            )
+        self._cycle = bound
+        self._next_ca = max(self._next_ca, bound + 1)
+        self.channel.hard_reset(bound)
+
     def precharge_all(self) -> None:
         """Issue PREA (used before SB<->AB mode transitions)."""
         try:

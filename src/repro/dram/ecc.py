@@ -14,11 +14,12 @@ tests can exercise correction and detection on live kernels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..common.ecc import DecodeStatus, decode, encode
+from ..errors import PimDataError
 from .bank import Bank, BankConfig
 from .timing import TimingParams
 
@@ -27,7 +28,7 @@ __all__ = ["EccBank", "EccStats", "UncorrectableError"]
 _WORD_BYTES = 8
 
 
-class UncorrectableError(RuntimeError):
+class UncorrectableError(PimDataError):
     """A double-bit error was detected in a column read."""
 
 
@@ -99,7 +100,59 @@ class EccBank(Bank):
                     )
         return raw
 
+    # -- scrubbing ---------------------------------------------------------------
+
+    def scrub_row(self, row: int) -> Tuple[int, int, int]:
+        """Decode every word of ``row``; fix correctable errors in place.
+
+        Unlike the inline scrub of :meth:`peek` (which repairs the data
+        word only), scrubbing re-encodes the check byte too, so a
+        corrected error cannot later pair with a second flip into an
+        uncorrectable word.  Uncorrectable words are *reported*, never
+        raised — the scrubber's caller decides what to retire.
+
+        Returns ``(words_checked, corrected, uncorrectable)``.
+        """
+        if row not in self._rows and row not in self._check:
+            return (0, 0, 0)
+        row_array = self._row_array(row)
+        words = row_array.view("<u8")
+        checks = self._check_array(row)
+        corrected = 0
+        uncorrectable = 0
+        for i in range(words.size):
+            result = decode(int(words[i]), int(checks[i]))
+            self.ecc_stats.words_checked += 1
+            if result.status is DecodeStatus.CORRECTED:
+                words[i] = result.data
+                checks[i] = encode(result.data)
+                self.ecc_stats.corrected += 1
+                corrected += 1
+            elif result.status is DecodeStatus.UNCORRECTABLE:
+                self.ecc_stats.detected_uncorrectable += 1
+                uncorrectable += 1
+        return (int(words.size), corrected, uncorrectable)
+
+    def materialized_rows(self) -> List[int]:
+        """Rows live in the data *or* the check array, sorted.
+
+        A row whose only writes so far are injected check-bit flips still
+        needs scrubbing, so the union with the base store matters.
+        """
+        return sorted(set(self._rows) | set(self._check))
+
     # -- fault injection ---------------------------------------------------------
+
+    def flip_check_bit(self, row: int, bit: int) -> None:
+        """Flip one stored check bit of ``row`` (fault injection).
+
+        ``bit`` indexes the row's whole check array (one byte per 8-byte
+        data word, i.e. ``row_bytes`` check bits per row).
+        """
+        checks = self._check_array(row)
+        if not 0 <= bit < checks.size * 8:
+            raise ValueError("check-bit index out of row range")
+        checks[bit // 8] ^= 1 << (bit % 8)
 
     def inject_error(self, row: int, col: int, bit: int) -> None:
         """Flip one stored data bit without touching the check bits."""

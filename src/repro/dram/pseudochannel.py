@@ -58,6 +58,16 @@ class PseudoChannel:
         """The bank addressed by (bank group, bank)."""
         return self.banks[bg * BANKS_PER_GROUP + ba]
 
+    def hard_reset(self, cycle: int) -> None:
+        """Force every bank closed (channel-recovery path).
+
+        Models the driver's recovery sequence after a mid-kernel fault: a
+        worst-case wait followed by PREA.  Timing legality is not
+        re-checked; each bank's next ACT is pushed past ``cycle + tRP``.
+        """
+        for bank in self.banks:
+            bank.force_precharge(cycle)
+
     def _col_bus_bound(self, cmd: Command) -> int:
         """Earliest cycle for a column command given shared-bus history."""
         t = self.timing

@@ -1,0 +1,62 @@
+"""Unified exception taxonomy of the PIM stack.
+
+Every failure the stack can surface derives from :class:`PimError`, so a
+serving layer (or a user) can write one ``except PimError`` instead of
+guessing which module raised what.  The hierarchy mirrors how the
+self-healing server reacts:
+
+* :class:`PimDataError` — stored data was lost (an uncorrectable ECC
+  event).  Recoverable by re-staging operands and retrying.
+* :class:`PimChannelError` — a pseudo-channel hard-failed.  Recoverable by
+  quarantining the named channels and retrying on the survivors.
+* :class:`PimAllocationError` — the reserved PIM region or the channel
+  pool is exhausted/misused.  Not recoverable by retrying on the device.
+* :class:`PimProgramError` — a malformed microkernel or API misuse.  A
+  caller bug, never retried.
+
+Subclasses keep their historical bases (``RuntimeError``, and
+``ValueError`` for program errors) so pre-taxonomy ``except`` clauses and
+tests continue to work unchanged.
+
+This module deliberately imports nothing from the rest of the package:
+any layer (``dram``, ``pim``, ``stack``) can depend on it without import
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "PimError",
+    "PimDataError",
+    "PimChannelError",
+    "PimAllocationError",
+    "PimProgramError",
+]
+
+
+class PimError(RuntimeError):
+    """Base class of every failure raised by the PIM stack."""
+
+
+class PimDataError(PimError):
+    """Stored data was lost: an uncorrectable (double-bit) ECC event."""
+
+
+class PimChannelError(PimError):
+    """A pseudo-channel hard-failed; carries the failing channel indices."""
+
+    def __init__(self, message: str, channels: Tuple[int, ...] = ()):
+        super().__init__(message)
+        #: Pseudo-channel indices implicated in the failure (may be empty
+        #: when the fault could not be attributed).
+        self.channels: Tuple[int, ...] = tuple(channels)
+
+
+class PimAllocationError(PimError):
+    """The reserved PIM memory space or channel pool is exhausted/misused."""
+
+
+class PimProgramError(PimError, ValueError):
+    """A malformed PIM microkernel or misused stack API (a caller bug)."""

@@ -1,0 +1,14 @@
+"""Deterministic fault injection for the PIM model.
+
+The paper argues (Section VIII) that the architecture is ECC-ready because
+PIM units access data at host granularity; this package provides the other
+half of that claim's evidence — a way to *create* the faults the ECC path
+and the self-healing serving layer must survive.  Configure a
+:class:`FaultConfig` on :class:`~repro.stack.runtime.SystemConfig` and the
+assembled system carries a seeded :class:`FaultInjector` that flips stored
+bits, corrupts register files, and hard-fails whole pseudo-channels.
+"""
+
+from .injector import FaultConfig, FaultInjector, FaultStats
+
+__all__ = ["FaultConfig", "FaultInjector", "FaultStats"]

@@ -64,6 +64,19 @@ class PimPseudoChannel(PseudoChannel):
     def mode(self) -> PimMode:
         return self.mode_ctrl.mode
 
+    def hard_reset(self, cycle: int) -> None:
+        """Channel recovery: close banks, force SB mode, stop the units.
+
+        Register contents (CRF/GRF/SRF) are deliberately preserved — the
+        runtime's microkernel cache tracks what is loaded, and a retried
+        kernel reprograms whatever it needs before executing.
+        """
+        super().hard_reset(cycle)
+        self.mode_ctrl.reset()
+        self.pim_op_mode = 0
+        for unit in self.units:
+            unit.stop()
+
     # -- timing: AB modes serialise columns at tCCD_L ---------------------------
 
     def _col_bus_bound(self, cmd: Command) -> int:

@@ -33,14 +33,11 @@ from ..common.fp16 import (
     vec_relu,
 )
 from ..dram.bank import Bank
+from ..errors import PimProgramError
 from .isa import CRF_ENTRIES, GRF_REGS, Instruction, Opcode, Operand, OperandSpace, decode
 from .registers import GRF_REG_BYTES, LANES, RegisterFiles
 
 __all__ = ["ColumnTrigger", "PimExecutionUnit", "PimProgramError", "UnitStats"]
-
-
-class PimProgramError(RuntimeError):
-    """A microkernel used the datapath in a way the hardware cannot."""
 
 
 @dataclass(frozen=True)

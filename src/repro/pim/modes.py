@@ -143,6 +143,18 @@ class ModeController:
                 return True
         return False
 
+    def reset(self) -> None:
+        """Force the FSM back to SB with no armed transition.
+
+        Part of the channel-recovery sequence after a mid-kernel fault;
+        the real driver achieves the same state with SBMR + PIM_OP_MODE=0
+        writes, counted as one transition when a mode actually changed.
+        """
+        if self.mode is not PimMode.SB:
+            self.mode = PimMode.SB
+            self.transition_count += 1
+        self._armed_row = -1
+
     def set_pim_op_mode(self, enable: bool) -> bool:
         """PIM_OP_MODE register write; returns True on a mode change."""
         if enable and self.mode is PimMode.AB:

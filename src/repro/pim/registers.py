@@ -69,6 +69,37 @@ class RegisterFiles:
             raise ValueError(f"cannot write vector to {space}")
         self.grf(space)[index] = np.asarray(value, dtype=np.float16)
 
+    # -- fault injection ------------------------------------------------------
+
+    def flip_bit(self, file: str, index: int, bit: int) -> None:
+        """Flip one stored bit of a register word (fault injection).
+
+        ``file`` names the register file (``"crf"``, ``"grf_a"``,
+        ``"grf_b"``, ``"srf_m"``, ``"srf_a"``); ``index`` the entry and
+        ``bit`` the bit within it (32 bits for a CRF word, 16 per FP16
+        element times the lane count for a GRF register, 16 for an SRF
+        scalar).
+        """
+        if file == "crf":
+            if not 0 <= bit < 32:
+                raise ValueError("CRF bit index out of range")
+            self.crf[index] ^= 1 << bit
+            return
+        try:
+            target = {
+                "grf_a": self.grf_a,
+                "grf_b": self.grf_b,
+                "srf_m": self.srf_m,
+                "srf_a": self.srf_a,
+            }[file]
+        except KeyError:
+            raise ValueError(f"unknown register file {file!r}") from None
+        entry = target[index : index + 1] if target.ndim == 1 else target[index]
+        raw = entry.view(np.uint8)
+        if not 0 <= bit < raw.size * 8:
+            raise ValueError("register bit index out of range")
+        raw[bit // 8] ^= 1 << (bit % 8)
+
     # -- memory-mapped column access (32 bytes per column) ----------------------
 
     def write_crf_column(self, col: int, data: np.ndarray) -> None:

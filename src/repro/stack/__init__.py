@@ -1,5 +1,11 @@
 """The PIM software stack: driver, runtime, BLAS, and graph framework."""
 
+from ..errors import (
+    PimChannelError,
+    PimDataError,
+    PimError,
+    PimProgramError,
+)
 from .blas import (
     PimBlas,
     add_reference,
@@ -16,7 +22,13 @@ from .graph import (
     Node,
     RunReport,
 )
-from .driver import ChannelSet, PimAllocationError, PimDeviceDriver, RowSetRange
+from .driver import (
+    ChannelSet,
+    PimAllocationError,
+    PimDeviceDriver,
+    RowSetRange,
+    ScrubResult,
+)
 from .memory import (
     MicrokernelCache,
     PimLayout,
@@ -52,9 +64,14 @@ __all__ = [
     "mul_reference",
     "relu_reference",
     "ChannelSet",
+    "PimError",
+    "PimDataError",
+    "PimChannelError",
     "PimAllocationError",
+    "PimProgramError",
     "PimDeviceDriver",
     "RowSetRange",
+    "ScrubResult",
     "ELEMENTWISE_OPS",
     "ElementwiseKernel",
     "ExecutionReport",

@@ -69,12 +69,16 @@ class PimContext:
         lanes: int = 2,
         max_batch: int = 8,
         simulate_pchs: Optional[int] = None,
+        max_retries: int = 2,
+        scrub_interval: Optional[int] = None,
     ) -> PimServer:
         """A serving engine over this context's device and profiler.
 
         The server's per-request statistics and batch reports land in this
         context's profiler; its channel leases are released when the server
-        (or the context) closes.
+        (or the context) closes.  ``max_retries`` and ``scrub_interval``
+        configure the self-healing layer (the latter defaults to the
+        config's ``scrub_interval``).
         """
         server = PimServer(
             self.system,
@@ -86,6 +90,8 @@ class PimContext:
                 else self.config.simulate_pchs
             ),
             profiler=self.profiler,
+            max_retries=max_retries,
+            scrub_interval=scrub_interval,
         )
         self._servers.append(server)
         return server

@@ -15,16 +15,19 @@ are never allocatable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
 
+from ..errors import PimAllocationError
 from ..pim.device import PimHbmDevice
 
-__all__ = ["RowSetRange", "ChannelSet", "PimDeviceDriver", "PimAllocationError"]
-
-
-class PimAllocationError(RuntimeError):
-    """The reserved PIM memory space is exhausted or misused."""
+__all__ = [
+    "RowSetRange",
+    "ChannelSet",
+    "PimDeviceDriver",
+    "PimAllocationError",
+    "ScrubResult",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +67,23 @@ class ChannelSet:
         return iter(self.channels)
 
 
+@dataclass
+class ScrubResult:
+    """Outcome of one background-scrub pass over the allocated region."""
+
+    rows_scanned: int = 0
+    words_checked: int = 0
+    corrected: int = 0
+    #: ``(channel, bank, row)`` triples whose scrub found a double-bit
+    #: error the code cannot repair.
+    uncorrectable: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def uncorrectable_words(self) -> int:
+        """Number of locations reported uncorrectable this pass."""
+        return len(self.uncorrectable)
+
+
 class PimDeviceDriver:
     """Reserves and allocates the PIM memory region of a device."""
 
@@ -79,6 +99,8 @@ class PimDeviceDriver:
         self._free_list: List[RowSetRange] = []
         # Channel leases: channel index -> True while leased to a lane.
         self._leased_channels: set = set()
+        # Channels retired after a hard failure: never offered again.
+        self._quarantined_channels: set = set()
         self.uncacheable = True  # the whole region bypasses the cache
 
     @property
@@ -157,6 +179,17 @@ class PimDeviceDriver:
         self._allocations.clear()
         self._free_list.clear()
         self._leased_channels.clear()
+        self._quarantined_channels.clear()
+
+    def allocated_rows(self) -> Iterator[int]:
+        """Every row-set index currently owned by some client.
+
+        The fault injector and the scrubber walk exactly these: freed
+        blocks may hold stale corruption, but nothing will ever read them
+        before an allocation re-writes them.
+        """
+        for block in self._allocations:
+            yield from range(block.start, block.stop)
 
     # -- channel-set leases -----------------------------------------------------
 
@@ -167,8 +200,21 @@ class PimDeviceDriver:
     @property
     def channels_free(self) -> List[int]:
         return [
-            p for p in range(self.num_channels) if p not in self._leased_channels
+            p
+            for p in range(self.num_channels)
+            if p not in self._leased_channels
+            and p not in self._quarantined_channels
         ]
+
+    @property
+    def channels_leased(self) -> Tuple[int, ...]:
+        """Channels currently leased to serving lanes, sorted."""
+        return tuple(sorted(self._leased_channels))
+
+    @property
+    def channels_quarantined(self) -> Tuple[int, ...]:
+        """Channels retired after hard failures, never offered again."""
+        return tuple(sorted(self._quarantined_channels))
 
     def alloc_channels(self, count: int) -> ChannelSet:
         """Lease ``count`` pseudo-channels to one serving lane.
@@ -193,6 +239,62 @@ class PimDeviceDriver:
             if p not in self._leased_channels:
                 raise PimAllocationError(f"channel {p} was not leased")
         self._leased_channels.difference_update(channel_set.channels)
+
+    def quarantine_channels(self, channels: Sequence[int]) -> None:
+        """Retire leased channels after a hard failure.
+
+        Quarantined channels are neither leased nor free: they never
+        appear in :attr:`channels_free` again, so no future lane can lease
+        them.  Only currently-leased channels can be quarantined (the
+        failure was observed by the lane holding the lease).
+        """
+        for p in channels:
+            if p not in self._leased_channels:
+                raise PimAllocationError(
+                    f"channel {p} is not leased; cannot quarantine"
+                )
+        self._leased_channels.difference_update(channels)
+        self._quarantined_channels.update(channels)
+
+    def restore_channels(self, channels: Sequence[int]) -> None:
+        """Return quarantined channels to the free pool (after repair)."""
+        for p in channels:
+            if p not in self._quarantined_channels:
+                raise PimAllocationError(f"channel {p} is not quarantined")
+        self._quarantined_channels.difference_update(channels)
+
+    # -- background scrub ---------------------------------------------------------
+
+    def scrub(self) -> ScrubResult:
+        """One scrub pass: walk allocated rows, repair single-bit errors.
+
+        Visits every allocated row set on every healthy channel whose
+        banks carry an ECC engine (:class:`~repro.dram.ecc.EccBank`),
+        correcting single-bit errors *and* re-encoding their check bytes —
+        which is what stops independent single-bit upsets from aging into
+        uncorrectable double-bit words.  Uncorrectable locations are
+        reported, not raised; plain banks make this a no-op.
+        """
+        result = ScrubResult()
+        rows = sorted(self.allocated_rows())
+        if not rows:
+            return result
+        for pch in range(self.num_channels):
+            if pch in self._quarantined_channels:
+                continue
+            for bank_index, bank in enumerate(self.device.pch(pch).banks):
+                scrub_row = getattr(bank, "scrub_row", None)
+                if scrub_row is None or bank.is_failed:
+                    continue
+                for row in rows:
+                    words, corrected, uncorrectable = scrub_row(row)
+                    if words:
+                        result.rows_scanned += 1
+                    result.words_checked += words
+                    result.corrected += corrected
+                    if uncorrectable:
+                        result.uncorrectable.append((pch, bank_index, row))
+        return result
 
     def check_row(self, row: int) -> None:
         """Raise if ``row`` is outside the allocatable PIM region."""

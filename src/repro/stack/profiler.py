@@ -112,6 +112,10 @@ class RequestStats:
     finish_ns: float
     batch_size: int = 1
     lane: int = 0
+    # How many times this request's batch was retried after a fault, and
+    # whether it ultimately completed on the host golden path.
+    retries: int = 0
+    fallback: bool = False
 
     @property
     def wait_ns(self) -> float:
@@ -146,6 +150,23 @@ class ServingProfile:
     channel_busy_cycles: Dict[int, int] = field(default_factory=dict)
     batches: int = 0
     launches: int = 0
+    # -- fault tolerance (see docs/ARCHITECTURE.md, "Fault tolerance") --
+    # Batch re-executions after a recoverable fault.
+    retries: int = 0
+    # Requests completed on the host golden path after device retries
+    # were exhausted (or the lane died).
+    fallbacks: int = 0
+    # Channels the server retired through driver.quarantine_channels().
+    quarantined_channels: List[int] = field(default_factory=list)
+    # Background-scrub activity between batches.
+    scrubs: int = 0
+    scrub_corrected: int = 0
+    scrub_uncorrectable: int = 0
+    # Single-bit errors corrected inline by the banks' SEC-DED engines
+    # during this session (delta of the device-wide counter).
+    ecc_corrected: int = 0
+    # Faults the session's injector introduced while serving.
+    faults_injected: int = 0
 
     def record(self, stats: RequestStats) -> None:
         """Fold one served request into the session statistics."""
@@ -216,6 +237,28 @@ class ServingProfile:
         if occupancy:
             shares = " ".join(f"pch{p}:{o:4.0%}" for p, o in occupancy.items())
             lines.append(f"  channel occupancy      : {shares}")
+        if (
+            self.retries
+            or self.fallbacks
+            or self.quarantined_channels
+            or self.scrubs
+            or self.ecc_corrected
+            or self.faults_injected
+        ):
+            quarantined = (
+                ",".join(str(p) for p in sorted(set(self.quarantined_channels)))
+                or "-"
+            )
+            lines.append(f"  faults injected        : {self.faults_injected}")
+            lines.append(
+                f"  retries / fallbacks    : {self.retries} / {self.fallbacks}"
+            )
+            lines.append(f"  quarantined channels   : {quarantined}")
+            lines.append(f"  ecc corrected inline   : {self.ecc_corrected}")
+            lines.append(
+                f"  scrubs (fixed/fatal)   : {self.scrubs} "
+                f"({self.scrub_corrected}/{self.scrub_uncorrectable})"
+            )
         return lines
 
 
@@ -271,6 +314,14 @@ class Profiler:
         merged.makespan_cycles += serving.makespan_cycles
         merged.batches += serving.batches
         merged.launches += serving.launches
+        merged.retries += serving.retries
+        merged.fallbacks += serving.fallbacks
+        merged.quarantined_channels.extend(serving.quarantined_channels)
+        merged.scrubs += serving.scrubs
+        merged.scrub_corrected += serving.scrub_corrected
+        merged.scrub_uncorrectable += serving.scrub_uncorrectable
+        merged.ecc_corrected += serving.ecc_corrected
+        merged.faults_injected += serving.faults_injected
         for p, busy in serving.channel_busy_cycles.items():
             merged.channel_busy_cycles[p] = (
                 merged.channel_busy_cycles.get(p, 0) + busy

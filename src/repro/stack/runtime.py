@@ -34,6 +34,7 @@ from ..dram.bank import BankConfig
 from ..dram.controller import SchedulerPolicy
 from ..dram.device import DeviceConfig
 from ..dram.timing import HBM2_1GHZ, TimingParams
+from ..faults import FaultConfig, FaultInjector
 from ..host.processor import HostConfig, HostSystem
 from ..pim.device import PimHbmDevice
 from .driver import PimDeviceDriver
@@ -66,6 +67,11 @@ class SystemConfig:
     # LRU bounds of the executor's operator caches.
     gemv_cache_size: int = 32
     elementwise_cache_size: int = 64
+    # Fault model (see repro.faults): None disables injection entirely.
+    faults: Optional[FaultConfig] = None
+    # Background ECC scrub cadence for the serving engine: run
+    # driver.scrub() every N batches (0 disables scrubbing).
+    scrub_interval: int = 0
 
     def replace(self, **overrides) -> "SystemConfig":
         """A copy with ``overrides`` applied (dataclasses.replace)."""
@@ -150,6 +156,11 @@ class PimSystem(HostSystem):
             refresh=config.refresh,
         )
         self.driver = PimDeviceDriver(device)
+        # An active fault model attaches a seeded injector; channels listed
+        # in faults.failed_channels are dead before the first access.
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.faults is not None and config.faults.active:
+            self.fault_injector = FaultInjector(self, config.faults)
         self.executor = PimExecutor(
             self,
             gemv_cache_size=config.gemv_cache_size,

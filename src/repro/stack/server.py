@@ -25,6 +25,20 @@ module models that serving layer:
 The arrival process is externally supplied (``submit`` takes an
 ``arrival_ns``), so offered load is entirely under the caller's control —
 see ``benchmarks/bench_serving.py``.
+
+**Self-healing** — a batch that hits a fault is not lost (see the "Fault
+tolerance" section of ``docs/ARCHITECTURE.md``).  Uncorrectable ECC
+events (:class:`~repro.errors.PimDataError`) and channel hard failures
+(:class:`~repro.errors.PimChannelError`) are caught per batch; the lane
+is healed (kernels rebuilt, failed channels quarantined through the
+driver, surviving channels reset out of any stranded AB-PIM state) and
+the batch retried up to ``max_retries`` times.  A batch that exhausts its
+retries — or lands on a lane with no channels left — completes on the
+bit-exact host golden path (the ``*_reference`` functions of
+:mod:`repro.stack.blas`), so every submitted request always finishes.
+Between batches the server runs one fault-injection epoch (when the
+system carries a :class:`~repro.faults.FaultInjector`) and a background
+ECC scrub every ``scrub_interval`` batches.
 """
 
 from __future__ import annotations
@@ -36,8 +50,21 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..errors import PimChannelError, PimDataError, PimError, PimProgramError
+from .blas import (
+    add_reference,
+    bn_reference,
+    gemv_reference,
+    mul_reference,
+    relu_reference,
+)
 from .driver import ChannelSet
-from .kernels import ELEMENTWISE_OPS, ElementwiseKernel, GemvKernel
+from .kernels import (
+    ELEMENTWISE_OPS,
+    ElementwiseKernel,
+    ExecutionReport,
+    GemvKernel,
+)
 from .profiler import Profiler, RequestStats, ServingProfile
 from .runtime import PimSystem
 
@@ -67,6 +94,10 @@ class PimRequest:
     finish_ns: float = 0.0
     batch_size: int = 1
     lane: int = 0
+    # Fault-tolerance outcome: device retries consumed, and whether the
+    # request completed on the host golden path.
+    retries: int = 0
+    fallback: bool = False
     _signature: Optional[Tuple] = field(
         default=None, repr=False, compare=False
     )
@@ -122,15 +153,21 @@ class PimRequest:
             finish_ns=self.finish_ns,
             batch_size=self.batch_size,
             lane=self.lane,
+            retries=self.retries,
+            fallback=self.fallback,
         )
 
 
 @dataclass
 class _Lane:
-    """One leased channel set with its FIFO and clock."""
+    """One leased channel set with its FIFO and clock.
+
+    ``channels`` becomes ``None`` when healing quarantined the lane's last
+    channel — a *dead* lane, whose batches complete on the host path.
+    """
 
     index: int
-    channels: ChannelSet
+    channels: Optional[ChannelSet]
     queue: Deque[PimRequest] = field(default_factory=deque)
     ready_ns: float = 0.0
     # Resident kernels keyed by request signature.
@@ -164,6 +201,8 @@ class PimServer:
         max_batch: int = 8,
         simulate_pchs: Optional[int] = None,
         profiler: Optional[Profiler] = None,
+        max_retries: int = 2,
+        scrub_interval: Optional[int] = None,
     ):
         driver = getattr(system, "driver", None)
         if driver is None:
@@ -178,12 +217,19 @@ class PimServer:
             )
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.sys = system
         self.max_batch = max_batch
+        self.max_retries = max_retries
+        config = getattr(system, "config", None)
         if simulate_pchs is None:
-            config = getattr(system, "config", None)
             simulate_pchs = config.simulate_pchs if config is not None else None
+        if scrub_interval is None:
+            scrub_interval = config.scrub_interval if config is not None else 0
         self.simulate_pchs = simulate_pchs
+        self.scrub_interval = scrub_interval
+        self.injector = getattr(system, "fault_injector", None)
         self.profiler = profiler
         # When lanes does not divide the free channel count, spread the
         # remainder over the first lanes so no channel sits permanently
@@ -201,22 +247,45 @@ class PimServer:
         self._next_lane = 0
         self._next_id = 0
         self._pending: List[PimRequest] = []
+        self._batches_since_scrub = 0
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:
-        """Release kernel rows and return leased channels to the driver."""
+        """Release kernel rows and return leased channels to the driver.
+
+        Idempotent, and exactly-once even when :meth:`run` raised
+        mid-batch: each lane's lease is dropped the moment it is released
+        (``lane.channels = None``), and a kernel whose release fails
+        cannot strand the remaining lanes' channels — every lease is
+        returned before the first error (if any) propagates.
+        """
         if self._closed:
             return
         self._closed = True
         driver = self.sys.driver
+        first_error: Optional[BaseException] = None
         for lane in self.lanes:
-            for kernel in lane.gemv_kernels.values():
-                kernel.release()
-            for kernel in lane.elementwise_kernels.values():
-                kernel.release()
-            driver.release_channels(lane.channels)
+            kernels = list(lane.gemv_kernels.values())
+            kernels.extend(lane.elementwise_kernels.values())
+            lane.gemv_kernels.clear()
+            lane.elementwise_kernels.clear()
+            for kernel in kernels:
+                try:
+                    kernel.release()
+                except PimError as err:
+                    if first_error is None:
+                        first_error = err
+            if lane.channels is not None:
+                try:
+                    driver.release_channels(lane.channels)
+                except PimError as err:
+                    if first_error is None:
+                        first_error = err
+                lane.channels = None
+        if first_error is not None:
+            raise first_error
 
     def __enter__(self) -> "PimServer":
         return self
@@ -235,19 +304,24 @@ class PimServer:
         scalars: Optional[Tuple[float, float]] = None,
         arrival_ns: float = 0.0,
     ) -> PimRequest:
-        """Queue one request; returns the (not yet served) request object."""
+        """Queue one request; returns the (not yet served) request object.
+
+        Misuse raises :class:`~repro.errors.PimProgramError` (a
+        ``ValueError``/``RuntimeError`` subclass, so historical ``except``
+        clauses keep working).
+        """
         if self._closed:
-            raise RuntimeError("server is closed")
+            raise PimProgramError("server is closed")
         if op == "gemv":
             if weights is None or a is None:
-                raise ValueError("gemv needs weights and an input vector")
+                raise PimProgramError("gemv needs weights and an input vector")
         elif op in ELEMENTWISE_OPS:
             if a is None:
-                raise ValueError(f"{op} needs an input vector")
+                raise PimProgramError(f"{op} needs an input vector")
             if ELEMENTWISE_OPS[op].uses_second_operand and b is None:
-                raise ValueError(f"{op} needs a second operand")
+                raise PimProgramError(f"{op} needs a second operand")
         else:
-            raise ValueError(f"unknown op {op!r}")
+            raise PimProgramError(f"unknown op {op!r}")
         request = PimRequest(
             request_id=self._next_id,
             op=op,
@@ -285,6 +359,14 @@ class PimServer:
         controllers = self.sys.controllers
         busy_before = [mc.busy_cycles for mc in controllers]
         cycle_before = max(mc.current_cycle for mc in controllers)
+        ecc_before = self._device_ecc_corrected()
+        scrub_corrected_before = serving.scrub_corrected
+        touched: set = {
+            p
+            for lane in self.lanes
+            if lane.channels is not None
+            for p in lane.channels
+        }
 
         for request in sorted(
             self._pending, key=lambda r: (r.arrival_ns, r.request_id)
@@ -309,8 +391,10 @@ class PimServer:
                         skipped.append(candidate)
                 while skipped:
                     lane.queue.appendleft(skipped.pop())
-                report = self._execute(lane, batch)
-                finish = t0 + report.ns
+                report, penalty_ns = self._execute_resilient(
+                    lane, batch, serving
+                )
+                finish = t0 + penalty_ns + report.ns
                 for member in batch:
                     member.start_ns = t0
                     member.finish_ns = finish
@@ -323,18 +407,209 @@ class PimServer:
                 serving.launches += int(report.notes.get("launches", 1))
                 if self.profiler is not None:
                     self.profiler.record(report)
+                if lane.channels is not None:
+                    touched.update(lane.channels)
+                self._after_batch(serving)
 
         serving.makespan_cycles = (
             max(mc.current_cycle for mc in controllers) - cycle_before
         )
-        for lane in self.lanes:
-            for pch in lane.channels:
-                serving.channel_busy_cycles[pch] = (
-                    controllers[pch].busy_cycles - busy_before[pch]
-                )
+        for pch in sorted(touched):
+            serving.channel_busy_cycles[pch] = (
+                controllers[pch].busy_cycles - busy_before[pch]
+            )
+        # Inline corrections are the device-wide delta minus what the
+        # background scrub repaired this session.
+        scrubbed = serving.scrub_corrected - scrub_corrected_before
+        serving.ecc_corrected += max(
+            0, self._device_ecc_corrected() - ecc_before - scrubbed
+        )
         if self.profiler is not None:
             self.profiler.record_serving(serving)
         return serving
+
+    # -- fault tolerance ----------------------------------------------------------
+
+    def _device_ecc_corrected(self) -> int:
+        """Device-wide count of words corrected by the banks' SEC-DED."""
+        total = 0
+        for pch in range(self.sys.num_pchs):
+            for bank in self.sys.device.pch(pch).banks:
+                stats = getattr(bank, "ecc_stats", None)
+                if stats is not None:
+                    total += stats.corrected
+        return total
+
+    def _lane_cycle(self, lane: _Lane) -> int:
+        if lane.channels is None:
+            return 0
+        controllers = self.sys.controllers
+        return max(controllers[p].current_cycle for p in lane.channels)
+
+    def _after_batch(self, serving: ServingProfile) -> None:
+        """Between batches: one injection epoch, plus scrub when due."""
+        if self.injector is not None:
+            serving.faults_injected += self.injector.tick()
+        if self.scrub_interval <= 0:
+            return
+        self._batches_since_scrub += 1
+        if self._batches_since_scrub < self.scrub_interval:
+            return
+        self._batches_since_scrub = 0
+        result = self.sys.driver.scrub()
+        serving.scrubs += 1
+        serving.scrub_corrected += result.corrected
+        serving.scrub_uncorrectable += result.uncorrectable_words
+
+    def _execute_resilient(
+        self, lane: _Lane, batch: List[PimRequest], serving: ServingProfile
+    ) -> Tuple[ExecutionReport, float]:
+        """Execute a batch, healing and retrying on recoverable faults.
+
+        Returns ``(report, penalty_ns)`` where ``penalty_ns`` is the
+        simulated time wasted by failed attempts (the batch's finish time
+        includes it).  The device path is retried up to ``max_retries``
+        times; exhaustion — or a dead lane — falls back to the bit-exact
+        host golden path, so the batch *always* completes.
+        """
+        failures = 0
+        penalty_ns = 0.0
+        while lane.channels is not None:
+            cycle_start = self._lane_cycle(lane)
+            try:
+                return self._execute(lane, batch), penalty_ns
+            except (PimChannelError, PimDataError) as err:
+                failures += 1
+                wasted = self._lane_cycle(lane) - cycle_start
+                penalty_ns += self.sys.cycles_to_ns(max(0, wasted))
+                self._heal_lane(lane, err, serving)
+                if failures > self.max_retries:
+                    break
+                serving.retries += 1
+                for member in batch:
+                    member.retries += 1
+        report = self._execute_host(batch)
+        serving.fallbacks += len(batch)
+        for member in batch:
+            member.fallback = True
+        return report, penalty_ns
+
+    def _heal_lane(
+        self, lane: _Lane, error: PimError, serving: ServingProfile
+    ) -> None:
+        """Recover a lane after a fault unwound through a kernel.
+
+        1. Release every resident kernel (their rows may hold the
+           corruption; a retry re-stages from the host copy).
+        2. On a channel hard failure, quarantine the named channels
+           through the driver (unattributable channel failures retire the
+           whole set) and try to backfill the lane from the free pool.
+        3. Reset every surviving channel: abandon queued requests and
+           force the way out of any stranded AB(-PIM) state.
+
+        A lane whose last channel is quarantined becomes *dead*
+        (``channels = None``); its traffic completes on the host path.
+        """
+        driver = self.sys.driver
+        kernels = list(lane.gemv_kernels.values())
+        kernels.extend(lane.elementwise_kernels.values())
+        lane.gemv_kernels.clear()
+        lane.elementwise_kernels.clear()
+        for kernel in kernels:
+            try:
+                kernel.release()
+            except PimError:
+                pass  # rows already reclaimed; nothing else to free
+        channels = tuple(lane.channels) if lane.channels is not None else ()
+        bad = tuple(
+            p for p in getattr(error, "channels", ()) if p in channels
+        )
+        if isinstance(error, PimChannelError) and not bad:
+            bad = channels
+        if bad:
+            driver.quarantine_channels(bad)
+            serving.quarantined_channels.extend(bad)
+        survivors = [p for p in channels if p not in bad]
+        deficit = len(channels) - len(survivors)
+        if deficit > 0:
+            available = len(driver.channels_free)
+            if available > 0:
+                leased = driver.alloc_channels(min(deficit, available))
+                survivors.extend(leased.channels)
+        for p in survivors:
+            self.sys.controllers[p].reset_channel()
+        lane.channels = (
+            ChannelSet(tuple(survivors)) if survivors else None
+        )
+
+    def _host_ns(self, batch: List[PimRequest]) -> float:
+        """Simulated duration of a host-fallback batch.
+
+        The host re-reads the operands over the off-chip interface at the
+        workload's achievable bandwidth efficiency (the same model
+        :mod:`repro.host.processor` uses for host baselines) plus one
+        kernel-launch overhead for the batch.
+        """
+        host = self.sys.host
+        head = batch[0]
+        io_bw = self.sys.device.config.io_bandwidth_bytes_per_sec
+        if head.op == "gemv":
+            efficiency = host.gemv_bandwidth_efficiency
+            nbytes = head.weights.size * 2  # weights stream once per batch
+            for member in batch:
+                nbytes += np.asarray(member.a).size * 2  # x in
+                nbytes += head.weights.shape[0] * 4  # fp32 y out
+        else:
+            efficiency = host.add_bandwidth_efficiency
+            operands = 3 if ELEMENTWISE_OPS[head.op].uses_second_operand else 2
+            nbytes = sum(
+                np.asarray(member.a).size * 2 * operands for member in batch
+            )
+        return host.kernel_launch_ns + nbytes / (io_bw * efficiency) * 1e9
+
+    def _execute_host(self, batch: List[PimRequest]) -> ExecutionReport:
+        """Serve a batch on the host golden path (bit-exact fallback).
+
+        The references in :mod:`repro.stack.blas` reproduce the device's
+        exact arithmetic (FP16 MAC order for GEMV, FP16 rounding for the
+        elementwise ops), so a request completed here is indistinguishable
+        from one served by a healthy device.
+        """
+        head = batch[0]
+        for member in batch:
+            if head.op == "gemv":
+                member.result = gemv_reference(
+                    member.weights, member.a, self.sys.num_pchs
+                )
+            elif head.op == "add":
+                member.result = add_reference(member.a, member.b)
+            elif head.op == "mul":
+                member.result = mul_reference(member.a, member.b)
+            elif head.op == "relu":
+                member.result = relu_reference(member.a)
+            elif head.op == "bn":
+                gamma, beta = member.scalars or (1.0, 0.0)
+                member.result = bn_reference(member.a, gamma, beta)
+            else:  # pragma: no cover - submit() validated the op already
+                raise PimProgramError(f"unknown op {head.op!r}")
+        ns = self._host_ns(batch)
+        if head.op == "gemv":
+            host_bytes = head.weights.size * 2 + sum(
+                np.asarray(m.a).size * 2 + head.weights.shape[0] * 4
+                for m in batch
+            )
+        else:
+            operands = 3 if ELEMENTWISE_OPS[head.op].uses_second_operand else 2
+            host_bytes = sum(
+                np.asarray(m.a).size * 2 * operands for m in batch
+            )
+        return ExecutionReport(
+            kernel=f"host-fallback:{head.op}",
+            ns=ns,
+            host_bytes=int(host_bytes),
+            total_pchs=self.sys.num_pchs,
+            notes={"launches": 0, "host_fallback": float(len(batch))},
+        )
 
     def _execute(self, lane: _Lane, batch: List[PimRequest]):
         head = batch[0]
@@ -348,7 +623,14 @@ class PimServer:
                     channels=lane.channels.channels,
                     max_batch=self.max_batch,
                 )
-                kernel.load_weights(head.weights)
+                try:
+                    kernel.load_weights(head.weights)
+                except BaseException:
+                    # Staging failed (e.g. a dead channel): free the
+                    # kernel's rows before the fault propagates, or every
+                    # retry would leak a fresh allocation.
+                    kernel.release()
+                    raise
                 lane.gemv_kernels[head.signature] = kernel
             xs = np.stack([np.asarray(r.a, dtype=np.float16) for r in batch])
             ys, report = kernel.batched(

@@ -71,6 +71,47 @@ class TestDoubleBitDetection:
             assert result.status in (DecodeStatus.CORRECTED, DecodeStatus.CLEAN)
 
 
+class TestCheckByteCorners:
+    """Check-byte faults, bit by bit: the 7 Hamming parity positions
+    (check bits 0-6) and the overall-parity bit (check bit 7) each need
+    their own correction path, and a double flip confined to the check
+    byte must still raise the uncorrectable flag — the data is fine, but
+    SEC-DED cannot know that."""
+
+    @pytest.mark.parametrize("bit", range(7))
+    def test_hamming_parity_position_flip_corrected(self, bit):
+        data = 0x0123_4567_89AB_CDEF
+        result = decode(data, encode(data) ^ (1 << bit))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    def test_overall_parity_bit_flip_corrected(self):
+        data = 0xFEDC_BA98_7654_3210
+        result = decode(data, encode(data) ^ (1 << 7))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @given(u64, st.integers(0, 7), st.integers(0, 7))
+    def test_double_flip_within_check_byte_detected(self, data, a, b):
+        if a == b:
+            return
+        check = encode(data) ^ (1 << a) ^ (1 << b)
+        result = decode(data, check)
+        assert result.status is DecodeStatus.UNCORRECTABLE
+
+    @given(u64, st.integers(0, 71))
+    def test_any_single_flip_anywhere_is_corrected(self, data, pos):
+        """encode -> flip exactly one of the 72 stored bits -> decode
+        always recovers the original data, wherever the flip landed."""
+        check = encode(data)
+        if pos < 64:
+            result = decode(data ^ (1 << pos), check)
+        else:
+            result = decode(data, check ^ (1 << (pos - 64)))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+
 class TestSystematicProperties:
     def test_distinct_data_distinct_codewords(self):
         seen = {}

@@ -66,3 +66,59 @@ class TestAllocation:
         assert per_row == 32 * 1024
         block = driver.alloc_bytes(per_row + 1)
         assert block.num_rows == 2
+
+    def test_allocated_rows_tracks_live_blocks(self, driver):
+        a = driver.alloc_rows(3)
+        driver.alloc_rows(2)
+        assert sorted(driver.allocated_rows()) == [0, 1, 2, 3, 4]
+        driver.free(a)
+        assert sorted(driver.allocated_rows()) == [3, 4]
+
+
+class TestQuarantine:
+    def test_quarantined_channel_leaves_every_pool(self, driver):
+        lease = driver.alloc_channels(2)
+        bad = lease.channels[0]
+        driver.quarantine_channels([bad])
+        assert bad not in driver.channels_free
+        assert bad not in driver.channels_leased
+        assert driver.channels_quarantined == (bad,)
+
+    def test_only_leased_channels_can_be_quarantined(self, driver):
+        with pytest.raises(PimAllocationError):
+            driver.quarantine_channels([0])
+
+    def test_restore_returns_channel_to_free_pool(self, driver):
+        lease = driver.alloc_channels(1)
+        bad = lease.channels[0]
+        driver.quarantine_channels([bad])
+        driver.restore_channels([bad])
+        assert bad in driver.channels_free
+        with pytest.raises(PimAllocationError):
+            driver.restore_channels([bad])
+
+    def test_quarantine_shrinks_the_leasable_pool(self, driver):
+        lease = driver.alloc_channels(2)
+        driver.quarantine_channels(list(lease.channels))
+        with pytest.raises(PimAllocationError):
+            driver.alloc_channels(1)
+
+    def test_reset_clears_quarantine(self, driver):
+        lease = driver.alloc_channels(1)
+        driver.quarantine_channels(list(lease.channels))
+        driver.reset()
+        assert driver.channels_quarantined == ()
+        assert len(driver.channels_free) == driver.num_channels
+
+
+class TestScrub:
+    def test_plain_banks_make_scrub_a_noop(self, driver):
+        driver.alloc_rows(4)
+        result = driver.scrub()
+        assert result.words_checked == 0
+        assert result.corrected == 0
+        assert not result.uncorrectable
+
+    def test_nothing_allocated_nothing_scanned(self, driver):
+        result = driver.scrub()
+        assert result.rows_scanned == 0
