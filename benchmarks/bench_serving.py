@@ -67,11 +67,15 @@ def run_sequential(workload):
     return results, ready
 
 
-def run_server(workload, lanes=2, max_batch=8, config=CONFIG):
+def run_server(workload, lanes=2, max_batch=8, config=CONFIG, **server_kwargs):
     """Serve the stream through PimServer; returns (results, profile)."""
     system = PimSystem(config)
     with PimServer(
-        system, lanes=lanes, max_batch=max_batch, simulate_pchs=config.simulate_pchs
+        system,
+        lanes=lanes,
+        max_batch=max_batch,
+        simulate_pchs=config.simulate_pchs,
+        **server_kwargs,
     ) as server:
         handles = [
             server.submit(op, arrival_ns=arrival, **kw)
@@ -79,6 +83,25 @@ def run_server(workload, lanes=2, max_batch=8, config=CONFIG):
         ]
         profile = server.run()
     return [h.result for h in handles], profile
+
+
+def run_bounded_server(workload, queue_depth=8, admission="shed"):
+    """Serve through a bounded-queue server; returns (handles, profile)."""
+    system = PimSystem(CONFIG)
+    with PimServer(
+        system,
+        lanes=2,
+        max_batch=8,
+        simulate_pchs=CONFIG.simulate_pchs,
+        queue_depth=queue_depth,
+        admission=admission,
+    ) as server:
+        handles = [
+            server.submit(op, arrival_ns=arrival, **kw)
+            for op, kw, arrival in workload
+        ]
+        profile = server.run()
+    return handles, profile
 
 
 def faulty_config(rate: float) -> SystemConfig:
@@ -145,6 +168,62 @@ def test_throughput_vs_offered_load(benchmark):
     assert rows[-1][2] >= rows[-1][1] * 1.5
 
 
+def test_goodput_vs_offered_load(benchmark):
+    """Goodput saturates gracefully under overload instead of collapsing.
+
+    A bounded-queue shedding server is offered loads from well below to
+    3-4x beyond saturation.  The ungated server's backlog (and turnaround)
+    would grow without bound past saturation; the protected server must
+    hold goodput within 10% of its saturation value while shedding the
+    excess, and every submitted request must report a terminal outcome.
+    """
+    SATURATION_GAP_NS = 500.0
+
+    def sweep():
+        baseline = make_workload(
+            num_requests=48, mean_interarrival_ns=SATURATION_GAP_NS
+        )
+        _, base_profile = run_server(baseline)
+        rows = []
+        for gap_ns in (2000.0, 1000.0, 500.0, 250.0, 125.0):
+            workload = make_workload(num_requests=48, mean_interarrival_ns=gap_ns)
+            handles, profile = run_bounded_server(workload)
+            rows.append((gap_ns, handles, profile))
+        return base_profile, rows
+
+    base_profile, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    baseline_goodput = base_profile.goodput_rps()
+    print(
+        f"\n  unprotected saturation baseline: {baseline_goodput:,.0f} req/s"
+    )
+    print("  offered gap   goodput req/s   rejected   p95 turnaround")
+    for gap_ns, handles, profile in rows:
+        print(
+            f"  {gap_ns:8.0f}ns {profile.goodput_rps():15,.0f} "
+            f"{profile.rejected:8d} {profile.p95_turnaround_ns() / 1000:13.1f}us"
+        )
+        # Conservation: nothing is silently lost, ever.
+        assert all(h.outcome is not None for h in handles)
+        assert sum(profile.outcomes().values()) == len(handles)
+        benchmark.extra_info[f"goodput@{gap_ns:g}ns"] = round(
+            profile.goodput_rps()
+        )
+    overloaded = [r for r in rows if r[0] < SATURATION_GAP_NS]
+    # Past saturation the queue bound sheds load...
+    assert all(profile.rejected > 0 for _, _, profile in overloaded)
+    # ...and goodput holds within 10% of the unprotected saturation
+    # baseline at 2-4x offered load: graceful saturation, no cliff.
+    for _, _, profile in overloaded:
+        assert profile.goodput_rps() >= 0.9 * baseline_goodput
+    # The bounded queue also bounds tail latency: p95 turnaround at 4x
+    # offered load stays within 4x of the saturation-point p95 (an
+    # unbounded queue would grow it with the backlog, without bound).
+    p95_sat = next(
+        p.p95_turnaround_ns() for g, _, p in rows if g == SATURATION_GAP_NS
+    )
+    assert rows[-1][2].p95_turnaround_ns() <= 4.0 * p95_sat
+
+
 def test_throughput_vs_fault_rate(benchmark):
     """Throughput degradation under injected storage faults.
 
@@ -194,6 +273,18 @@ def main():
         print(
             f"  {gap_ns:8.0f}ns {seq_rps:11,.0f} {profile.throughput_rps():14,.0f} "
             f"{profile.mean_batch_size():10.1f} {profile.throughput_rps() / seq_rps:9.2f}x"
+        )
+
+    print("\nGoodput vs offered load (queue_depth=8, admission=shed)")
+    print("  offered gap   goodput req/s   rejected   p95 turnaround")
+    for gap_ns in (2000.0, 1000.0, 500.0, 250.0, 125.0):
+        workload = make_workload(num_requests=48, mean_interarrival_ns=gap_ns)
+        handles, profile = run_bounded_server(workload)
+        assert all(h.outcome is not None for h in handles), "silent loss"
+        print(
+            f"  {gap_ns:8.0f}ns {profile.goodput_rps():15,.0f} "
+            f"{profile.rejected:8d} "
+            f"{profile.p95_turnaround_ns() / 1000:13.1f}us"
         )
 
     print("\nThroughput vs storage fault rate (ECC + scrub every 2 batches)")

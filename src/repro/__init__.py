@@ -24,6 +24,7 @@ from .errors import (
     PimChannelError,
     PimDataError,
     PimError,
+    PimOverloadError,
     PimProgramError,
 )
 from .faults import FaultConfig, FaultInjector
@@ -34,6 +35,7 @@ from .stack import (
     PimContext,
     PimServer,
     PimSystem,
+    RequestOutcome,
     SystemConfig,
 )
 from .pim import PimHbmDevice, PimMode, assemble, disassemble
@@ -46,7 +48,9 @@ __all__ = [
     "PimDataError",
     "PimChannelError",
     "PimAllocationError",
+    "PimOverloadError",
     "PimProgramError",
+    "RequestOutcome",
     "FaultConfig",
     "FaultInjector",
     "GraphBuilder",

@@ -80,14 +80,117 @@ def _trace() -> None:
         print(" ", line)
 
 
+def _overload_smoke(config, w, m, n, length, seed) -> int:
+    """Overload-protection smoke: graceful saturation, zero silent losses.
+
+    Serves one mixed stream at saturation through an unbounded server
+    (the baseline), then offers 2x that load to a bounded-queue shedding
+    server, and asserts: every submitted request carries a terminal
+    ``RequestOutcome``, every completed/degraded result is bit-exact
+    against the host golden path, admission actually shed load, and
+    goodput stayed within 10% of the baseline (no congestion collapse).
+    Returns a nonzero exit code on any regression (used by CI).
+    """
+    import numpy as np
+
+    from .stack import (
+        PimServer,
+        PimSystem,
+        RequestOutcome,
+        add_reference,
+        gemv_reference,
+    )
+
+    def workload(count, gap_ns, rng):
+        arrivals = np.cumsum(rng.exponential(gap_ns, size=count))
+        items = []
+        for i, arrival in enumerate(arrivals):
+            if i % 2 == 0:
+                x = (rng.standard_normal(n) * 0.25).astype(np.float16)
+                items.append(("gemv", dict(weights=w, a=x), float(arrival)))
+            else:
+                a = (rng.standard_normal(length) * 0.25).astype(np.float16)
+                b = (rng.standard_normal(length) * 0.25).astype(np.float16)
+                items.append(("add", dict(a=a, b=b), float(arrival)))
+        return items
+
+    def serve(items, **server_kwargs):
+        system = PimSystem(config)
+        with PimServer(system, lanes=2, max_batch=8, **server_kwargs) as srv:
+            handles = [
+                srv.submit(op, arrival_ns=arrival, **kw)
+                for op, kw, arrival in items
+            ]
+            profile = srv.run()
+        return handles, profile
+
+    def golden(op, kw):
+        if op == "gemv":
+            return gemv_reference(kw["weights"], kw["a"], config.num_pchs)
+        return add_reference(kw["a"], kw["b"])
+
+    saturation_gap_ns = 500.0
+    base_items = workload(32, saturation_gap_ns, np.random.default_rng(seed))
+    _, base_profile = serve(base_items)
+    baseline_goodput = base_profile.goodput_rps()
+
+    over_items = workload(
+        64, saturation_gap_ns / 2.0, np.random.default_rng(seed + 1)
+    )
+    handles, profile = serve(
+        over_items, queue_depth=8, admission="shed"
+    )
+    print(
+        f"Overload smoke: baseline {baseline_goodput:,.0f} req/s at "
+        f"{saturation_gap_ns:.0f}ns gaps; 2x load on queue_depth=8 "
+        f"shed admission"
+    )
+    print("\n".join(profile.render()))
+
+    served = (RequestOutcome.COMPLETED, RequestOutcome.DEGRADED_HOST)
+    exact = sum(
+        1
+        for handle, (op, kw, _) in zip(handles, over_items)
+        if handle.outcome in served
+        and handle.result is not None
+        and np.array_equal(handle.result, golden(op, kw))
+    )
+    num_served = sum(1 for h in handles if h.outcome in served)
+    checks = {
+        "every request terminal": all(h.outcome is not None for h in handles),
+        "outcomes conserve requests": sum(
+            profile.outcomes().values()
+        ) == len(handles),
+        "served results bit-exact": exact == num_served and num_served > 0,
+        "admission shed load": profile.rejected > 0,
+        "dropped work cost no device time": all(
+            h.service_ns == 0.0
+            for h in handles
+            if h.outcome
+            in (RequestOutcome.REJECTED, RequestOutcome.EXPIRED)
+        ),
+        "goodput within 10% of baseline": (
+            profile.goodput_rps() >= 0.9 * baseline_goodput
+        ),
+    }
+    failed_checks = [name for name, ok in checks.items() if not ok]
+    for name, ok in checks.items():
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    return 1 if failed_checks else 0
+
+
 def _serve_bench(argv=None) -> int:
-    """Serving benchmark; ``--faults`` runs the fault-injection smoke.
+    """Serving benchmark; ``--faults``/``--overload`` run CI smokes.
 
     The fault smoke hard-fails a whole lane's channels, sprinkles
     single-bit flips over the allocated rows, and then *asserts* that the
     self-healing server completed every request bit-exactly with nonzero
-    corrected and fallback counters — a nonzero exit code means the
-    fault-tolerance layer regressed (used by CI).
+    corrected and fallback counters.  The overload smoke offers 2x the
+    saturation load to a bounded-queue server and *asserts* that goodput
+    stays within 10% of the unprotected saturation baseline and that
+    every submitted request reports a terminal ``RequestOutcome`` (zero
+    silent losses).  A nonzero exit code means the corresponding
+    protection layer regressed (both are used by CI).
     """
     import argparse
 
@@ -107,12 +210,23 @@ def _serve_bench(argv=None) -> int:
         help="run the fault-injection smoke instead of the load sweep",
     )
     parser.add_argument(
+        "--overload", action="store_true",
+        help="run the overload-protection smoke instead of the load sweep",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="master seed of the workload generator, the fault injector "
+             "(unless --fault-seed overrides it), and the retry-backoff "
+             "jitter; identical seeds replay byte-identical runs "
+             "(default: 7)",
+    )
+    parser.add_argument(
         "--fault-rate", type=float, default=1e-4,
         help="per-bit flip probability per injection epoch",
     )
     parser.add_argument(
-        "--fault-seed", type=int, default=7,
-        help="seed of the fault injector",
+        "--fault-seed", type=int, default=None,
+        help="seed of the fault injector (default: the --seed value)",
     )
     parser.add_argument(
         "--scrub-interval", type=int, default=2,
@@ -123,11 +237,17 @@ def _serve_bench(argv=None) -> int:
         help="comma-separated channels to hard-fail (fault mode only)",
     )
     args = parser.parse_args(argv or [])
+    fault_seed = args.seed if args.fault_seed is None else args.fault_seed
 
-    config = SystemConfig(num_pchs=4, num_rows=256, simulate_pchs=1)
+    config = SystemConfig(
+        num_pchs=4, num_rows=256, simulate_pchs=1, server_seed=args.seed
+    )
     m, n, length = 64, 96, 256
-    rng = np.random.default_rng(7)
+    rng = np.random.default_rng(args.seed)
     w = (rng.standard_normal((m, n)) * 0.25).astype(np.float16)
+
+    if args.overload:
+        return _overload_smoke(config, w, m, n, length, args.seed)
 
     if args.faults:
         from .faults import FaultConfig
@@ -142,7 +262,7 @@ def _serve_bench(argv=None) -> int:
                 check_flip_rate=args.fault_rate,
                 register_fault_rate=0.05,
                 failed_channels=failed,
-                seed=args.fault_seed,
+                seed=fault_seed,
             ),
             scrub_interval=args.scrub_interval,
         )

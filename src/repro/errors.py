@@ -13,6 +13,9 @@ self-healing server reacts:
   pool is exhausted/misused.  Not recoverable by retrying on the device.
 * :class:`PimProgramError` — a malformed microkernel or API misuse.  A
   caller bug, never retried.
+* :class:`PimOverloadError` — the serving layer refused work because a
+  bounded queue is full.  Recoverable by backing off and resubmitting
+  (the canonical reaction to backpressure).
 
 Subclasses keep their historical bases (``RuntimeError``, and
 ``ValueError`` for program errors) so pre-taxonomy ``except`` clauses and
@@ -33,6 +36,7 @@ __all__ = [
     "PimChannelError",
     "PimAllocationError",
     "PimProgramError",
+    "PimOverloadError",
 ]
 
 
@@ -60,3 +64,18 @@ class PimAllocationError(PimError):
 
 class PimProgramError(PimError, ValueError):
     """A malformed PIM microkernel or misused stack API (a caller bug)."""
+
+
+class PimOverloadError(PimError):
+    """A bounded serving queue refused work (admission-control backpressure).
+
+    Raised synchronously by ``PimServer.submit`` in ``admission="block"``
+    mode, and attached to shed requests (``request.error``) in
+    ``admission="shed"`` mode.  ``lane`` names the saturated lane when the
+    overload could be attributed to one.
+    """
+
+    def __init__(self, message: str, lane: int = -1):
+        super().__init__(message)
+        #: Index of the saturated lane (-1 when not attributable).
+        self.lane = lane

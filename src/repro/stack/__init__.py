@@ -4,6 +4,7 @@ from ..errors import (
     PimChannelError,
     PimDataError,
     PimError,
+    PimOverloadError,
     PimProgramError,
 )
 from .blas import (
@@ -46,6 +47,7 @@ from .kernels import (
 from .collaborative import CollaborativeGemv, CollaborativeReport, optimal_split
 from .lstm import LstmLayerOperator, LstmStepReport
 from .profiler import (
+    BreakerTransition,
     KernelProfile,
     Profiler,
     RequestStats,
@@ -53,7 +55,7 @@ from .profiler import (
     SessionProfile,
 )
 from .runtime import PimExecutor, PimSystem, SystemConfig
-from .server import PimRequest, PimServer
+from .server import PimRequest, PimServer, RequestOutcome
 from .context import PimContext
 
 __all__ = [
@@ -68,6 +70,7 @@ __all__ = [
     "PimDataError",
     "PimChannelError",
     "PimAllocationError",
+    "PimOverloadError",
     "PimProgramError",
     "PimDeviceDriver",
     "RowSetRange",
@@ -82,6 +85,7 @@ __all__ = [
     "optimal_split",
     "LstmLayerOperator",
     "LstmStepReport",
+    "BreakerTransition",
     "KernelProfile",
     "Profiler",
     "RequestStats",
@@ -93,6 +97,7 @@ __all__ = [
     "PimContext",
     "PimRequest",
     "PimServer",
+    "RequestOutcome",
     "MicrokernelCache",
     "PimLayout",
     "aligned_size",

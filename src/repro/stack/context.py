@@ -71,6 +71,7 @@ class PimContext:
         simulate_pchs: Optional[int] = None,
         max_retries: int = 2,
         scrub_interval: Optional[int] = None,
+        **overload_knobs,
     ) -> PimServer:
         """A serving engine over this context's device and profiler.
 
@@ -78,7 +79,12 @@ class PimContext:
         context's profiler; its channel leases are released when the server
         (or the context) closes.  ``max_retries`` and ``scrub_interval``
         configure the self-healing layer (the latter defaults to the
-        config's ``scrub_interval``).
+        config's ``scrub_interval``).  Any overload-protection knob of
+        :class:`~repro.stack.server.PimServer` (``queue_depth``,
+        ``admission``, ``aging_ns``, ``retry_budget``, ``retry_refill``,
+        ``backoff_base_ns``, ``backoff_jitter``, ``breaker_threshold``,
+        ``breaker_cooldown_ns``, ``seed``) passes through unchanged;
+        unset knobs inherit this context's config.
         """
         server = PimServer(
             self.system,
@@ -92,6 +98,7 @@ class PimContext:
             profiler=self.profiler,
             max_retries=max_retries,
             scrub_interval=scrub_interval,
+            **overload_knobs,
         )
         self._servers.append(server)
         return server

@@ -15,11 +15,12 @@ occupancy over the session makespan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .kernels import ExecutionReport
 
 __all__ = [
+    "BreakerTransition",
     "KernelProfile",
     "SessionProfile",
     "Profiler",
@@ -103,7 +104,13 @@ class SessionProfile:
 
 @dataclass
 class RequestStats:
-    """Queueing statistics of one served request."""
+    """Queueing statistics of one served request.
+
+    Requests that never left the queue (shed at admission, or expired
+    before dispatch) carry ``start_ns == finish_ns``: their ``wait_ns`` is
+    the time they sat queued before being dropped and their ``service_ns``
+    is exactly 0 — dropped work must cost zero device time.
+    """
 
     request_id: int
     op: str
@@ -116,6 +123,11 @@ class RequestStats:
     # whether it ultimately completed on the host golden path.
     retries: int = 0
     fallback: bool = False
+    # Scheduling class and terminal disposition (see RequestOutcome in
+    # repro.stack.server): "completed", "rejected", "expired",
+    # "degraded_host", or "failed".
+    priority: int = 0
+    outcome: str = "completed"
 
     @property
     def wait_ns(self) -> float:
@@ -131,12 +143,29 @@ class RequestStats:
 
 
 def _percentile(values: List[float], q: float) -> float:
-    """Nearest-rank percentile (no numpy dependency for the hot path)."""
+    """Nearest-rank percentile of ``values`` at quantile ``q`` in [0, 1].
+
+    Returns 0.0 for an empty list; ``q`` is clamped into [0, 1] so callers
+    passing 0/100-style percentages out of range degrade to the extremes
+    instead of indexing out of bounds.  No numpy dependency: this sits on
+    the serving hot path.
+    """
     if not values:
         return 0.0
+    q = max(0.0, min(1.0, q))
     ordered = sorted(values)
     rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
     return ordered[rank]
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One circuit-breaker state change of one serving lane."""
+
+    lane: int
+    previous: str
+    state: str
+    at_ns: float
 
 
 @dataclass
@@ -167,21 +196,78 @@ class ServingProfile:
     ecc_corrected: int = 0
     # Faults the session's injector introduced while serving.
     faults_injected: int = 0
+    # -- overload protection (see docs/ARCHITECTURE.md, "Overload
+    #    protection") --
+    # Requests shed at admission because a bounded lane queue was full.
+    rejected: int = 0
+    # Requests dropped at dispatch because their deadline had passed.
+    expired: int = 0
+    # Requests completed on the bit-exact host path for *any* reason
+    # (admission degrade, open circuit breaker, retry exhaustion, dead
+    # lane); ``fallbacks`` remains the fault-driven subset.
+    degraded: int = 0
+    # Device retries refused because the server-wide token bucket was dry.
+    retry_budget_exhausted: int = 0
+    # Circuit-breaker activity: per-transition log plus quick counters.
+    breaker_transitions: List[BreakerTransition] = field(default_factory=list)
+    breaker_opens: int = 0
+    # Batches served by host because their lane's breaker was open.
+    breaker_short_circuits: int = 0
 
     def record(self, stats: RequestStats) -> None:
-        """Fold one served request into the session statistics."""
+        """Fold one terminal request into the session statistics."""
         self.requests.append(stats)
         self.makespan_ns = max(self.makespan_ns, stats.finish_ns)
+        if stats.outcome == "rejected":
+            self.rejected += 1
+        elif stats.outcome == "expired":
+            self.expired += 1
+        elif stats.outcome == "degraded_host":
+            self.degraded += 1
+
+    def record_breaker(
+        self, lane: int, previous: str, state: str, at_ns: float
+    ) -> None:
+        """Log one circuit-breaker state change of ``lane``."""
+        self.breaker_transitions.append(
+            BreakerTransition(lane, previous, state, at_ns)
+        )
+        if state == "open":
+            self.breaker_opens += 1
 
     @property
     def num_requests(self) -> int:
         return len(self.requests)
 
+    def outcomes(self) -> Dict[str, int]:
+        """Terminal-outcome histogram of every recorded request."""
+        counts: Dict[str, int] = {}
+        for stats in self.requests:
+            counts[stats.outcome] = counts.get(stats.outcome, 0) + 1
+        return counts
+
     def throughput_rps(self) -> float:
-        """Served requests per (simulated) second."""
-        if self.makespan_ns == 0:
+        """Terminal requests per (simulated) second (0.0 when empty)."""
+        if self.makespan_ns <= 0 or not self.requests:
             return 0.0
         return self.num_requests / (self.makespan_ns * 1e-9)
+
+    def goodput_rps(self) -> float:
+        """Usefully *completed* requests per (simulated) second.
+
+        Counts ``completed`` and ``degraded_host`` outcomes (both return a
+        bit-exact result to the caller); shed, expired, and failed
+        requests are offered load that produced no value.  0.0 when the
+        profile is empty or the makespan is 0 (e.g. every request shed).
+        """
+        if self.makespan_ns <= 0 or not self.requests:
+            return 0.0
+        good = sum(
+            1
+            for r in self.requests
+            if r.outcome in ("completed", "degraded_host")
+        )
+        return good / (self.makespan_ns * 1e-9)
 
     def mean_wait_ns(self) -> float:
         """Average time requests spent queued before dispatch."""
@@ -205,11 +291,36 @@ class ServingProfile:
         """95th-percentile arrival-to-finish latency (nearest rank)."""
         return _percentile([r.turnaround_ns for r in self.requests], 0.95)
 
+    def turnaround_percentiles_by_priority(
+        self, qs: Tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> Dict[int, Dict[float, float]]:
+        """Per-priority turnaround percentiles of *served* requests.
+
+        Only requests that actually ran (``completed``/``degraded_host``)
+        enter the distribution — a shed request's zero-length turnaround
+        would otherwise flatter the latency of the class that shed it.
+        Returns ``{priority: {q: ns}}``, empty when nothing was served.
+        """
+        by_priority: Dict[int, List[float]] = {}
+        for r in self.requests:
+            if r.outcome not in ("completed", "degraded_host"):
+                continue
+            by_priority.setdefault(r.priority, []).append(r.turnaround_ns)
+        return {
+            priority: {q: _percentile(values, q) for q in qs}
+            for priority, values in sorted(by_priority.items())
+        }
+
     def mean_batch_size(self) -> float:
-        """Average number of requests fused per dispatched batch."""
+        """Average number of requests fused per dispatched batch.
+
+        Shed and expired requests never joined a batch (their
+        ``batch_size`` is 0), so they do not inflate the average.
+        """
         if self.batches == 0:
             return 0.0
-        return self.num_requests / self.batches
+        dispatched = sum(1 for r in self.requests if r.batch_size > 0)
+        return dispatched / self.batches
 
     def channel_occupancy(self) -> Dict[int, float]:
         """Per-channel busy fraction over the session makespan."""
@@ -237,6 +348,29 @@ class ServingProfile:
         if occupancy:
             shares = " ".join(f"pch{p}:{o:4.0%}" for p, o in occupancy.items())
             lines.append(f"  channel occupancy      : {shares}")
+        if self.rejected or self.expired or self.degraded:
+            lines.append(
+                f"  goodput                : {self.goodput_rps():,.0f} req/s"
+            )
+            lines.append(
+                f"  rejected/expired/degr. : {self.rejected} / "
+                f"{self.expired} / {self.degraded}"
+            )
+        if self.breaker_transitions or self.retry_budget_exhausted:
+            lines.append(
+                f"  breaker opens (shorts) : {self.breaker_opens} "
+                f"({self.breaker_short_circuits})"
+            )
+            lines.append(
+                f"  retry budget exhausted : {self.retry_budget_exhausted}"
+            )
+        by_priority = self.turnaround_percentiles_by_priority((0.5, 0.95))
+        if len(by_priority) > 1:
+            for priority, pcts in by_priority.items():
+                lines.append(
+                    f"  prio {priority:>3d} p50/p95      : "
+                    f"{pcts[0.5] / 1000:.1f} / {pcts[0.95] / 1000:.1f} us"
+                )
         if (
             self.retries
             or self.fallbacks
@@ -322,6 +456,13 @@ class Profiler:
         merged.scrub_uncorrectable += serving.scrub_uncorrectable
         merged.ecc_corrected += serving.ecc_corrected
         merged.faults_injected += serving.faults_injected
+        merged.rejected += serving.rejected
+        merged.expired += serving.expired
+        merged.degraded += serving.degraded
+        merged.retry_budget_exhausted += serving.retry_budget_exhausted
+        merged.breaker_transitions.extend(serving.breaker_transitions)
+        merged.breaker_opens += serving.breaker_opens
+        merged.breaker_short_circuits += serving.breaker_short_circuits
         for p, busy in serving.channel_busy_cycles.items():
             merged.channel_busy_cycles[p] = (
                 merged.channel_busy_cycles.get(p, 0) + busy

@@ -72,6 +72,35 @@ class SystemConfig:
     # Background ECC scrub cadence for the serving engine: run
     # driver.scrub() every N batches (0 disables scrubbing).
     scrub_interval: int = 0
+    # -- overload protection (PimServer; docs/ARCHITECTURE.md) ----------
+    # Bound of each serving lane's queue (None = unbounded, the
+    # historical behaviour).
+    queue_depth: Optional[int] = None
+    # What happens to an arrival that finds its lane queue full:
+    # "block" — submit() raises PimOverloadError (backpressure to the
+    # producer); "shed" — the request is dropped with outcome "rejected";
+    # "degrade" — it completes immediately on the bit-exact host path.
+    admission: str = "block"
+    # Simulated-time quantum after which a waiting request gains one
+    # effective priority level (anti-starvation aging; 0 disables).
+    aging_ns: float = 50_000.0
+    # Server-wide retry token bucket: capacity, and tokens returned per
+    # successful device batch.  Each fault retry spends one token; a dry
+    # bucket routes the batch straight to the host path so a flapping
+    # channel cannot amplify load.
+    retry_budget: float = 8.0
+    retry_refill: float = 0.5
+    # Deterministic exponential backoff before each retry:
+    # base * 2^attempt, jittered by up to +/- backoff_jitter (seeded).
+    backoff_base_ns: float = 2_000.0
+    backoff_jitter: float = 0.5
+    # Per-lane circuit breaker: open after N consecutive device batch
+    # failures (0 disables), stay open for the cooldown, then half-open
+    # probe one batch on the device.
+    breaker_threshold: int = 3
+    breaker_cooldown_ns: float = 100_000.0
+    # Seed of the server's (non-fault) randomness, i.e. retry jitter.
+    server_seed: int = 0
 
     def replace(self, **overrides) -> "SystemConfig":
         """A copy with ``overrides`` applied (dataclasses.replace)."""
@@ -92,6 +121,26 @@ class SystemConfig:
         ``simulate_pchs`` sampling for tractable experiments.
         """
         base = cls(num_pchs=16, num_rows=8192, simulate_pchs=1)
+        return base.replace(**overrides) if overrides else base
+
+    @classmethod
+    def overload_hardened(cls, **overrides) -> "SystemConfig":
+        """The serving shape with every protection layer armed.
+
+        Bounded lane queues that shed excess load, ECC with background
+        scrubbing, and the default retry budget / circuit breaker — the
+        configuration ``serve-bench --overload`` and the goodput sweep in
+        ``benchmarks/bench_serving.py`` exercise.
+        """
+        base = cls(
+            num_pchs=4,
+            num_rows=256,
+            simulate_pchs=1,
+            ecc=True,
+            scrub_interval=4,
+            queue_depth=16,
+            admission="shed",
+        )
         return base.replace(**overrides) if overrides else base
 
 

@@ -32,13 +32,40 @@ events (:class:`~repro.errors.PimDataError`) and channel hard failures
 (:class:`~repro.errors.PimChannelError`) are caught per batch; the lane
 is healed (kernels rebuilt, failed channels quarantined through the
 driver, surviving channels reset out of any stranded AB-PIM state) and
-the batch retried up to ``max_retries`` times.  A batch that exhausts its
-retries — or lands on a lane with no channels left — completes on the
-bit-exact host golden path (the ``*_reference`` functions of
-:mod:`repro.stack.blas`), so every submitted request always finishes.
-Between batches the server runs one fault-injection epoch (when the
-system carries a :class:`~repro.faults.FaultInjector`) and a background
-ECC scrub every ``scrub_interval`` batches.
+the batch retried.  A batch that exhausts its retries — or lands on a
+lane with no channels left — completes on the bit-exact host golden path
+(the ``*_reference`` functions of :mod:`repro.stack.blas`).  Between
+batches the server runs one fault-injection epoch (when the system
+carries a :class:`~repro.faults.FaultInjector`) and a background ECC
+scrub every ``scrub_interval`` batches.
+
+**Overload protection** — PIM is a shared, capacity-limited resource, so
+the server never grows backlog silently (see "Overload protection" in
+``docs/ARCHITECTURE.md``):
+
+* *bounded lane queues* — ``queue_depth`` caps each lane's queue; the
+  ``admission`` policy decides what happens to excess load: ``"block"``
+  makes :meth:`submit` raise :class:`~repro.errors.PimOverloadError`
+  (backpressure to the producer), ``"shed"`` drops the arrival with a
+  terminal ``rejected`` outcome, ``"degrade"`` completes it immediately
+  on the bit-exact host path (``degraded_host``).
+* *deadlines and priorities* — ``submit(..., deadline_ns=...,
+  priority=...)``.  A request whose deadline passes before its batch
+  dispatches is dropped *before* it consumes any device cycles
+  (``expired``); higher ``priority`` dispatches first, and waiting
+  requests gain one effective level per ``aging_ns`` of simulated time so
+  low-priority work is never starved.
+* *retry budget* — device retries draw from one seeded token bucket per
+  server (``retry_budget`` capacity, ``retry_refill`` per successful
+  batch) with deterministic exponential backoff plus jitter, so a
+  flapping channel cannot amplify offered load into a retry storm.
+* *circuit breakers* — per lane: ``closed`` → ``open`` after
+  ``breaker_threshold`` consecutive device batch failures (batches route
+  straight to the host path while open) → ``half_open`` probe after
+  ``breaker_cooldown_ns`` → ``closed`` on a successful probe.
+
+Every submitted request ends in exactly one terminal
+:class:`RequestOutcome`; dropped work costs zero device time.
 """
 
 from __future__ import annotations
@@ -46,11 +73,18 @@ from __future__ import annotations
 import hashlib
 from collections import deque
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import PimChannelError, PimDataError, PimError, PimProgramError
+from ..errors import (
+    PimChannelError,
+    PimDataError,
+    PimError,
+    PimOverloadError,
+    PimProgramError,
+)
 from .blas import (
     add_reference,
     bn_reference,
@@ -68,7 +102,33 @@ from .kernels import (
 from .profiler import Profiler, RequestStats, ServingProfile
 from .runtime import PimSystem
 
-__all__ = ["PimRequest", "PimServer"]
+__all__ = ["PimRequest", "PimServer", "RequestOutcome"]
+
+#: Valid ``admission`` policies for a bounded lane queue.
+ADMISSION_POLICIES = ("block", "shed", "degrade")
+
+
+class RequestOutcome(str, Enum):
+    """Terminal disposition of one submitted request.
+
+    Exactly one outcome is assigned to every request a :class:`PimServer`
+    accepted (the conservation invariant the overload tests enforce):
+
+    * ``COMPLETED`` — served by the PIM device.
+    * ``REJECTED`` — shed at admission because the lane queue was full.
+    * ``EXPIRED`` — its deadline passed before dispatch; zero device time.
+    * ``DEGRADED_HOST`` — completed bit-exactly on the host golden path
+      (admission degrade, open circuit breaker, retry exhaustion, or a
+      dead lane).
+    * ``FAILED`` — an unexpected error aborted the serving session before
+      this request could finish.
+    """
+
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+    EXPIRED = "expired"
+    DEGRADED_HOST = "degraded_host"
+    FAILED = "failed"
 
 
 @dataclass
@@ -77,7 +137,8 @@ class PimRequest:
 
     ``op`` is ``"gemv"`` or one of the elementwise operators
     (``add``/``mul``/``relu``/``bn``).  After :meth:`PimServer.run` the
-    request carries its result, execution report, and queueing timestamps.
+    request carries its result, execution report, queueing timestamps,
+    and a terminal :class:`RequestOutcome`.
     """
 
     request_id: int
@@ -87,6 +148,11 @@ class PimRequest:
     b: Optional[np.ndarray] = None
     weights: Optional[np.ndarray] = None
     scalars: Optional[Tuple[float, float]] = None
+    # Scheduling class: higher dispatches first (aging prevents
+    # starvation), and an absolute simulated-clock dispatch deadline
+    # (None = never expires).
+    priority: int = 0
+    deadline_ns: Optional[float] = None
     # Filled in by the server.
     result: Optional[np.ndarray] = None
     report: object = None
@@ -98,6 +164,10 @@ class PimRequest:
     # request completed on the host golden path.
     retries: int = 0
     fallback: bool = False
+    # Terminal disposition (None until the server decides), and the
+    # overload error attached to a shed request.
+    outcome: Optional[RequestOutcome] = None
+    error: Optional[Exception] = None
     _signature: Optional[Tuple] = field(
         default=None, repr=False, compare=False
     )
@@ -155,12 +225,18 @@ class PimRequest:
             lane=self.lane,
             retries=self.retries,
             fallback=self.fallback,
+            priority=self.priority,
+            outcome=(
+                self.outcome.value
+                if self.outcome is not None
+                else RequestOutcome.COMPLETED.value
+            ),
         )
 
 
 @dataclass
 class _Lane:
-    """One leased channel set with its FIFO and clock.
+    """One leased channel set with its FIFO, clock, and circuit breaker.
 
     ``channels`` becomes ``None`` when healing quarantined the lane's last
     channel — a *dead* lane, whose batches complete on the host path.
@@ -175,6 +251,14 @@ class _Lane:
     elementwise_kernels: Dict[Tuple, ElementwiseKernel] = field(
         default_factory=dict
     )
+    # Submissions bound to this lane that run() has not yet consumed
+    # (the quantity "block" admission bounds).
+    backlog: int = 0
+    # Circuit breaker: closed -> open after N consecutive device batch
+    # failures -> half_open probe once the cooldown elapses -> closed.
+    breaker_state: str = "closed"
+    breaker_failures: int = 0
+    breaker_open_until_ns: float = 0.0
 
 
 class PimServer:
@@ -192,6 +276,14 @@ class PimServer:
     signatures are bound to lanes round-robin in first-seen order, so two
     independent operators pipeline across channel sets instead of
     serialising behind a global drain.
+
+    The overload-protection knobs (``queue_depth``, ``admission``,
+    ``aging_ns``, ``retry_budget``/``retry_refill``,
+    ``backoff_base_ns``/``backoff_jitter``,
+    ``breaker_threshold``/``breaker_cooldown_ns``, ``seed``) default to
+    the system config's values; see the module docstring and
+    ``docs/API.md`` for their semantics.  ``queue_depth=0`` forces an
+    unbounded queue even when the config bounds it.
     """
 
     def __init__(
@@ -203,6 +295,16 @@ class PimServer:
         profiler: Optional[Profiler] = None,
         max_retries: int = 2,
         scrub_interval: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+        admission: Optional[str] = None,
+        aging_ns: Optional[float] = None,
+        retry_budget: Optional[float] = None,
+        retry_refill: Optional[float] = None,
+        backoff_base_ns: Optional[float] = None,
+        backoff_jitter: Optional[float] = None,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown_ns: Optional[float] = None,
+        seed: Optional[int] = None,
     ):
         driver = getattr(system, "driver", None)
         if driver is None:
@@ -223,12 +325,54 @@ class PimServer:
         self.max_batch = max_batch
         self.max_retries = max_retries
         config = getattr(system, "config", None)
+
+        def from_config(value, attr, fallback):
+            if value is not None:
+                return value
+            if config is not None:
+                return getattr(config, attr)
+            return fallback
+
         if simulate_pchs is None:
             simulate_pchs = config.simulate_pchs if config is not None else None
         if scrub_interval is None:
             scrub_interval = config.scrub_interval if config is not None else 0
+        queue_depth = from_config(queue_depth, "queue_depth", None)
+        if queue_depth is not None and queue_depth <= 0:
+            queue_depth = None  # 0 forces the unbounded historical mode
+        admission = from_config(admission, "admission", "block")
+        if admission not in ADMISSION_POLICIES:
+            raise PimProgramError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {admission!r}"
+            )
         self.simulate_pchs = simulate_pchs
         self.scrub_interval = scrub_interval
+        self.queue_depth = queue_depth
+        self.admission = admission
+        self.aging_ns = float(from_config(aging_ns, "aging_ns", 50_000.0))
+        self.retry_budget = float(
+            from_config(retry_budget, "retry_budget", 8.0)
+        )
+        self.retry_refill = float(
+            from_config(retry_refill, "retry_refill", 0.5)
+        )
+        self.backoff_base_ns = float(
+            from_config(backoff_base_ns, "backoff_base_ns", 2_000.0)
+        )
+        self.backoff_jitter = float(
+            from_config(backoff_jitter, "backoff_jitter", 0.5)
+        )
+        self.breaker_threshold = int(
+            from_config(breaker_threshold, "breaker_threshold", 3)
+        )
+        self.breaker_cooldown_ns = float(
+            from_config(breaker_cooldown_ns, "breaker_cooldown_ns", 100_000.0)
+        )
+        self._rng = np.random.default_rng(
+            from_config(seed, "server_seed", 0)
+        )
+        self._retry_tokens = self.retry_budget
         self.injector = getattr(system, "fault_injector", None)
         self.profiler = profiler
         # When lanes does not divide the free channel count, spread the
@@ -303,12 +447,22 @@ class PimServer:
         weights: Optional[np.ndarray] = None,
         scalars: Optional[Tuple[float, float]] = None,
         arrival_ns: float = 0.0,
+        priority: int = 0,
+        deadline_ns: Optional[float] = None,
     ) -> PimRequest:
         """Queue one request; returns the (not yet served) request object.
 
-        Misuse raises :class:`~repro.errors.PimProgramError` (a
-        ``ValueError``/``RuntimeError`` subclass, so historical ``except``
-        clauses keep working).
+        ``priority`` dispatches higher classes first (aging prevents
+        starvation); ``deadline_ns`` is an absolute simulated-clock bound
+        on *dispatch* — a request still queued past it is dropped with
+        outcome ``expired`` before consuming any device cycles.
+
+        With a bounded queue (``queue_depth``) in ``"block"`` mode this
+        raises :class:`~repro.errors.PimOverloadError` once the target
+        lane's backlog is full — synchronous backpressure to the
+        producer.  Misuse raises :class:`~repro.errors.PimProgramError`
+        (a ``ValueError``/``RuntimeError`` subclass, so historical
+        ``except`` clauses keep working).
         """
         if self._closed:
             raise PimProgramError("server is closed")
@@ -330,7 +484,22 @@ class PimServer:
             b=b,
             weights=weights,
             scalars=scalars,
+            priority=int(priority),
+            deadline_ns=None if deadline_ns is None else float(deadline_ns),
         )
+        lane = self._lane_for(request.signature)
+        if (
+            self.queue_depth is not None
+            and self.admission == "block"
+            and lane.backlog >= self.queue_depth
+        ):
+            raise PimOverloadError(
+                f"lane {lane.index} queue full "
+                f"({lane.backlog}/{self.queue_depth}); back off and "
+                f"resubmit after run()",
+                lane=lane.index,
+            )
+        lane.backlog += 1
         self._next_id += 1
         self._pending.append(request)
         return request
@@ -350,10 +519,13 @@ class PimServer:
     def run(self) -> ServingProfile:
         """Serve every pending request and return the session's profile.
 
-        Requests drain in arrival order per lane.  A dispatch takes the
-        head of the lane's queue plus any queued same-signature requests
+        Requests drain per lane in arrival order, reordered only by
+        priority (with aging).  A dispatch takes the highest-effective-
+        priority arrived request plus any queued same-signature requests
         that have arrived by dispatch time, up to ``max_batch``; requests
-        of other signatures keep their relative order.
+        of other signatures keep their relative order.  Expired and shed
+        requests terminate without touching the device; every submitted
+        request ends in exactly one terminal :class:`RequestOutcome`.
         """
         serving = ServingProfile()
         controllers = self.sys.controllers
@@ -361,55 +533,29 @@ class PimServer:
         cycle_before = max(mc.current_cycle for mc in controllers)
         ecc_before = self._device_ecc_corrected()
         scrub_corrected_before = serving.scrub_corrected
-        touched: set = {
-            p
-            for lane in self.lanes
-            if lane.channels is not None
-            for p in lane.channels
-        }
+        touched: set = set()
 
-        for request in sorted(
+        session = sorted(
             self._pending, key=lambda r: (r.arrival_ns, r.request_id)
-        ):
-            self._lane_for(request.signature).queue.append(request)
+        )
+        for request in session:
+            self.lanes[self._affinity[request.signature]].queue.append(request)
         self._pending = []
 
-        for lane in self.lanes:
-            while lane.queue:
-                head = lane.queue.popleft()
-                t0 = max(lane.ready_ns, head.arrival_ns)
-                batch = [head]
-                skipped: Deque[PimRequest] = deque()
-                while lane.queue and len(batch) < self.max_batch:
-                    candidate = lane.queue.popleft()
-                    if (
-                        candidate.signature == head.signature
-                        and candidate.arrival_ns <= t0
-                    ):
-                        batch.append(candidate)
-                    else:
-                        skipped.append(candidate)
-                while skipped:
-                    lane.queue.appendleft(skipped.pop())
-                report, penalty_ns = self._execute_resilient(
-                    lane, batch, serving
-                )
-                finish = t0 + penalty_ns + report.ns
-                for member in batch:
-                    member.start_ns = t0
-                    member.finish_ns = finish
-                    member.report = report
-                    member.batch_size = len(batch)
-                    member.lane = lane.index
-                    serving.record(member.stats())
-                lane.ready_ns = finish
-                serving.batches += 1
-                serving.launches += int(report.notes.get("launches", 1))
-                if self.profiler is not None:
-                    self.profiler.record(report)
-                if lane.channels is not None:
-                    touched.update(lane.channels)
-                self._after_batch(serving)
+        try:
+            for lane in self.lanes:
+                self._drain_lane(lane, serving, touched)
+        except BaseException:
+            # Conservation even through a crash: anything the session did
+            # not finish is terminally FAILED before the error surfaces.
+            for request in session:
+                if request.outcome is None:
+                    request.outcome = RequestOutcome.FAILED
+            raise
+        finally:
+            for lane in self.lanes:
+                lane.queue.clear()
+                lane.backlog = 0
 
         serving.makespan_cycles = (
             max(mc.current_cycle for mc in controllers) - cycle_before
@@ -427,6 +573,262 @@ class PimServer:
         if self.profiler is not None:
             self.profiler.record_serving(serving)
         return serving
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def _drain_lane(
+        self, lane: _Lane, serving: ServingProfile, touched: set
+    ) -> None:
+        """Chronologically admit and dispatch one lane's request stream.
+
+        ``lane.queue`` holds this run's arrivals in ``(arrival, id)``
+        order; requests move through admission (where shed/degrade
+        policies apply on the simulated clock) into the bounded
+        ``admitted`` queue, and leave it in priority-with-aging order as
+        batches — or as ``expired`` drops, before any device work.
+        """
+        inbox = lane.queue
+        admitted: List[PimRequest] = []
+        while inbox or admitted:
+            if admitted:
+                next_ns = max(
+                    lane.ready_ns, min(r.arrival_ns for r in admitted)
+                )
+            else:
+                next_ns = max(lane.ready_ns, inbox[0].arrival_ns)
+            moved = False
+            while inbox and inbox[0].arrival_ns <= next_ns:
+                self._admit(lane, inbox.popleft(), admitted, serving)
+                moved = True
+            if moved:
+                continue  # admissions may move the dispatch point
+            if admitted:
+                self._dispatch(lane, admitted, serving, touched)
+
+    def _admit(
+        self,
+        lane: _Lane,
+        request: PimRequest,
+        admitted: List[PimRequest],
+        serving: ServingProfile,
+    ) -> None:
+        """Admission control at one request's simulated arrival time."""
+        if (
+            request.deadline_ns is not None
+            and request.arrival_ns > request.deadline_ns
+        ):
+            self._drop(
+                lane, request, RequestOutcome.EXPIRED,
+                request.arrival_ns, serving,
+            )
+            return
+        if (
+            self.queue_depth is not None
+            and len(admitted) >= self.queue_depth
+            and self.admission in ("shed", "degrade")
+        ):
+            if self.admission == "shed":
+                request.error = PimOverloadError(
+                    f"lane {lane.index} queue full at arrival "
+                    f"({self.queue_depth} waiting)",
+                    lane=lane.index,
+                )
+                self._drop(
+                    lane, request, RequestOutcome.REJECTED,
+                    request.arrival_ns, serving,
+                )
+            else:
+                self._degrade_to_host(lane, request, serving)
+            return
+        admitted.append(request)
+
+    def _drop(
+        self,
+        lane: _Lane,
+        request: PimRequest,
+        outcome: RequestOutcome,
+        at_ns: float,
+        serving: ServingProfile,
+    ) -> None:
+        """Terminate ``request`` without device work (shed or expired)."""
+        request.start_ns = at_ns
+        request.finish_ns = at_ns
+        request.batch_size = 0
+        request.lane = lane.index
+        request.outcome = outcome
+        serving.record(request.stats())
+
+    def _degrade_to_host(
+        self, lane: _Lane, request: PimRequest, serving: ServingProfile
+    ) -> None:
+        """Serve one over-admission request immediately on the host path.
+
+        The host starts at the request's arrival (no queueing — the point
+        of degrading is to bypass the saturated lane) and the lane's
+        clock is untouched: degraded work costs zero device time.
+        """
+        report = self._execute_host([request])
+        request.report = report
+        request.start_ns = request.arrival_ns
+        request.finish_ns = request.arrival_ns + report.ns
+        request.batch_size = 1
+        request.lane = lane.index
+        request.outcome = RequestOutcome.DEGRADED_HOST
+        serving.record(request.stats())
+        serving.batches += 1
+
+    def _effective_priority(self, request: PimRequest, now_ns: float) -> float:
+        """Priority plus aging: one level per ``aging_ns`` of waiting."""
+        if self.aging_ns <= 0:
+            return float(request.priority)
+        return request.priority + (now_ns - request.arrival_ns) / self.aging_ns
+
+    def _dispatch(
+        self,
+        lane: _Lane,
+        admitted: List[PimRequest],
+        serving: ServingProfile,
+        touched: set,
+    ) -> None:
+        """Form and execute one batch from the lane's admitted queue.
+
+        Expired requests are purged first (zero device cycles); the head
+        is the arrived request with the highest effective priority, and
+        same-signature arrived requests join its fused launch up to
+        ``max_batch``.
+        """
+        t0 = max(lane.ready_ns, min(r.arrival_ns for r in admitted))
+        # Purge expirations among the arrived set (a deadline can only
+        # pass after arrival, so unarrived requests cannot have expired).
+        expired = [
+            r
+            for r in admitted
+            if r.arrival_ns <= t0
+            and r.deadline_ns is not None
+            and t0 > r.deadline_ns
+        ]
+        for request in expired:
+            admitted.remove(request)
+            self._drop(
+                lane, request, RequestOutcome.EXPIRED,
+                max(request.arrival_ns, request.deadline_ns), serving,
+            )
+        eligible = [r for r in admitted if r.arrival_ns <= t0]
+        if not eligible:
+            return  # the dispatch point moved; the drain loop recomputes
+        head = max(
+            eligible,
+            key=lambda r: (
+                self._effective_priority(r, t0),
+                -r.arrival_ns,
+                -r.request_id,
+            ),
+        )
+        batch = [head]
+        for candidate in eligible:
+            if len(batch) >= self.max_batch:
+                break
+            if candidate is head:
+                continue
+            if candidate.signature == head.signature:
+                batch.append(candidate)
+        for member in batch:
+            admitted.remove(member)
+
+        before = tuple(lane.channels) if lane.channels is not None else ()
+        report, penalty_ns, device_ok = self._execute_protected(
+            lane, batch, serving, t0
+        )
+        after = tuple(lane.channels) if lane.channels is not None else ()
+        if before or after:
+            touched.update(before)
+            touched.update(after)
+        finish = t0 + penalty_ns + report.ns
+        outcome = (
+            RequestOutcome.COMPLETED if device_ok
+            else RequestOutcome.DEGRADED_HOST
+        )
+        for member in batch:
+            member.start_ns = t0
+            member.finish_ns = finish
+            member.report = report
+            member.batch_size = len(batch)
+            member.lane = lane.index
+            member.outcome = outcome
+            serving.record(member.stats())
+        lane.ready_ns = finish
+        serving.batches += 1
+        serving.launches += int(report.notes.get("launches", 1))
+        if self.profiler is not None:
+            self.profiler.record(report)
+        self._breaker_after_batch(lane, device_ok, finish, serving)
+        self._after_batch(serving)
+
+    # -- circuit breaker ----------------------------------------------------------
+
+    def _breaker_transition(
+        self, lane: _Lane, state: str, at_ns: float, serving: ServingProfile
+    ) -> None:
+        """Move ``lane``'s breaker to ``state`` and log the transition."""
+        serving.record_breaker(lane.index, lane.breaker_state, state, at_ns)
+        lane.breaker_state = state
+
+    def _breaker_after_batch(
+        self,
+        lane: _Lane,
+        device_ok: bool,
+        finish_ns: float,
+        serving: ServingProfile,
+    ) -> None:
+        """Update the lane's breaker with one batch's device verdict."""
+        if self.breaker_threshold <= 0 or lane.channels is None:
+            return
+        if device_ok:
+            lane.breaker_failures = 0
+            if lane.breaker_state == "half_open":
+                self._breaker_transition(lane, "closed", finish_ns, serving)
+            return
+        lane.breaker_failures += 1
+        if lane.breaker_state == "half_open":
+            # The probe failed: re-open and restart the cooldown.
+            self._breaker_transition(lane, "open", finish_ns, serving)
+            lane.breaker_open_until_ns = finish_ns + self.breaker_cooldown_ns
+        elif (
+            lane.breaker_state == "closed"
+            and lane.breaker_failures >= self.breaker_threshold
+        ):
+            self._breaker_transition(lane, "open", finish_ns, serving)
+            lane.breaker_open_until_ns = finish_ns + self.breaker_cooldown_ns
+
+    def _execute_protected(
+        self,
+        lane: _Lane,
+        batch: List[PimRequest],
+        serving: ServingProfile,
+        t0: float,
+    ) -> Tuple[ExecutionReport, float, bool]:
+        """Route one batch through the lane's circuit breaker.
+
+        An open breaker short-circuits the device entirely (host path,
+        zero device cycles) until the cooldown elapses; the first batch
+        after it becomes a half-open probe with a single device attempt.
+        Returns ``(report, penalty_ns, device_ok)``.
+        """
+        attempts: Optional[int] = None
+        if (
+            self.breaker_threshold > 0
+            and lane.channels is not None
+            and lane.breaker_state == "open"
+        ):
+            if t0 < lane.breaker_open_until_ns:
+                serving.breaker_short_circuits += 1
+                return self._execute_host(batch), 0.0, False
+            self._breaker_transition(lane, "half_open", t0, serving)
+        if lane.breaker_state == "half_open":
+            attempts = 1  # one probe attempt, no retries
+        return self._execute_resilient(
+            lane, batch, serving, attempts_allowed=attempts
+        )
 
     # -- fault tolerance ----------------------------------------------------------
 
@@ -461,38 +863,73 @@ class PimServer:
         serving.scrub_corrected += result.corrected
         serving.scrub_uncorrectable += result.uncorrectable_words
 
+    def _backoff_ns(self, attempt: int) -> float:
+        """Deterministic exponential backoff with seeded jitter.
+
+        ``attempt`` counts from 1; the delay doubles per attempt and is
+        jittered by up to ±``backoff_jitter`` of itself, drawn from the
+        server's seeded generator so runs replay byte-identically.
+        """
+        backoff = self.backoff_base_ns * (2.0 ** (attempt - 1))
+        if self.backoff_jitter > 0.0:
+            backoff *= 1.0 + self.backoff_jitter * (
+                2.0 * float(self._rng.random()) - 1.0
+            )
+        return backoff
+
     def _execute_resilient(
-        self, lane: _Lane, batch: List[PimRequest], serving: ServingProfile
-    ) -> Tuple[ExecutionReport, float]:
+        self,
+        lane: _Lane,
+        batch: List[PimRequest],
+        serving: ServingProfile,
+        attempts_allowed: Optional[int] = None,
+    ) -> Tuple[ExecutionReport, float, bool]:
         """Execute a batch, healing and retrying on recoverable faults.
 
-        Returns ``(report, penalty_ns)`` where ``penalty_ns`` is the
-        simulated time wasted by failed attempts (the batch's finish time
-        includes it).  The device path is retried up to ``max_retries``
-        times; exhaustion — or a dead lane — falls back to the bit-exact
-        host golden path, so the batch *always* completes.
+        Returns ``(report, penalty_ns, device_ok)`` where ``penalty_ns``
+        is the simulated time lost to failed attempts and retry backoff
+        (the batch's finish time includes it) and ``device_ok`` tells
+        whether the device — rather than the host golden path — produced
+        the result.  Retries beyond the first attempt spend one token
+        each from the server-wide seeded budget and pay exponential
+        backoff with jitter; exhaustion of either bound — or a dead lane
+        — falls back to the bit-exact host golden path, so the batch
+        *always* completes.
         """
+        if attempts_allowed is None:
+            attempts_allowed = self.max_retries + 1
         failures = 0
         penalty_ns = 0.0
         while lane.channels is not None:
             cycle_start = self._lane_cycle(lane)
             try:
-                return self._execute(lane, batch), penalty_ns
+                report = self._execute(lane, batch)
             except (PimChannelError, PimDataError) as err:
                 failures += 1
                 wasted = self._lane_cycle(lane) - cycle_start
                 penalty_ns += self.sys.cycles_to_ns(max(0, wasted))
                 self._heal_lane(lane, err, serving)
-                if failures > self.max_retries:
+                if failures >= attempts_allowed:
                     break
+                if self._retry_tokens < 1.0:
+                    serving.retry_budget_exhausted += 1
+                    break
+                self._retry_tokens -= 1.0
+                penalty_ns += self._backoff_ns(failures)
                 serving.retries += 1
                 for member in batch:
                     member.retries += 1
+            else:
+                # A successful device batch earns back part of a token.
+                self._retry_tokens = min(
+                    self.retry_budget, self._retry_tokens + self.retry_refill
+                )
+                return report, penalty_ns, True
         report = self._execute_host(batch)
         serving.fallbacks += len(batch)
         for member in batch:
             member.fallback = True
-        return report, penalty_ns
+        return report, penalty_ns, False
 
     def _heal_lane(
         self, lane: _Lane, error: PimError, serving: ServingProfile

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.stack.blas import PimBlas
-from repro.stack.profiler import KernelProfile, Profiler, SessionProfile
+from repro.stack.profiler import (
+    KernelProfile,
+    Profiler,
+    RequestStats,
+    ServingProfile,
+    SessionProfile,
+    _percentile,
+)
 from repro.stack.runtime import PimSystem
 
 
@@ -81,3 +88,111 @@ class TestProfileDataStructures:
         profile = KernelProfile("x")
         assert profile.command_utilisation() == 0.0
         assert profile.gflops() == 0.0
+
+
+class TestPercentileEdgeCases:
+    def test_empty_list_is_zero_for_any_quantile(self):
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert _percentile([], q) == 0.0
+
+    def test_single_element_is_returned_for_any_quantile(self):
+        for q in (0.0, 0.5, 1.0):
+            assert _percentile([42.0], q) == 42.0
+
+    def test_extreme_quantiles_hit_min_and_max(self):
+        values = [30.0, 10.0, 20.0, 40.0]
+        assert _percentile(values, 0.0) == 10.0
+        assert _percentile(values, 1.0) == 40.0
+
+    def test_out_of_range_quantiles_clamp_to_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        # Percent-style misuse (95 instead of 0.95) degrades to the max
+        # instead of indexing out of bounds.
+        assert _percentile(values, 95.0) == 3.0
+        assert _percentile(values, -0.5) == 1.0
+
+    def test_unsorted_input_is_ranked_not_indexed(self):
+        assert _percentile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+
+class TestServingProfileEdgeCases:
+    def test_empty_profile_reports_zero_not_nan(self):
+        profile = ServingProfile()
+        assert profile.throughput_rps() == 0.0
+        assert profile.goodput_rps() == 0.0
+        assert profile.mean_wait_ns() == 0.0
+        assert profile.mean_service_ns() == 0.0
+        assert profile.mean_turnaround_ns() == 0.0
+        assert profile.p95_turnaround_ns() == 0.0
+        assert profile.mean_batch_size() == 0.0
+        assert profile.outcomes() == {}
+        assert profile.channel_occupancy() == {}
+        assert profile.turnaround_percentiles_by_priority() == {}
+        assert isinstance(profile.render(), list)
+
+    def test_zero_makespan_profile_reports_zero_rates(self):
+        # Every request shed at t=0: terminal requests exist but the
+        # session never advanced the clock — rates are 0.0, not a
+        # ZeroDivisionError.
+        profile = ServingProfile()
+        profile.record(
+            RequestStats(
+                request_id=0, op="add", arrival_ns=0.0, start_ns=0.0,
+                finish_ns=0.0, batch_size=0, outcome="rejected",
+            )
+        )
+        assert profile.makespan_ns == 0.0
+        assert profile.throughput_rps() == 0.0
+        assert profile.goodput_rps() == 0.0
+
+    def test_never_served_request_stats(self):
+        # Shed after queueing for 4ns: wait is defined, service is zero.
+        stats = RequestStats(
+            request_id=1, op="gemv", arrival_ns=5.0, start_ns=9.0,
+            finish_ns=9.0, batch_size=0, outcome="expired",
+        )
+        assert stats.wait_ns == 4.0
+        assert stats.service_ns == 0.0
+        assert stats.turnaround_ns == 4.0
+
+    def test_goodput_counts_only_useful_outcomes(self):
+        profile = ServingProfile()
+        for i, outcome in enumerate(
+            ["completed", "degraded_host", "rejected", "expired", "failed"]
+        ):
+            profile.record(
+                RequestStats(
+                    request_id=i, op="add", arrival_ns=0.0, start_ns=0.0,
+                    finish_ns=1000.0 if outcome in ("completed", "degraded_host")
+                    else 0.0,
+                    batch_size=1 if outcome in ("completed", "degraded_host")
+                    else 0,
+                    outcome=outcome,
+                )
+            )
+        assert profile.num_requests == 5
+        assert profile.rejected == 1
+        assert profile.expired == 1
+        assert profile.degraded == 1
+        # 5 terminal requests over 1us, but only 2 produced results.
+        assert profile.throughput_rps() == pytest.approx(5e6)
+        assert profile.goodput_rps() == pytest.approx(2e6)
+
+    def test_priority_percentiles_exclude_dropped_requests(self):
+        profile = ServingProfile()
+        profile.record(
+            RequestStats(
+                request_id=0, op="add", arrival_ns=0.0, start_ns=100.0,
+                finish_ns=200.0, priority=1, outcome="completed",
+            )
+        )
+        # A shed request of the same class: zero-length turnaround must
+        # not flatter the class's latency distribution.
+        profile.record(
+            RequestStats(
+                request_id=1, op="add", arrival_ns=0.0, start_ns=0.0,
+                finish_ns=0.0, batch_size=0, priority=1, outcome="rejected",
+            )
+        )
+        by_priority = profile.turnaround_percentiles_by_priority((0.5,))
+        assert by_priority == {1: {0.5: 200.0}}
