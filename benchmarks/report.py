@@ -158,6 +158,43 @@ def fig14():
               f"GEMV1 x{gemv:.2f}, ADD1 x{add:.2f}")
 
 
+def observability():
+    from repro.obs import render_timeline
+    from repro.stack import PimContext, SystemConfig
+
+    print("\n## Observability — traced serving session (span timeline)")
+    config = SystemConfig(
+        num_pchs=4, num_rows=256, simulate_pchs=1, server_seed=7, trace=True
+    )
+    rng = np.random.default_rng(7)
+    m, n, length = 64, 96, 256
+    weights = (rng.standard_normal((m, n)) * 0.25).astype(np.float16)
+    arrivals = np.cumsum(rng.exponential(2000.0, size=12))
+    with PimContext(config) as ctx:
+        with ctx.server(lanes=2, max_batch=8) as srv:
+            for i, arrival in enumerate(arrivals):
+                if i % 3 == 2:
+                    srv.submit(
+                        "add",
+                        a=(rng.standard_normal(length) * 0.25).astype(np.float16),
+                        b=(rng.standard_normal(length) * 0.25).astype(np.float16),
+                        arrival_ns=float(arrival),
+                    )
+                else:
+                    srv.submit(
+                        "gemv", weights=weights,
+                        a=(rng.standard_normal(n) * 0.25).astype(np.float16),
+                        arrival_ns=float(arrival),
+                    )
+            srv.run()
+        for line in render_timeline(ctx.tracer, max_spans=24):
+            print(line)
+        serving = ctx.profiler.serving
+        print(f"  requests {serving.num_requests}, "
+              f"makespan {serving.makespan_ns / 1000.0:.1f}us, "
+              f"retries {serving.retries}, fallbacks {serving.fallbacks}")
+
+
 def main():
     table1()
     tables45()
@@ -166,6 +203,7 @@ def main():
     fig12()
     fig13()
     fig14()
+    observability()
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ from .errors import (
     PimProgramError,
 )
 from .faults import FaultConfig, FaultInjector
+from .obs import MetricsRegistry, Tracer
 from .stack import (
     GraphBuilder,
     GraphExecutor,
@@ -53,6 +54,8 @@ __all__ = [
     "RequestOutcome",
     "FaultConfig",
     "FaultInjector",
+    "MetricsRegistry",
+    "Tracer",
     "GraphBuilder",
     "GraphExecutor",
     "PimBlas",

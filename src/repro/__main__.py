@@ -6,7 +6,12 @@
     python -m repro demo         # quick functional demo on the simulator
     python -m repro specs        # Tables IV & V
     python -m repro trace        # a GEMV kernel's command stream, annotated
+    python -m repro trace --out trace.json
+                                 # serve a workload, emit a Chrome trace
+                                 # (+ span JSONL / metrics dump; see -h)
     python -m repro serve-bench  # serving engine under a Poisson load
+    python -m repro serve-bench --trace trace.json
+                                 # same, tracing the last served session
 """
 
 from __future__ import annotations
@@ -61,26 +66,162 @@ def _specs() -> None:
         print(f"  {key}: {value}")
 
 
-def _trace() -> None:
+def _trace(argv=None) -> int:
+    """Bare ``trace``: the historical annotated command stream.  With
+    ``--out PATH``: run the default serving workload with the observability
+    layer enabled and emit a Chrome trace (plus optional span JSONL and
+    metrics dump), checking that the request spans reconcile with the
+    ``ServingProfile`` makespan within 1%.
+    """
+    if not argv:
+        import numpy as np
+
+        from .stack import PimBlas, PimSystem, SystemConfig
+        from .tools import trace_channel
+
+        system = PimSystem(SystemConfig(num_pchs=1, num_rows=128))
+        blas = PimBlas(system)
+        rng = np.random.default_rng(0)
+        w = (rng.standard_normal((128, 64)) * 0.1).astype(np.float16)
+        x = (rng.standard_normal(64) * 0.1).astype(np.float16)
+        with trace_channel(system.device.pch(0)) as trace:
+            blas.gemv(w, x)
+        print(trace.summary())
+        print("\nFirst 30 commands:")
+        for line in trace.lines()[:30]:
+            print(" ", line)
+        return 0
+
+    import argparse
+
     import numpy as np
 
-    from .stack import PimBlas, PimSystem, SystemConfig
-    from .tools import trace_channel
+    from .obs import (
+        render_timeline,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_span_jsonl,
+    )
+    from .stack import PimServer, PimSystem, SystemConfig
 
-    system = PimSystem(SystemConfig(num_pchs=1, num_rows=128))
-    blas = PimBlas(system)
-    rng = np.random.default_rng(0)
-    w = (rng.standard_normal((128, 64)) * 0.1).astype(np.float16)
-    x = (rng.standard_normal(64) * 0.1).astype(np.float16)
-    with trace_channel(system.device.pch(0)) as trace:
-        blas.gemv(w, x)
-    print(trace.summary())
-    print("\nFirst 30 commands:")
-    for line in trace.lines()[:30]:
-        print(" ", line)
+    parser = argparse.ArgumentParser(prog="repro trace")
+    parser.add_argument(
+        "--out", required=True,
+        help="write the Chrome/Perfetto trace JSON here "
+             "(open at chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--spans", default=None,
+        help="also write a flat JSONL span/event log here",
+    )
+    parser.add_argument(
+        "--metrics", default=None,
+        help="write the text metrics dump here (default: stdout)",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="validate the emitted file against the Chrome trace-event "
+             "schema (nonzero exit on violations; used by CI)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--requests", type=int, default=32,
+        help="requests in the serving workload (default: 32)",
+    )
+    parser.add_argument(
+        "--gap-ns", type=float, default=2000.0,
+        help="mean Poisson arrival gap in simulated ns (default: 2000)",
+    )
+    args = parser.parse_args(argv)
+
+    config = SystemConfig(
+        num_pchs=4, num_rows=256, simulate_pchs=1,
+        server_seed=args.seed, trace=True,
+    )
+    m, n, length = 64, 96, 256
+    rng = np.random.default_rng(args.seed)
+    w = (rng.standard_normal((m, n)) * 0.25).astype(np.float16)
+    arrivals = np.cumsum(rng.exponential(args.gap_ns, size=args.requests))
+    system = PimSystem(config)
+    with PimServer(system, lanes=2, max_batch=8) as server:
+        for i, arrival in enumerate(arrivals):
+            if i % 2 == 0:
+                server.submit(
+                    "gemv", weights=w,
+                    a=(rng.standard_normal(n) * 0.25).astype(np.float16),
+                    arrival_ns=float(arrival),
+                )
+            else:
+                server.submit(
+                    "add",
+                    a=(rng.standard_normal(length) * 0.25).astype(np.float16),
+                    b=(rng.standard_normal(length) * 0.25).astype(np.float16),
+                    arrival_ns=float(arrival),
+                )
+        profile = server.run()
+
+    tracer = system.tracer
+    write_chrome_trace(tracer, args.out)
+    print(
+        f"Wrote {len(tracer.spans)} spans and {len(tracer.events)} events "
+        f"to {args.out}"
+    )
+    if args.spans is not None:
+        lines = write_span_jsonl(tracer, args.spans)
+        print(f"Wrote {lines} JSONL lines to {args.spans}")
+    metrics_lines = system.metrics.render()
+    if args.metrics is not None:
+        with open(args.metrics, "w") as fh:
+            fh.write("\n".join(metrics_lines) + "\n")
+        print(f"Wrote {len(metrics_lines)} metrics to {args.metrics}")
+    else:
+        print("metrics:")
+        for line in metrics_lines:
+            print(" ", line)
+
+    rc = 0
+    requests = tracer.request_spans()
+    span_extent = max(s.end_ns for s in requests) if requests else 0.0
+    drift = abs(span_extent - profile.makespan_ns) / max(
+        profile.makespan_ns, 1e-9
+    )
+    print(
+        f"request spans: {len(requests)} / {profile.num_requests} requests; "
+        f"extent {span_extent / 1000:.1f}us vs makespan "
+        f"{profile.makespan_ns / 1000:.1f}us (drift {drift:.2%})"
+    )
+    if drift > 0.01 or len(requests) != profile.num_requests:
+        print("  [FAIL] trace does not reconcile with the serving profile")
+        rc = 1
+    if args.validate:
+        problems = validate_chrome_trace(args.out)
+        if problems:
+            rc = 1
+            for problem in problems:
+                print(f"  [FAIL] {problem}")
+        else:
+            print("  [ok] trace validates against the Chrome schema")
+    print()
+    for line in render_timeline(tracer, max_spans=24):
+        print(line)
+    return rc
 
 
-def _overload_smoke(config, w, m, n, length, seed) -> int:
+def _write_trace(system, path) -> None:
+    """Dump one traced system's spans as a Chrome trace file."""
+    from .obs import write_chrome_trace
+
+    tracer = getattr(system, "tracer", None)
+    if tracer is None:
+        return
+    write_chrome_trace(tracer, path)
+    print(
+        f"Wrote {len(tracer.spans)} spans and {len(tracer.events)} events "
+        f"to {path}"
+    )
+
+
+def _overload_smoke(config, w, m, n, length, seed, trace_path=None) -> int:
     """Overload-protection smoke: graceful saturation, zero silent losses.
 
     Serves one mixed stream at saturation through an unbounded server
@@ -122,7 +263,7 @@ def _overload_smoke(config, w, m, n, length, seed) -> int:
                 for op, kw, arrival in items
             ]
             profile = srv.run()
-        return handles, profile
+        return handles, profile, system
 
     def golden(op, kw):
         if op == "gemv":
@@ -131,15 +272,17 @@ def _overload_smoke(config, w, m, n, length, seed) -> int:
 
     saturation_gap_ns = 500.0
     base_items = workload(32, saturation_gap_ns, np.random.default_rng(seed))
-    _, base_profile = serve(base_items)
+    _, base_profile, _ = serve(base_items)
     baseline_goodput = base_profile.goodput_rps()
 
     over_items = workload(
         64, saturation_gap_ns / 2.0, np.random.default_rng(seed + 1)
     )
-    handles, profile = serve(
+    handles, profile, over_system = serve(
         over_items, queue_depth=8, admission="shed"
     )
+    if trace_path is not None:
+        _write_trace(over_system, trace_path)
     print(
         f"Overload smoke: baseline {baseline_goodput:,.0f} req/s at "
         f"{saturation_gap_ns:.0f}ns gaps; 2x load on queue_depth=8 "
@@ -236,18 +379,26 @@ def _serve_bench(argv=None) -> int:
         "--fail-channels", default="0,1",
         help="comma-separated channels to hard-fail (fault mode only)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable the observability layer and write a Chrome trace of "
+             "the last served session to PATH",
+    )
     args = parser.parse_args(argv or [])
     fault_seed = args.seed if args.fault_seed is None else args.fault_seed
 
     config = SystemConfig(
-        num_pchs=4, num_rows=256, simulate_pchs=1, server_seed=args.seed
+        num_pchs=4, num_rows=256, simulate_pchs=1, server_seed=args.seed,
+        trace=args.trace is not None,
     )
     m, n, length = 64, 96, 256
     rng = np.random.default_rng(args.seed)
     w = (rng.standard_normal((m, n)) * 0.25).astype(np.float16)
 
     if args.overload:
-        return _overload_smoke(config, w, m, n, length, args.seed)
+        return _overload_smoke(
+            config, w, m, n, length, args.seed, trace_path=args.trace
+        )
 
     if args.faults:
         from .faults import FaultConfig
@@ -291,6 +442,8 @@ def _serve_bench(argv=None) -> int:
                     )
             profile = server.run()
         print("\n".join(profile.render()))
+        if args.trace is not None:
+            _write_trace(system, args.trace)
         exact = 0
         for request, op in requests:
             if request.result is None:
@@ -346,6 +499,8 @@ def _serve_bench(argv=None) -> int:
             f"{profile.mean_wait_ns() / 1000:9.1f}us "
             f"{profile.p95_turnaround_ns() / 1000:13.1f}us"
         )
+    if args.trace is not None:
+        _write_trace(system, args.trace)
     return 0
 
 
@@ -362,8 +517,8 @@ def main(argv=None) -> int:
     """Dispatch a CLI subcommand; returns the process exit code.
 
     Arguments after the subcommand are forwarded to handlers that accept
-    them (currently ``serve-bench``); a handler's integer return value
-    becomes the exit code.
+    them (currently ``serve-bench`` and ``trace``); a handler's integer
+    return value becomes the exit code.
     """
     argv = sys.argv[1:] if argv is None else argv
     command = argv[0] if argv else "demo"
@@ -371,7 +526,7 @@ def main(argv=None) -> int:
     if handler is None:
         print(__doc__)
         return 1
-    if handler is _serve_bench:
+    if handler in (_serve_bench, _trace):
         result = handler(argv[1:])
     else:
         result = handler()

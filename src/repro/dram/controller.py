@@ -134,6 +134,11 @@ class MemoryController:
         self._open_rows: Dict[Tuple[int, int], Optional[int]] = {}
         self.row_hits = 0
         self.row_misses = 0
+        # Observability hook (repro.obs): when a Tracer is attached each
+        # non-empty drain records a "drain" span on this channel's
+        # timeline.  None (the default) costs one attribute test.
+        self.tracer = None
+        self.channel_id = 0
 
     # -- queueing -------------------------------------------------------------
 
@@ -326,6 +331,16 @@ class MemoryController:
             ct: self.channel.cmd_counts[ct] - start_counts.get(ct, 0)
             for ct in CommandType
         }
+        if self.tracer is not None and issue_order:
+            self.tracer.record_cycles(
+                "drain",
+                entry_cycle,
+                self._cycle,
+                category="device",
+                channel=self.channel_id,
+                requests=len(issue_order),
+                commands=sum(counts.values()),
+            )
         return ScheduleResult(
             cycles=self._cycle,
             issue_order=issue_order,

@@ -1,0 +1,204 @@
+"""A small counters/gauges/histograms registry for the simulated system.
+
+:class:`MetricsRegistry` is the metrics sink every layer of the stack can
+feed (behind the same ``None``-guarded hook as the tracer).  It subsumes
+the ad-hoc counters of :class:`~repro.stack.profiler.ServingProfile` —
+``ServingProfile.to_metrics`` exports a finished session into a registry
+without changing the profile's own API — and adds live counters from the
+runtime (kernel launches, cache evictions) and the driver (scrub
+activity, quarantines).
+
+Metric names are dotted paths (``serving.outcomes.completed``,
+``driver.scrub.corrected``); there is no label system — encode the one
+discriminating dimension in the name, which keeps the registry a plain
+dict and the text dump diffable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (occupancy, queue depth...)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the gauge up by ``amount``."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the gauge down by ``amount``."""
+        self.value -= amount
+
+
+#: Default histogram buckets, in nanoseconds of simulated time: 1us ..
+#: 100ms in half-decade steps (serving latencies live in this range).
+DEFAULT_BUCKETS_NS: Tuple[float, ...] = (
+    1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8,
+)
+
+
+@dataclass
+class Histogram:
+    """Cumulative-bucket histogram plus exact percentile support.
+
+    Observations are kept (these are simulation-sized populations, not
+    production firehoses), so :meth:`percentile` is exact nearest-rank —
+    the same convention ``ServingProfile`` uses.
+    """
+
+    name: str
+    help: str = ""
+    buckets: Tuple[float, ...] = DEFAULT_BUCKETS_NS
+    counts: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    total: float = 0.0
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.buckets)) != tuple(self.buckets):
+            raise ValueError("histogram buckets must be sorted")
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.values.append(value)
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile at ``q`` in [0, 1] (0.0 when empty)."""
+        if not self.values:
+            return 0.0
+        q = max(0.0, min(1.0, q))
+        ordered = sorted(self.values)
+        rank = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[max(0, rank)]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics with a text dump."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, name: str, kind, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name=name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> Histogram:
+        """Get or create the histogram called ``name``; ``buckets`` only
+        applies on creation."""
+        if buckets is None:
+            return self._get(name, Histogram, help=help)
+        return self._get(name, Histogram, help=help, buckets=tuple(buckets))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Union[Counter, Gauge, Histogram]:
+        return self._metrics[name]
+
+    def names(self) -> List[str]:
+        """Every registered metric name, sorted."""
+        return sorted(self._metrics)
+
+    def value(self, name: str) -> float:
+        """Scalar value of a counter/gauge (histograms: the observation
+        count)."""
+        metric = self._metrics[name]
+        if isinstance(metric, Histogram):
+            return float(metric.count)
+        return metric.value
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat ``{name: scalar}`` snapshot (histograms add .count/.mean/
+        .p50/.p95/.p99 sub-keys)."""
+        out: Dict[str, float] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[f"{name}.count"] = float(metric.count)
+                out[f"{name}.mean"] = metric.mean()
+                out[f"{name}.p50"] = metric.percentile(0.50)
+                out[f"{name}.p95"] = metric.percentile(0.95)
+                out[f"{name}.p99"] = metric.percentile(0.99)
+            else:
+                out[name] = metric.value
+        return out
+
+    def render(self) -> List[str]:
+        """A sorted, diffable text dump (one metric per line)."""
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                lines.append(f"counter   {name} = {metric.value:g}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"gauge     {name} = {metric.value:g}")
+            else:
+                lines.append(
+                    f"histogram {name} count={metric.count} "
+                    f"mean={metric.mean():g} p50={metric.percentile(0.5):g} "
+                    f"p95={metric.percentile(0.95):g} "
+                    f"p99={metric.percentile(0.99):g}"
+                )
+        return lines

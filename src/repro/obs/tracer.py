@@ -1,0 +1,280 @@
+"""Hierarchical tracing on the simulated clock.
+
+A :class:`Tracer` records *spans* — named intervals of simulated time,
+nested into a tree — and *events* — instants annotated with attributes.
+Every layer of the stack carries an optional tracer hook that defaults to
+``None``; with tracing disabled the only cost anywhere is one attribute
+test per hook site (the zero-overhead-when-disabled contract the serving
+benchmarks rely on).
+
+The span hierarchy mirrors how a request travels through the system
+(see the "Observability" section of ``docs/ARCHITECTURE.md``)::
+
+    request                      # arrival -> terminal outcome
+      dispatch                   # one fused batch on one lane
+        kernel:<op>              # one device attempt (launch + streams)
+          drain                  # one controller's command burst
+        host:<op>                # golden-path completion (fallback etc.)
+
+plus instant events (``retry``, ``fallback``, ``breaker:<state>``,
+``scrub``, ``faults``, ``mode:<mode>``, ``quarantine``) attached to
+whatever span was open when they fired.
+
+Two clock domains feed one timeline: the serving layer works in simulated
+nanoseconds (request arrivals), the device layers in DRAM CA-bus cycles.
+:meth:`Tracer.set_clock` re-bases the cycle domain — the serving engine
+pins ``(base_ns, base_cycle)`` before every device attempt, so controller
+bursts land inside their kernel span on the request timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "TraceEvent", "Tracer", "span_children", "span_roots"]
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time in the trace tree."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start_ns: float = 0.0
+    end_ns: float = 0.0
+    #: Serving lane that produced the span (None below the serving layer).
+    lane: Optional[int] = None
+    #: Pseudo-channel the span ran on (None above the controller layer).
+    channel: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instant on the simulated clock (retry, breaker flip, scrub...)."""
+
+    name: str
+    at_ns: float
+    category: str = ""
+    parent_id: Optional[int] = None
+    lane: Optional[int] = None
+    channel: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects spans and events on the simulated clock.
+
+    ``tck_ns`` converts DRAM CA-bus cycles to nanoseconds for the
+    cycle-domain hooks (controllers, PIM channels); re-base the cycle
+    clock with :meth:`set_clock`.
+
+    Spans nest by call order: :meth:`begin` pushes onto an open-span
+    stack and the span's parent is whatever was on top.  :meth:`finish`
+    pops (by identity, so an exception that skips a child's ``finish``
+    cannot corrupt an ancestor's).  Times are filled at ``finish`` —
+    most producers only know a span's interval after it completed.
+    """
+
+    def __init__(self, tck_ns: float = 1.0):
+        self.tck_ns = float(tck_ns)
+        self.spans: List[Span] = []
+        self.events: List[TraceEvent] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self._base_ns = 0.0
+        self._base_cycle = 0
+
+    # -- clock ----------------------------------------------------------------
+
+    def set_clock(self, base_ns: float, base_cycle: int) -> None:
+        """Pin the cycle->ns mapping: ``base_cycle`` corresponds to
+        ``base_ns`` until the next re-base."""
+        self._base_ns = float(base_ns)
+        self._base_cycle = int(base_cycle)
+
+    def cycles_ns(self, cycle: int) -> float:
+        """Simulated-ns position of a device cycle under the current base.
+
+        Cycles before the base clamp to ``base_ns``: a channel whose clock
+        lagged the lane front when the base was pinned still lands inside
+        the enclosing span.
+        """
+        return self._base_ns + max(0, cycle - self._base_cycle) * self.tck_ns
+
+    @property
+    def now_ns(self) -> float:
+        """The current clock base (where unanchored events land)."""
+        return self._base_ns
+
+    # -- spans ----------------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None at the top level."""
+        return self._stack[-1] if self._stack else None
+
+    def begin(
+        self,
+        name: str,
+        category: str = "",
+        lane: Optional[int] = None,
+        channel: Optional[int] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span under the current one; times are set by finish()."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent,
+            name=name,
+            category=category,
+            lane=lane,
+            channel=channel,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def finish(
+        self, span: Span, start_ns: float, end_ns: float, **attrs: Any
+    ) -> Span:
+        """Close ``span`` with its simulated interval and record it."""
+        span.start_ns = float(start_ns)
+        span.end_ns = max(float(end_ns), span.start_ns)
+        span.attrs.update(attrs)
+        # Pop by identity: a crash that skipped a child's finish() must
+        # not leave that child masquerading as the parent.
+        while self._stack:
+            popped = self._stack.pop()
+            if popped is span:
+                break
+        self.spans.append(span)
+        return span
+
+    def record(
+        self,
+        name: str,
+        start_ns: float,
+        end_ns: float,
+        category: str = "",
+        lane: Optional[int] = None,
+        channel: Optional[int] = None,
+        **attrs: Any,
+    ) -> Span:
+        """A complete span (no stack push) under the current open span."""
+        span = self.begin(name, category, lane=lane, channel=channel, **attrs)
+        return self.finish(span, start_ns, end_ns)
+
+    def record_cycles(
+        self,
+        name: str,
+        start_cycle: int,
+        end_cycle: int,
+        category: str = "",
+        lane: Optional[int] = None,
+        channel: Optional[int] = None,
+        **attrs: Any,
+    ) -> Span:
+        """A complete span given in device cycles (converted via the base)."""
+        return self.record(
+            name,
+            self.cycles_ns(start_cycle),
+            self.cycles_ns(end_cycle),
+            category=category,
+            lane=lane,
+            channel=channel,
+            **attrs,
+        )
+
+    def mark(self) -> Tuple[int, int]:
+        """A position in the record streams, for :meth:`clamp_since`."""
+        return (len(self.spans), len(self.events))
+
+    def clamp_since(
+        self, mark: Tuple[int, int], min_ns: float, max_ns: float
+    ) -> None:
+        """Clamp everything recorded since ``mark`` into an interval.
+
+        The serving engine uses this to keep device-clock children inside
+        their attempt's serving-clock window: device work the serving
+        accounting does not charge to the batch (e.g. first-use weight
+        staging) would otherwise overhang the parent span.
+        """
+        span_mark, event_mark = mark
+        for span in self.spans[span_mark:]:
+            span.start_ns = min(max(span.start_ns, min_ns), max_ns)
+            span.end_ns = min(max(span.end_ns, span.start_ns), max_ns)
+        for i in range(event_mark, len(self.events)):
+            event = self.events[i]
+            at = min(max(event.at_ns, min_ns), max_ns)
+            if at != event.at_ns:
+                self.events[i] = TraceEvent(
+                    name=event.name,
+                    at_ns=at,
+                    category=event.category,
+                    parent_id=event.parent_id,
+                    lane=event.lane,
+                    channel=event.channel,
+                    attrs=event.attrs,
+                )
+
+    # -- events ---------------------------------------------------------------
+
+    def event(
+        self,
+        name: str,
+        at_ns: Optional[float] = None,
+        category: str = "",
+        lane: Optional[int] = None,
+        channel: Optional[int] = None,
+        **attrs: Any,
+    ) -> TraceEvent:
+        """Record an instant; ``at_ns=None`` lands it on the clock base."""
+        event = TraceEvent(
+            name=name,
+            at_ns=self._base_ns if at_ns is None else float(at_ns),
+            category=category,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            lane=lane,
+            channel=channel,
+            attrs=dict(attrs),
+        )
+        self.events.append(event)
+        return event
+
+    # -- introspection --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every recorded span and event (open spans included)."""
+        self.spans.clear()
+        self.events.clear()
+        self._stack.clear()
+        self._next_id = 1
+        self._base_ns = 0.0
+        self._base_cycle = 0
+
+    def request_spans(self) -> List[Span]:
+        """Every request-category span, in recording order."""
+        return [s for s in self.spans if s.category == "request"]
+
+
+def span_children(spans: List[Span]) -> Dict[Optional[int], List[Span]]:
+    """Children of each span id (None = roots), in recording order."""
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    return children
+
+
+def span_roots(spans: List[Span]) -> List[Span]:
+    """Top-level spans, in recording order."""
+    return [s for s in spans if s.parent_id is None]

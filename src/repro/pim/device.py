@@ -59,6 +59,10 @@ class PimPseudoChannel(PseudoChannel):
         # I/O PHY; the energy model keys off this counter.
         self.pim_triggered_columns = 0
         self.ab_broadcast_columns = 0
+        # Observability hook (repro.obs): a Tracer records mode-FSM
+        # transitions as instant events; None costs one attribute test.
+        self.tracer = None
+        self.channel_id = 0
 
     @property
     def mode(self) -> PimMode:
@@ -105,9 +109,25 @@ class PimPseudoChannel(PseudoChannel):
 
     def issue(self, cmd: Command, cycle: int) -> Optional[np.ndarray]:
         """Dispatch by mode: SB delegates, AB modes broadcast/trigger."""
+        if self.tracer is None:
+            if not self.mode_ctrl.all_bank:
+                return self._issue_single_bank(cmd, cycle)
+            return self._issue_all_bank(cmd, cycle)
+        before = self.mode_ctrl.mode
         if not self.mode_ctrl.all_bank:
-            return self._issue_single_bank(cmd, cycle)
-        return self._issue_all_bank(cmd, cycle)
+            result = self._issue_single_bank(cmd, cycle)
+        else:
+            result = self._issue_all_bank(cmd, cycle)
+        after = self.mode_ctrl.mode
+        if after is not before:
+            self.tracer.event(
+                f"mode:{after.value}",
+                at_ns=self.tracer.cycles_ns(cycle),
+                category="mode",
+                channel=self.channel_id,
+                cycle=cycle,
+            )
+        return result
 
     def _issue_single_bank(self, cmd: Command, cycle: int) -> Optional[np.ndarray]:
         if cmd.cmd is CommandType.ACT:

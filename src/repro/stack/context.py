@@ -41,6 +41,9 @@ class PimContext:
     ):
         self.config = config or SystemConfig()
         self.system = PimSystem(self.config)
+        # Observability passthrough (None unless config.trace is set).
+        self.tracer = self.system.tracer
+        self.metrics = self.system.metrics
         self.profiler = Profiler()
         self.blas = PimBlas(
             self.system,
@@ -112,4 +115,7 @@ class PimContext:
         if self.profiler.serving is not None:
             lines.append("serving profile:")
             lines.extend(self.profiler.serving.render())
+        if self.metrics is not None and self.metrics.names():
+            lines.append("metrics:")
+            lines.extend("  " + line for line in self.metrics.render())
         return lines

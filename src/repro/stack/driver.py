@@ -102,6 +102,10 @@ class PimDeviceDriver:
         # Channels retired after a hard failure: never offered again.
         self._quarantined_channels: set = set()
         self.uncacheable = True  # the whole region bypasses the cache
+        # Observability hooks (repro.obs): scrub passes and quarantine
+        # decisions are recorded when attached; None costs one test.
+        self.tracer = None
+        self.metrics = None
 
     @property
     def rows_total(self) -> int:
@@ -255,6 +259,14 @@ class PimDeviceDriver:
                 )
         self._leased_channels.difference_update(channels)
         self._quarantined_channels.update(channels)
+        if self.tracer is not None:
+            for p in channels:
+                self.tracer.event("quarantine", category="driver", channel=p)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "driver.channels.quarantined",
+                "channels retired after hard failures",
+            ).inc(len(channels))
 
     def restore_channels(self, channels: Sequence[int]) -> None:
         """Return quarantined channels to the free pool (after repair)."""
@@ -294,6 +306,24 @@ class PimDeviceDriver:
                     result.corrected += corrected
                     if uncorrectable:
                         result.uncorrectable.append((pch, bank_index, row))
+        if self.tracer is not None and result.words_checked:
+            self.tracer.event(
+                "scrub",
+                category="driver",
+                rows=result.rows_scanned,
+                corrected=result.corrected,
+                uncorrectable=result.uncorrectable_words,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "driver.scrub.passes", "background scrub passes"
+            ).inc()
+            self.metrics.counter(
+                "driver.scrub.corrected", "single-bit errors repaired"
+            ).inc(result.corrected)
+            self.metrics.counter(
+                "driver.scrub.uncorrectable", "double-bit words reported"
+            ).inc(result.uncorrectable_words)
         return result
 
     def check_row(self, row: int) -> None:

@@ -235,6 +235,80 @@ class ServingProfile:
         if state == "open":
             self.breaker_opens += 1
 
+    def merge(self, other: "ServingProfile") -> "ServingProfile":
+        """Fold ``other`` into this profile; returns ``self``.
+
+        Carries *everything* a combined session would have recorded —
+        including the per-request stats that feed the per-priority
+        percentiles and the breaker transition log, which ad-hoc merging
+        historically dropped.  Sessions merged into one profile ran
+        back-to-back on the same device, so ``makespan_cycles`` and the
+        per-channel busy numerators add, while ``makespan_ns`` (the latest
+        finish on the serving clock) takes the max.
+        """
+        self.requests.extend(other.requests)
+        self.makespan_ns = max(self.makespan_ns, other.makespan_ns)
+        self.makespan_cycles += other.makespan_cycles
+        self.batches += other.batches
+        self.launches += other.launches
+        self.retries += other.retries
+        self.fallbacks += other.fallbacks
+        self.quarantined_channels.extend(other.quarantined_channels)
+        self.scrubs += other.scrubs
+        self.scrub_corrected += other.scrub_corrected
+        self.scrub_uncorrectable += other.scrub_uncorrectable
+        self.ecc_corrected += other.ecc_corrected
+        self.faults_injected += other.faults_injected
+        self.rejected += other.rejected
+        self.expired += other.expired
+        self.degraded += other.degraded
+        self.retry_budget_exhausted += other.retry_budget_exhausted
+        self.breaker_transitions.extend(other.breaker_transitions)
+        self.breaker_opens += other.breaker_opens
+        self.breaker_short_circuits += other.breaker_short_circuits
+        for p, busy in other.channel_busy_cycles.items():
+            self.channel_busy_cycles[p] = (
+                self.channel_busy_cycles.get(p, 0) + busy
+            )
+        return self
+
+    def to_metrics(self, registry) -> None:
+        """Export this profile into a
+        :class:`~repro.obs.MetricsRegistry` (additive: counters
+        accumulate across sessions exported into the same registry).
+        """
+        scalars = {
+            "serving.batches": self.batches,
+            "serving.launches": self.launches,
+            "serving.retries": self.retries,
+            "serving.fallbacks": self.fallbacks,
+            "serving.scrubs": self.scrubs,
+            "serving.scrub.corrected": self.scrub_corrected,
+            "serving.scrub.uncorrectable": self.scrub_uncorrectable,
+            "serving.ecc.corrected": self.ecc_corrected,
+            "serving.faults.injected": self.faults_injected,
+            "serving.retry_budget.exhausted": self.retry_budget_exhausted,
+            "serving.breaker.opens": self.breaker_opens,
+            "serving.breaker.short_circuits": self.breaker_short_circuits,
+        }
+        for name, value in scalars.items():
+            registry.counter(name).inc(value)
+        for outcome, count in sorted(self.outcomes().items()):
+            registry.counter(f"serving.outcomes.{outcome}").inc(count)
+        registry.gauge("serving.makespan_ns").set(self.makespan_ns)
+        registry.gauge("serving.makespan_cycles").set(self.makespan_cycles)
+        registry.gauge("serving.throughput_rps").set(self.throughput_rps())
+        registry.gauge("serving.goodput_rps").set(self.goodput_rps())
+        wait = registry.histogram("serving.wait_ns")
+        service = registry.histogram("serving.service_ns")
+        turnaround = registry.histogram("serving.turnaround_ns")
+        for r in self.requests:
+            wait.observe(r.wait_ns)
+            service.observe(r.service_ns)
+            turnaround.observe(r.turnaround_ns)
+        for p, occupancy in self.channel_occupancy().items():
+            registry.gauge(f"serving.occupancy.pch{p}").set(occupancy)
+
     @property
     def num_requests(self) -> int:
         return len(self.requests)
@@ -438,35 +512,7 @@ class Profiler:
         if self.serving is None:
             self.serving = serving
             return
-        merged = self.serving
-        merged.requests.extend(serving.requests)
-        merged.makespan_ns = max(merged.makespan_ns, serving.makespan_ns)
-        # Sessions recorded into one profiler ran back-to-back on the
-        # device, so their device-time denominators add — as their
-        # channel_busy_cycles numerators do.  Taking max() here would
-        # inflate channel_occupancy() for multi-session runs.
-        merged.makespan_cycles += serving.makespan_cycles
-        merged.batches += serving.batches
-        merged.launches += serving.launches
-        merged.retries += serving.retries
-        merged.fallbacks += serving.fallbacks
-        merged.quarantined_channels.extend(serving.quarantined_channels)
-        merged.scrubs += serving.scrubs
-        merged.scrub_corrected += serving.scrub_corrected
-        merged.scrub_uncorrectable += serving.scrub_uncorrectable
-        merged.ecc_corrected += serving.ecc_corrected
-        merged.faults_injected += serving.faults_injected
-        merged.rejected += serving.rejected
-        merged.expired += serving.expired
-        merged.degraded += serving.degraded
-        merged.retry_budget_exhausted += serving.retry_budget_exhausted
-        merged.breaker_transitions.extend(serving.breaker_transitions)
-        merged.breaker_opens += serving.breaker_opens
-        merged.breaker_short_circuits += serving.breaker_short_circuits
-        for p, busy in serving.channel_busy_cycles.items():
-            merged.channel_busy_cycles[p] = (
-                merged.channel_busy_cycles.get(p, 0) + busy
-            )
+        self.serving.merge(serving)
 
     def _record(self, result) -> None:
         reports: List[ExecutionReport] = []

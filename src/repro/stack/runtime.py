@@ -101,6 +101,10 @@ class SystemConfig:
     breaker_cooldown_ns: float = 100_000.0
     # Seed of the server's (non-fault) randomness, i.e. retry jitter.
     server_seed: int = 0
+    # Observability (repro.obs): build a Tracer + MetricsRegistry and
+    # thread them through every layer.  Off by default — with trace=False
+    # the only cost anywhere is one attribute test per hook site.
+    trace: bool = False
 
     def replace(self, **overrides) -> "SystemConfig":
         """A copy with ``overrides`` applied (dataclasses.replace)."""
@@ -210,6 +214,24 @@ class PimSystem(HostSystem):
         self.fault_injector: Optional[FaultInjector] = None
         if config.faults is not None and config.faults.active:
             self.fault_injector = FaultInjector(self, config.faults)
+        # Observability: with trace=True every layer below gets the same
+        # tracer/metrics pair; with trace=False the hooks stay None and
+        # each hook site costs one attribute test.
+        self.tracer: Optional["Tracer"] = None
+        self.metrics: Optional["MetricsRegistry"] = None
+        if config.trace:
+            from ..obs import MetricsRegistry, Tracer
+
+            self.tracer = Tracer(tck_ns=self.tck_ns)
+            self.metrics = MetricsRegistry()
+            for pch, controller in enumerate(self.controllers):
+                controller.tracer = self.tracer
+                controller.channel_id = pch
+            for pch, channel in enumerate(device.pchs):
+                channel.tracer = self.tracer
+                channel.channel_id = pch
+            self.driver.tracer = self.tracer
+            self.driver.metrics = self.metrics
         self.executor = PimExecutor(
             self,
             gemv_cache_size=config.gemv_cache_size,
@@ -248,10 +270,19 @@ class PimExecutor:
             return kernel
         kernel = factory()
         cache[key] = kernel
+        metrics = self.sys.metrics
+        if metrics is not None:
+            metrics.counter(
+                "runtime.cache.builds", "operator kernels built"
+            ).inc()
         while len(cache) > limit:
             _, evicted = cache.popitem(last=False)
             evicted.release()  # rows go back to the driver
             self.evictions += 1
+            if metrics is not None:
+                metrics.counter(
+                    "runtime.cache.evictions", "operator kernels evicted"
+                ).inc()
         return kernel
 
     def gemv_operator(
@@ -309,12 +340,31 @@ class PimExecutor:
 
     # -- invocations ---------------------------------------------------------------
 
+    def _launch(self, name: str, invoke):
+        """Run one kernel invocation with the launch-count/trace hooks."""
+        self.launch_count += 1
+        metrics = self.sys.metrics
+        if metrics is not None:
+            metrics.counter(
+                "runtime.kernel.launches", "executor kernel launches"
+            ).inc()
+        tracer = self.sys.tracer
+        if tracer is None:
+            return invoke()
+        span = tracer.begin(name, category="kernel")
+        start_ns = tracer.cycles_ns(self.sys.now_cycles())
+        result, report = invoke()
+        tracer.finish(span, start_ns, start_ns + report.ns)
+        return result, report
+
     def gemv(
         self, w: np.ndarray, x: np.ndarray, simulate_pchs: Optional[int] = None
     ) -> Tuple[np.ndarray, ExecutionReport]:
         """Invoke a (cached) GEMV operator on ``x``."""
-        self.launch_count += 1
-        return self.gemv_operator(w)(x, simulate_pchs=simulate_pchs)
+        return self._launch(
+            "kernel:gemv",
+            lambda: self.gemv_operator(w)(x, simulate_pchs=simulate_pchs),
+        )
 
     def elementwise(
         self,
@@ -325,8 +375,10 @@ class PimExecutor:
         simulate_pchs: Optional[int] = None,
     ) -> Tuple[np.ndarray, ExecutionReport]:
         """Invoke a (cached) elementwise operator."""
-        self.launch_count += 1
         kernel = self.elementwise_operator(
             op, int(np.asarray(a).size), scalars=scalars
         )
-        return kernel(a, b, scalars=scalars, simulate_pchs=simulate_pchs)
+        return self._launch(
+            f"kernel:{op}",
+            lambda: kernel(a, b, scalars=scalars, simulate_pchs=simulate_pchs),
+        )

@@ -375,6 +375,11 @@ class PimServer:
         self._retry_tokens = self.retry_budget
         self.injector = getattr(system, "fault_injector", None)
         self.profiler = profiler
+        # Observability (repro.obs): both hooks come from the system
+        # (SystemConfig.trace builds them) and default to None — every
+        # hook site below costs one attribute test when disabled.
+        self.tracer = getattr(system, "tracer", None)
+        self.metrics = getattr(system, "metrics", None)
         # When lanes does not divide the free channel count, spread the
         # remainder over the first lanes so no channel sits permanently
         # idle (3 lanes on 4 channels -> 2+1+1, not 1+1+1 with one dark).
@@ -570,6 +575,8 @@ class PimServer:
         serving.ecc_corrected += max(
             0, self._device_ecc_corrected() - ecc_before - scrubbed
         )
+        if self.metrics is not None:
+            serving.to_metrics(self.metrics)
         if self.profiler is not None:
             self.profiler.record_serving(serving)
         return serving
@@ -657,6 +664,19 @@ class PimServer:
         request.lane = lane.index
         request.outcome = outcome
         serving.record(request.stats())
+        if self.tracer is not None:
+            # A dropped request's span is a leaf: record() opens and
+            # closes in one step, so no device span can ever nest in it.
+            self.tracer.record(
+                f"request:{request.op}",
+                request.arrival_ns,
+                at_ns,
+                category="request",
+                lane=lane.index,
+                request_id=request.request_id,
+                outcome=outcome.value,
+                priority=request.priority,
+            )
 
     def _degrade_to_host(
         self, lane: _Lane, request: PimRequest, serving: ServingProfile
@@ -667,6 +687,16 @@ class PimServer:
         of degrading is to bypass the saturated lane) and the lane's
         clock is untouched: degraded work costs zero device time.
         """
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                f"request:{request.op}",
+                category="request",
+                lane=lane.index,
+                request_id=request.request_id,
+                priority=request.priority,
+            )
         report = self._execute_host([request])
         request.report = report
         request.start_ns = request.arrival_ns
@@ -676,6 +706,21 @@ class PimServer:
         request.outcome = RequestOutcome.DEGRADED_HOST
         serving.record(request.stats())
         serving.batches += 1
+        if tracer is not None:
+            tracer.record(
+                f"host:{request.op}",
+                request.start_ns,
+                request.finish_ns,
+                category="host",
+                lane=lane.index,
+                reason="admission_degrade",
+            )
+            tracer.finish(
+                span,
+                request.arrival_ns,
+                request.finish_ns,
+                outcome=RequestOutcome.DEGRADED_HOST.value,
+            )
 
     def _effective_priority(self, request: PimRequest, now_ns: float) -> float:
         """Priority plus aging: one level per ``aging_ns`` of waiting."""
@@ -735,6 +780,27 @@ class PimServer:
         for member in batch:
             admitted.remove(member)
 
+        tracer = self.tracer
+        head_span = dispatch_span = None
+        if tracer is not None:
+            # The batch span parents under the *head* request's span
+            # (head.arrival_ns <= t0 by eligibility, so it nests); the
+            # other members get sibling request spans referencing the
+            # batch by id once the outcome is known.
+            head_span = tracer.begin(
+                f"request:{head.op}",
+                category="request",
+                lane=lane.index,
+                request_id=head.request_id,
+                priority=head.priority,
+            )
+            dispatch_span = tracer.begin(
+                "dispatch",
+                category="dispatch",
+                lane=lane.index,
+                op=head.op,
+                batch=len(batch),
+            )
         before = tuple(lane.channels) if lane.channels is not None else ()
         report, penalty_ns, device_ok = self._execute_protected(
             lane, batch, serving, t0
@@ -756,12 +822,35 @@ class PimServer:
             member.lane = lane.index
             member.outcome = outcome
             serving.record(member.stats())
+        if tracer is not None:
+            tracer.finish(dispatch_span, t0, finish, device_ok=device_ok)
+            tracer.finish(
+                head_span, head.arrival_ns, finish, outcome=outcome.value
+            )
+            for member in batch:
+                if member is head:
+                    continue
+                tracer.record(
+                    f"request:{member.op}",
+                    member.arrival_ns,
+                    finish,
+                    category="request",
+                    lane=lane.index,
+                    request_id=member.request_id,
+                    outcome=outcome.value,
+                    priority=member.priority,
+                    batch_span=dispatch_span.span_id,
+                )
         lane.ready_ns = finish
         serving.batches += 1
         serving.launches += int(report.notes.get("launches", 1))
         if self.profiler is not None:
             self.profiler.record(report)
         self._breaker_after_batch(lane, device_ok, finish, serving)
+        if tracer is not None:
+            # Between-batch housekeeping (injection epoch, scrub) lands
+            # at the batch's finish on the serving clock.
+            tracer.set_clock(finish, self._lane_cycle(lane))
         self._after_batch(serving)
 
     # -- circuit breaker ----------------------------------------------------------
@@ -771,6 +860,14 @@ class PimServer:
     ) -> None:
         """Move ``lane``'s breaker to ``state`` and log the transition."""
         serving.record_breaker(lane.index, lane.breaker_state, state, at_ns)
+        if self.tracer is not None:
+            self.tracer.event(
+                f"breaker:{state}",
+                at_ns=at_ns,
+                category="breaker",
+                lane=lane.index,
+                previous=lane.breaker_state,
+            )
         lane.breaker_state = state
 
     def _breaker_after_batch(
@@ -822,12 +919,28 @@ class PimServer:
         ):
             if t0 < lane.breaker_open_until_ns:
                 serving.breaker_short_circuits += 1
-                return self._execute_host(batch), 0.0, False
+                report = self._execute_host(batch)
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "breaker:short_circuit",
+                        at_ns=t0,
+                        category="breaker",
+                        lane=lane.index,
+                    )
+                    self.tracer.record(
+                        f"host:{batch[0].op}",
+                        t0,
+                        t0 + report.ns,
+                        category="host",
+                        lane=lane.index,
+                        reason="breaker_open",
+                    )
+                return report, 0.0, False
             self._breaker_transition(lane, "half_open", t0, serving)
         if lane.breaker_state == "half_open":
             attempts = 1  # one probe attempt, no retries
         return self._execute_resilient(
-            lane, batch, serving, attempts_allowed=attempts
+            lane, batch, serving, t0, attempts_allowed=attempts
         )
 
     # -- fault tolerance ----------------------------------------------------------
@@ -851,7 +964,12 @@ class PimServer:
     def _after_batch(self, serving: ServingProfile) -> None:
         """Between batches: one injection epoch, plus scrub when due."""
         if self.injector is not None:
-            serving.faults_injected += self.injector.tick()
+            injected = self.injector.tick()
+            serving.faults_injected += injected
+            if injected and self.tracer is not None:
+                self.tracer.event(
+                    "faults", category="fault", injected=injected
+                )
         if self.scrub_interval <= 0:
             return
         self._batches_since_scrub += 1
@@ -882,6 +1000,7 @@ class PimServer:
         lane: _Lane,
         batch: List[PimRequest],
         serving: ServingProfile,
+        t0: float,
         attempts_allowed: Optional[int] = None,
     ) -> Tuple[ExecutionReport, float, bool]:
         """Execute a batch, healing and retrying on recoverable faults.
@@ -894,20 +1013,56 @@ class PimServer:
         each from the server-wide seeded budget and pay exponential
         backoff with jitter; exhaustion of either bound — or a dead lane
         — falls back to the bit-exact host golden path, so the batch
-        *always* completes.
+        *always* completes.  ``t0`` is the batch's dispatch time on the
+        serving clock, used only to place trace spans.
         """
         if attempts_allowed is None:
             attempts_allowed = self.max_retries + 1
+        tracer = self.tracer
         failures = 0
         penalty_ns = 0.0
         while lane.channels is not None:
             cycle_start = self._lane_cycle(lane)
+            attempt_ns = t0 + penalty_ns
+            kernel_span = mark = None
+            if tracer is not None:
+                # Re-base the cycle clock so this attempt's controller
+                # bursts land inside the kernel span on the request
+                # timeline (channels lagging the lane front clamp to the
+                # attempt start).
+                tracer.set_clock(attempt_ns, cycle_start)
+                mark = tracer.mark()
+                kernel_span = tracer.begin(
+                    f"kernel:{batch[0].op}",
+                    category="kernel",
+                    lane=lane.index,
+                    attempt=failures + 1,
+                )
             try:
                 report = self._execute(lane, batch)
             except (PimChannelError, PimDataError) as err:
                 failures += 1
                 wasted = self._lane_cycle(lane) - cycle_start
-                penalty_ns += self.sys.cycles_to_ns(max(0, wasted))
+                wasted_ns = self.sys.cycles_to_ns(max(0, wasted))
+                penalty_ns += wasted_ns
+                if tracer is not None:
+                    end_ns = attempt_ns + wasted_ns
+                    tracer.finish(
+                        kernel_span,
+                        attempt_ns,
+                        end_ns,
+                        ok=False,
+                        error=type(err).__name__,
+                    )
+                    tracer.clamp_since(mark, attempt_ns, end_ns)
+                    tracer.event(
+                        "fault",
+                        at_ns=end_ns,
+                        category="fault",
+                        lane=lane.index,
+                        error=type(err).__name__,
+                        attempt=failures,
+                    )
                 self._heal_lane(lane, err, serving)
                 if failures >= attempts_allowed:
                     break
@@ -915,20 +1070,51 @@ class PimServer:
                     serving.retry_budget_exhausted += 1
                     break
                 self._retry_tokens -= 1.0
-                penalty_ns += self._backoff_ns(failures)
+                backoff = self._backoff_ns(failures)
+                penalty_ns += backoff
                 serving.retries += 1
                 for member in batch:
                     member.retries += 1
+                if tracer is not None:
+                    tracer.event(
+                        "retry",
+                        at_ns=t0 + penalty_ns,
+                        category="retry",
+                        lane=lane.index,
+                        attempt=failures,
+                        backoff_ns=backoff,
+                    )
             else:
                 # A successful device batch earns back part of a token.
                 self._retry_tokens = min(
                     self.retry_budget, self._retry_tokens + self.retry_refill
                 )
+                if tracer is not None:
+                    end_ns = attempt_ns + report.ns
+                    tracer.finish(kernel_span, attempt_ns, end_ns, ok=True)
+                    tracer.clamp_since(mark, attempt_ns, end_ns)
                 return report, penalty_ns, True
         report = self._execute_host(batch)
         serving.fallbacks += len(batch)
         for member in batch:
             member.fallback = True
+        if tracer is not None:
+            fallback_ns = t0 + penalty_ns
+            tracer.event(
+                "fallback",
+                at_ns=fallback_ns,
+                category="fallback",
+                lane=lane.index,
+                reason="dead_lane" if lane.channels is None else "retries",
+            )
+            tracer.record(
+                f"host:{batch[0].op}",
+                fallback_ns,
+                fallback_ns + report.ns,
+                category="host",
+                lane=lane.index,
+                reason="fallback",
+            )
         return report, penalty_ns, False
 
     def _heal_lane(

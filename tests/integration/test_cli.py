@@ -38,3 +38,39 @@ class TestCli:
     def test_unknown_command(self):
         result = run_cli("frobnicate")
         assert result.returncode == 1
+
+
+class TestTraceCli:
+    """The observability entry points: ``trace --out`` and
+    ``serve-bench --trace``."""
+
+    def test_trace_emits_valid_reconciled_chrome_trace(self, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        spans = tmp_path / "spans.jsonl"
+        metrics = tmp_path / "metrics.txt"
+        result = run_cli(
+            "trace", "--out", str(out), "--spans", str(spans),
+            "--metrics", str(metrics), "--validate", "--requests", "16",
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "drift" in result.stdout
+        assert "[ok] trace validates" in result.stdout
+        assert "span timeline" in result.stdout
+        obj = json.loads(out.read_text())
+        assert any(e.get("ph") == "X" for e in obj["traceEvents"])
+        assert len(spans.read_text().splitlines()) > 0
+        assert "counter   serving.batches" in metrics.read_text()
+
+    def test_serve_bench_trace_flag(self, tmp_path):
+        import json
+
+        out = tmp_path / "sb.json"
+        result = run_cli("serve-bench", "--trace", str(out))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert f"to {out}" in result.stdout
+        obj = json.loads(out.read_text())
+        assert any(
+            e.get("cat") == "request" for e in obj["traceEvents"]
+        )

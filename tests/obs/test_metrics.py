@@ -1,0 +1,109 @@
+"""Unit tests of the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter_accumulates_and_rejects_negative(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(3.5)
+        gauge.inc(0.5)
+        gauge.dec(2.0)
+        assert gauge.value == 2.0
+
+    def test_histogram_counts_and_percentiles(self):
+        hist = Histogram("h", buckets=(10.0, 100.0))
+        for v in (1, 5, 50, 500):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.mean() == pytest.approx(139.0)
+        # Cumulative buckets: <=10, <=100, overflow.
+        assert hist.counts == [2, 1, 1]
+        assert hist.percentile(0.0) == 1
+        assert hist.percentile(1.0) == 500
+        assert hist.percentile(0.5) == 50  # nearest rank
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(100.0, 10.0))
+
+    def test_empty_histogram_degrades_to_zero(self):
+        hist = Histogram("h")
+        assert hist.count == 0
+        assert hist.mean() == 0.0
+        assert hist.percentile(0.95) == 0.0
+
+    def test_default_buckets_cover_serving_latencies(self):
+        assert DEFAULT_BUCKETS_NS[0] == 1e3
+        assert DEFAULT_BUCKETS_NS[-1] == 1e8
+        assert tuple(sorted(DEFAULT_BUCKETS_NS)) == DEFAULT_BUCKETS_NS
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_contains_getitem_names(self):
+        registry = MetricsRegistry()
+        registry.gauge("z.late")
+        registry.counter("a.early")
+        assert "z.late" in registry and "missing" not in registry
+        assert registry["a.early"].name == "a.early"
+        assert registry.names() == ["a.early", "z.late"]
+
+    def test_value_scalars_and_histogram_count(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(10.0)
+        assert registry.value("c") == 3
+        assert registry.value("g") == 1.5
+        assert registry.value("h") == 1.0
+
+    def test_as_dict_expands_histograms(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        for v in (100.0, 200.0):
+            hist.observe(v)
+        snapshot = registry.as_dict()
+        assert snapshot["lat.count"] == 2.0
+        assert snapshot["lat.mean"] == 150.0
+        assert "lat.p95" in snapshot and "lat.p99" in snapshot
+
+    def test_render_is_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(5.0)
+        registry.counter("c").inc()
+        registry.gauge("g").set(2)
+        lines = registry.render()
+        assert lines[0].startswith("counter   c = 1")
+        assert lines[1].startswith("gauge     g = 2")
+        assert lines[2].startswith("histogram h count=1")
+
+    def test_custom_buckets_pass_through(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        assert hist.buckets == (1.0, 2.0)

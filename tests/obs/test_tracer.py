@@ -1,0 +1,152 @@
+"""Unit tests of the hierarchical tracer (repro.obs.tracer)."""
+
+import pytest
+
+from repro.obs import Span, Tracer, span_children, span_roots
+
+
+class TestSpanNesting:
+    def test_begin_nests_under_open_span(self):
+        tracer = Tracer()
+        outer = tracer.begin("request", category="request")
+        inner = tracer.begin("dispatch", category="dispatch")
+        assert inner.parent_id == outer.span_id
+        tracer.finish(inner, 1.0, 2.0)
+        tracer.finish(outer, 0.0, 3.0)
+        assert outer.parent_id is None
+        assert [s.name for s in tracer.spans] == ["dispatch", "request"]
+
+    def test_record_is_leaf_under_current(self):
+        tracer = Tracer()
+        parent = tracer.begin("kernel")
+        leaf = tracer.record("drain", 5.0, 9.0, category="device", channel=2)
+        assert leaf.parent_id == parent.span_id
+        assert leaf.duration_ns == 4.0
+        # record() must not leave the leaf on the open-span stack.
+        assert tracer.current is parent
+
+    def test_finish_pops_by_identity_after_skipped_child(self):
+        """A crash that skips a child's finish() must not corrupt the
+        parent's position on the stack."""
+        tracer = Tracer()
+        outer = tracer.begin("request")
+        tracer.begin("dispatch")  # never finished (simulated crash)
+        tracer.finish(outer, 0.0, 1.0)
+        assert tracer.current is None
+        # Only the finished span was recorded.
+        assert [s.name for s in tracer.spans] == ["request"]
+
+    def test_finish_clamps_negative_duration(self):
+        tracer = Tracer()
+        span = tracer.begin("x")
+        tracer.finish(span, 10.0, 4.0)
+        assert span.end_ns == span.start_ns == 10.0
+
+    def test_span_ids_unique_and_monotonic(self):
+        tracer = Tracer()
+        ids = [tracer.record(f"s{i}", 0, 1).span_id for i in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_helpers_group_children_and_roots(self):
+        tracer = Tracer()
+        a = tracer.begin("a")
+        tracer.record("a1", 0, 1)
+        tracer.record("a2", 1, 2)
+        tracer.finish(a, 0, 2)
+        tracer.record("b", 2, 3)
+        children = span_children(tracer.spans)
+        assert [s.name for s in children[a.span_id]] == ["a1", "a2"]
+        assert [s.name for s in span_roots(tracer.spans)] == ["a", "b"]
+
+    def test_request_spans_filter(self):
+        tracer = Tracer()
+        tracer.record("request:gemv", 0, 1, category="request")
+        tracer.record("drain", 0, 1, category="device")
+        tracer.record("request:add", 1, 2, category="request")
+        assert [s.name for s in tracer.request_spans()] == [
+            "request:gemv", "request:add",
+        ]
+
+
+class TestClockDomains:
+    def test_cycles_ns_uses_base_and_tck(self):
+        tracer = Tracer(tck_ns=0.5)
+        tracer.set_clock(1000.0, 2000)
+        assert tracer.cycles_ns(2000) == 1000.0
+        assert tracer.cycles_ns(2100) == 1000.0 + 50.0
+
+    def test_lagging_cycles_clamp_to_base(self):
+        """A channel whose clock lagged the lane front when the base was
+        pinned must land at base_ns, not before it."""
+        tracer = Tracer(tck_ns=1.0)
+        tracer.set_clock(500.0, 100)
+        assert tracer.cycles_ns(40) == 500.0
+
+    def test_record_cycles_converts_both_ends(self):
+        tracer = Tracer(tck_ns=2.0)
+        tracer.set_clock(100.0, 10)
+        span = tracer.record_cycles("drain", 10, 15, channel=1)
+        assert span.start_ns == 100.0
+        assert span.end_ns == 110.0
+
+    def test_now_ns_is_clock_base(self):
+        tracer = Tracer()
+        tracer.set_clock(42.0, 7)
+        assert tracer.now_ns == 42.0
+
+
+class TestClampSince:
+    def test_spans_clamped_into_window(self):
+        tracer = Tracer()
+        mark = tracer.mark()
+        tracer.record("early", 0.0, 5.0)
+        tracer.record("late", 90.0, 120.0)
+        tracer.clamp_since(mark, 10.0, 100.0)
+        early, late = tracer.spans
+        assert (early.start_ns, early.end_ns) == (10.0, 10.0)
+        assert (late.start_ns, late.end_ns) == (90.0, 100.0)
+
+    def test_only_records_after_mark_are_touched(self):
+        tracer = Tracer()
+        untouched = tracer.record("before", 0.0, 5.0)
+        mark = tracer.mark()
+        tracer.record("after", 0.0, 5.0)
+        tracer.clamp_since(mark, 10.0, 100.0)
+        assert (untouched.start_ns, untouched.end_ns) == (0.0, 5.0)
+        assert tracer.spans[1].start_ns == 10.0
+
+    def test_events_rebuilt_when_clamped(self):
+        tracer = Tracer()
+        mark = tracer.mark()
+        tracer.event("retry", at_ns=500.0)
+        tracer.clamp_since(mark, 0.0, 100.0)
+        assert tracer.events[0].at_ns == 100.0
+        assert tracer.events[0].name == "retry"
+
+
+class TestEvents:
+    def test_event_attaches_to_open_span(self):
+        tracer = Tracer()
+        span = tracer.begin("kernel")
+        event = tracer.event("fault", at_ns=3.0, category="fault", lane=1)
+        assert event.parent_id == span.span_id
+        assert event.at_ns == 3.0
+        tracer.finish(span, 0, 5)
+
+    def test_unanchored_event_lands_on_clock_base(self):
+        tracer = Tracer()
+        tracer.set_clock(77.0, 0)
+        assert tracer.event("scrub").at_ns == 77.0
+
+    def test_reset_clears_everything(self):
+        tracer = Tracer()
+        tracer.begin("open")
+        tracer.record("done", 0, 1)
+        tracer.event("e")
+        tracer.set_clock(9.0, 9)
+        tracer.reset()
+        assert tracer.spans == [] and tracer.events == []
+        assert tracer.current is None
+        assert tracer.now_ns == 0.0
+        # Ids restart so two identically-driven tracers match exactly.
+        assert tracer.record("x", 0, 1).span_id == 1

@@ -196,3 +196,118 @@ class TestServingProfileEdgeCases:
         )
         by_priority = profile.turnaround_percentiles_by_priority((0.5,))
         assert by_priority == {1: {0.5: 200.0}}
+
+
+def _session(
+    request_specs, breakers=(), makespan_cycles=0, busy=(), **counters
+):
+    """Build one ServingProfile from compact specs.
+
+    ``request_specs`` is a list of ``(priority, outcome, arrival, start,
+    finish)``; ``breakers`` a list of ``(lane, previous, state, at_ns)``.
+    """
+    profile = ServingProfile(makespan_cycles=makespan_cycles)
+    for i, (priority, outcome, arrival, start, finish) in enumerate(
+        request_specs
+    ):
+        profile.record(
+            RequestStats(
+                request_id=i, op="add", arrival_ns=arrival, start_ns=start,
+                finish_ns=finish, priority=priority, outcome=outcome,
+            )
+        )
+    for lane, previous, state, at_ns in breakers:
+        profile.record_breaker(lane, previous, state, at_ns)
+    for channel, cycles in busy:
+        profile.channel_busy_cycles[channel] = cycles
+    for name, value in counters.items():
+        setattr(profile, name, value)
+    return profile
+
+
+class TestServingProfileMerge:
+    """merge(a, b) must equal the profile one combined session records."""
+
+    A_REQUESTS = [
+        (0, "completed", 0.0, 50.0, 150.0),
+        (1, "completed", 10.0, 60.0, 400.0),
+        (0, "rejected", 20.0, 20.0, 20.0),
+    ]
+    B_REQUESTS = [
+        (1, "completed", 500.0, 550.0, 900.0),
+        (0, "degraded_host", 510.0, 510.0, 800.0),
+        (1, "expired", 520.0, 520.0, 520.0),
+    ]
+    A_BREAKERS = [(0, "closed", "open", 120.0)]
+    B_BREAKERS = [(0, "open", "half_open", 600.0), (0, "half_open", "closed", 700.0)]
+
+    def make_pair(self):
+        a = _session(
+            self.A_REQUESTS, breakers=self.A_BREAKERS, makespan_cycles=1000,
+            busy=[(0, 600), (1, 200)], batches=2, launches=3, retries=1,
+            scrubs=1, scrub_corrected=2, ecc_corrected=4, faults_injected=5,
+            retry_budget_exhausted=1, breaker_short_circuits=1,
+        )
+        b = _session(
+            self.B_REQUESTS, breakers=self.B_BREAKERS, makespan_cycles=400,
+            busy=[(1, 100), (2, 300)], batches=1, launches=1, fallbacks=2,
+            scrubs=1, scrub_uncorrectable=1,
+        )
+        combined = _session(
+            self.A_REQUESTS + self.B_REQUESTS,
+            breakers=self.A_BREAKERS + self.B_BREAKERS,
+            makespan_cycles=1400,
+            busy=[(0, 600), (1, 300), (2, 300)],
+            batches=3, launches=4, retries=1, fallbacks=2, scrubs=2,
+            scrub_corrected=2, scrub_uncorrectable=1, ecc_corrected=4,
+            faults_injected=5, retry_budget_exhausted=1,
+            breaker_short_circuits=1,
+        )
+        return a, b, combined
+
+    def test_merge_equals_combined_session(self):
+        a, b, combined = self.make_pair()
+        merged = a.merge(b)
+        assert merged is a
+        assert merged.num_requests == combined.num_requests
+        assert merged.outcomes() == combined.outcomes()
+        assert merged.makespan_ns == combined.makespan_ns
+        assert merged.makespan_cycles == combined.makespan_cycles
+        assert merged.channel_busy_cycles == combined.channel_busy_cycles
+        assert merged.channel_occupancy() == combined.channel_occupancy()
+        for name in (
+            "batches", "launches", "retries", "fallbacks", "scrubs",
+            "scrub_corrected", "scrub_uncorrectable", "ecc_corrected",
+            "faults_injected", "rejected", "expired", "degraded",
+            "retry_budget_exhausted", "breaker_opens",
+            "breaker_short_circuits",
+        ):
+            assert getattr(merged, name) == getattr(combined, name), name
+
+    def test_merge_carries_breaker_transitions(self):
+        """The regression: ad-hoc merging historically dropped the
+        transition log, leaving only the scalar open counter."""
+        a, b, combined = self.make_pair()
+        merged = a.merge(b)
+        assert merged.breaker_transitions == combined.breaker_transitions
+        assert merged.breaker_opens == combined.breaker_opens == 1
+
+    def test_merge_carries_percentile_inputs(self):
+        """Per-priority percentiles need the raw per-request stats, not
+        just aggregates — merge must carry every RequestStats across."""
+        a, b, combined = self.make_pair()
+        merged = a.merge(b)
+        assert (
+            merged.turnaround_percentiles_by_priority()
+            == combined.turnaround_percentiles_by_priority()
+        )
+        assert merged.p95_turnaround_ns() == combined.p95_turnaround_ns()
+        assert merged.render() == combined.render()
+
+    def test_profiler_record_serving_merges_sessions(self):
+        a, b, combined = self.make_pair()
+        profiler = Profiler()
+        profiler.record_serving(a)
+        profiler.record_serving(b)
+        assert profiler.serving.num_requests == combined.num_requests
+        assert profiler.serving.render() == combined.render()
