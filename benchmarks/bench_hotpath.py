@@ -1,0 +1,285 @@
+"""Tracked perf baseline for the vectorized device hot path.
+
+Times the scalar (per-unit / per-word) device paths against the batched
+ones on four hot-path workloads:
+
+* **gemv_triggers** — the AAM MAC inner loop of the GEMV microkernel,
+  driven one column trigger at a time through a :class:`LockstepGroup`;
+* **elementwise_add** — the FILL/ADD/MOV-writeback elementwise kernel;
+* **ecc_peek_poke** — the SEC-DED column path of :class:`EccBank`;
+* **ecc_scrub** — whole-row scrubbing with a sprinkling of injected
+  single-bit errors.
+
+Both sides of every workload are checked bit-identical before being
+timed.  Results land in a ``bench_hotpath/v1`` JSON document::
+
+    python benchmarks/bench_hotpath.py --quick --out BENCH_hotpath.json \\
+        --min-speedup 1.5
+
+The process exits non-zero if any workload's batched/scalar speedup falls
+below ``--min-speedup`` (CI's ``perf-smoke`` gate) or the emitted document
+fails schema validation.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.dram.bank import BankConfig
+from repro.dram.ecc import EccBank
+from repro.dram.timing import HBM2_1GHZ
+from repro.pim.assembler import assemble_words
+from repro.pim.exec_unit import ColumnTrigger, PimExecutionUnit
+from repro.pim.lockstep import LockstepGroup
+from repro.pim.registers import LANES
+
+SCHEMA = "bench_hotpath/v1"
+
+GEMV_KERNEL = "MAC GRF_B[A], EVEN_BANK, SRF_M[A]\nJUMP -1, 7\nEXIT"
+ADD_KERNEL = (
+    "FILL GRF_A[0], EVEN_BANK\n"
+    "ADD GRF_A[1], GRF_A[0], ODD_BANK\n"
+    "MOV EVEN_BANK, GRF_A[1]\n"
+    "JUMP -3, 7\n"
+    "EXIT"
+)
+
+
+def _build_group(seed: int, enabled: bool) -> LockstepGroup:
+    rng = np.random.default_rng(seed)
+    cfg = BankConfig(num_rows=64)
+    units = []
+    for u in range(8):
+        even = EccBank(cfg, HBM2_1GHZ)
+        odd = EccBank(cfg, HBM2_1GHZ)
+        even.use_vectorized = enabled
+        odd.use_vectorized = enabled
+        units.append(PimExecutionUnit(u, even, odd))
+    group = LockstepGroup(units, enabled=enabled)
+    for unit in units:
+        for bank in (unit.even_bank, unit.odd_bank):
+            for row in range(4):
+                for col in range(8):
+                    values = (rng.standard_normal(LANES) * 0.25).astype(np.float16)
+                    bank.poke(row, col, values.view(np.uint8))
+        unit.regs.srf_m[...] = (
+            rng.standard_normal(unit.regs.srf_m.shape) * 0.25
+        ).astype(np.float16)
+    return group
+
+
+def _program(group: LockstepGroup, source: str) -> None:
+    words = assemble_words(source)
+    for unit in group.units:
+        for i, word in enumerate(words):
+            unit.regs.crf[i] = word
+
+
+def _state(group: LockstepGroup) -> bytes:
+    parts = []
+    for unit in group.units:
+        parts.append(unit.regs.grf_a.tobytes())
+        parts.append(unit.regs.grf_b.tobytes())
+        for bank in (unit.even_bank, unit.odd_bank):
+            for row in sorted(bank._rows):
+                parts.append(bank._row_array(row).tobytes())
+    return b"".join(parts)
+
+
+def _run_gemv(group: LockstepGroup, passes: int) -> None:
+    for _ in range(passes):
+        group.start_all()
+        for col in range(8):
+            group.trigger_all(ColumnTrigger(is_write=False, row=0, col=col))
+
+
+def _run_add(group: LockstepGroup, passes: int) -> None:
+    for _ in range(passes):
+        group.start_all()
+        for col in range(8):
+            group.trigger_all(ColumnTrigger(is_write=False, row=1, col=col))
+            group.trigger_all(ColumnTrigger(is_write=False, row=2, col=col))
+            group.trigger_all(ColumnTrigger(is_write=True, row=3, col=col))
+
+
+def _time(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def bench_kernel(source: str, runner, passes: int) -> dict:
+    scalar = _build_group(11, enabled=False)
+    batched = _build_group(11, enabled=True)
+    _program(scalar, source)
+    _program(batched, source)
+    runner(scalar, 1)  # warm-up doubles as the equivalence probe
+    runner(batched, 1)
+    if _state(scalar) != _state(batched):
+        raise SystemExit("batched path diverged from scalar on " + source.split()[0])
+    scalar_s = _time(runner, scalar, passes)
+    batched_s = _time(runner, batched, passes)
+    if _state(scalar) != _state(batched):
+        raise SystemExit("batched path diverged from scalar after timing")
+    return {
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+        "iterations": passes,
+    }
+
+
+def _build_ecc_bank(vectorized: bool) -> EccBank:
+    bank = EccBank(BankConfig(num_rows=64), HBM2_1GHZ)
+    bank.use_vectorized = vectorized
+    return bank
+
+
+def bench_ecc_peek_poke(rows: int, reps: int) -> dict:
+    rng = np.random.default_rng(3)
+    cols = 1024 // 32  # row_bytes / col_bytes of the default BankConfig
+    bursts = rng.integers(0, 256, size=(rows, cols, 32), dtype=np.uint8)
+
+    def run(bank: EccBank) -> int:
+        total = 0
+        for _ in range(reps):
+            for row in range(rows):
+                for col in range(cols):
+                    bank.poke(row, col, bursts[row, col])
+            for row in range(rows):
+                for col in range(cols):
+                    total ^= int(bank.peek(row, col)[0])
+        return total
+
+    scalar_bank = _build_ecc_bank(False)
+    batched_bank = _build_ecc_bank(True)
+    if run(scalar_bank) != run(batched_bank):  # warm-up + equivalence
+        raise SystemExit("vectorized ECC column path diverged from scalar")
+    scalar_s = _time(run, scalar_bank)
+    batched_s = _time(run, batched_bank)
+    assert vars(scalar_bank.ecc_stats) == vars(batched_bank.ecc_stats)
+    return {
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+        "iterations": reps * rows * cols * 2,
+    }
+
+
+def bench_ecc_scrub(rows: int, reps: int) -> dict:
+    cols = 1024 // 32
+
+    def build(vectorized: bool) -> EccBank:
+        # Fresh generators per build, so both banks get identical contents
+        # and identical injected upsets.
+        rng = np.random.default_rng(4)
+        bank = _build_ecc_bank(vectorized)
+        data = np.random.default_rng(5).integers(
+            0, 256, size=(rows, cols, 32), dtype=np.uint8
+        )
+        for row in range(rows):
+            for col in range(cols):
+                bank.poke(row, col, data[row, col])
+        for _ in range(rows // 2):  # sparse single-bit upsets
+            bank.inject_error(
+                int(rng.integers(rows)), int(rng.integers(cols)),
+                int(rng.integers(256)),
+            )
+        return bank
+
+    def run(bank: EccBank):
+        results = []
+        for _ in range(reps):
+            for row in range(rows):
+                results.append(bank.scrub_row(row))
+        return results
+
+    scalar_bank = build(False)
+    batched_bank = build(True)
+    scalar_results = run(scalar_bank)
+    batched_results = run(batched_bank)
+    if scalar_results[:rows] != batched_results[:rows]:
+        raise SystemExit("vectorized scrub diverged from scalar")
+    scalar_s = _time(run, scalar_bank)
+    batched_s = _time(run, batched_bank)
+    return {
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s,
+        "iterations": reps * rows,
+    }
+
+
+def validate(doc: dict) -> None:
+    """Schema check of a ``bench_hotpath/v1`` document (raises ValueError)."""
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}")
+    if not isinstance(doc.get("quick"), bool):
+        raise ValueError("quick must be a bool")
+    workloads = doc.get("workloads")
+    expected = {"gemv_triggers", "elementwise_add", "ecc_peek_poke", "ecc_scrub"}
+    if not isinstance(workloads, dict) or set(workloads) != expected:
+        raise ValueError(f"workloads must be exactly {sorted(expected)}")
+    for name, entry in workloads.items():
+        for key in ("scalar_s", "batched_s", "speedup"):
+            value = entry.get(key)
+            if not isinstance(value, float) or value <= 0:
+                raise ValueError(f"{name}.{key} must be a positive float")
+        if not isinstance(entry.get("iterations"), int) or entry["iterations"] <= 0:
+            raise ValueError(f"{name}.iterations must be a positive int")
+        if abs(entry["speedup"] - entry["scalar_s"] / entry["batched_s"]) > 1e-6:
+            raise ValueError(f"{name}.speedup is inconsistent with the timings")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small iteration counts (CI perf-smoke)")
+    parser.add_argument("--out", default=None,
+                        help="write the bench_hotpath/v1 JSON here")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail if any workload speedup is below this")
+    args = parser.parse_args(argv)
+
+    kernel_passes = 40 if args.quick else 400
+    ecc_rows = 8 if args.quick else 32
+    ecc_reps = 2 if args.quick else 6
+
+    workloads = {
+        "gemv_triggers": bench_kernel(GEMV_KERNEL, _run_gemv, kernel_passes),
+        "elementwise_add": bench_kernel(ADD_KERNEL, _run_add, kernel_passes),
+        "ecc_peek_poke": bench_ecc_peek_poke(ecc_rows, ecc_reps),
+        "ecc_scrub": bench_ecc_scrub(ecc_rows, ecc_reps * 4),
+    }
+    doc = {"schema": SCHEMA, "quick": args.quick, "workloads": workloads}
+    validate(doc)
+
+    print(f"{'workload':18s}{'scalar':>10s}{'batched':>10s}{'speedup':>9s}")
+    for name, entry in workloads.items():
+        print(
+            f"{name:18s}{entry['scalar_s'] * 1000:9.1f}ms"
+            f"{entry['batched_s'] * 1000:9.1f}ms{entry['speedup']:8.2f}x"
+        )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        validate(json.load(open(args.out)))
+        print(f"wrote {args.out}")
+    if args.min_speedup is not None:
+        slow = {
+            name: entry["speedup"]
+            for name, entry in workloads.items()
+            if entry["speedup"] < args.min_speedup
+        }
+        if slow:
+            print(f"FAIL: below --min-speedup {args.min_speedup}: {slow}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

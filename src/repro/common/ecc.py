@@ -19,9 +19,21 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
-__all__ = ["DecodeStatus", "DecodeResult", "encode", "decode", "CHECK_BITS"]
+import numpy as np
+
+__all__ = [
+    "DecodeStatus",
+    "DecodeResult",
+    "encode",
+    "decode",
+    "encode_words",
+    "check_words",
+    "decode_words",
+    "STATUS_CODES",
+    "CHECK_BITS",
+]
 
 CHECK_BITS = 8  # 7 Hamming + 1 overall parity
 _DATA_BITS = 64
@@ -121,3 +133,90 @@ def decode(data: int, check_byte: int) -> DecodeResult:
         return DecodeResult(data, DecodeStatus.UNCORRECTABLE)
     # Non-zero syndrome with matching overall parity: two bits flipped.
     return DecodeResult(data, DecodeStatus.UNCORRECTABLE)
+
+
+# -- array SEC-DED (the vectorized hot path) ---------------------------------
+#
+# The syndrome of a codeword is the XOR of the *positions* of its set bits
+# (bit b of a position says whether that position joins parity group b), so
+# per-byte lookup tables collapse the whole scatter/parity pipeline into
+# eight table gathers and an XOR fold.  For each byte lane of the 64-bit
+# data word, ``_BYTE_CONTRIB[lane][value]`` carries the XOR of the codeword
+# positions of the value's set bits in its low 7 bits and the plain bit
+# parity of the value in bit 7 (the overall-parity contribution).
+
+_STATUS_BY_CODE = (
+    DecodeStatus.CLEAN,
+    DecodeStatus.CORRECTED,
+    DecodeStatus.UNCORRECTABLE,
+)
+STATUS_CODES = {status: code for code, status in enumerate(_STATUS_BY_CODE)}
+
+_BYTE_CONTRIB = np.zeros((8, 256), dtype=np.uint8)
+for _lane in range(8):
+    for _value in range(256):
+        _acc = 0
+        for _k in range(8):
+            if (_value >> _k) & 1:
+                _acc ^= _DATA_POSITIONS[8 * _lane + _k] | 0x80
+        _BYTE_CONTRIB[_lane, _value] = _acc
+
+_PARITY8 = np.array([bin(v).count("1") & 1 for v in range(256)], dtype=np.uint8)
+_LANE_INDEX = np.arange(8)
+
+
+def _contrib(words: np.ndarray) -> np.ndarray:
+    """Per-word XOR-fold of byte contributions: low 7 bits hold the parity
+    of each Hamming group over the data bits, bit 7 the data parity."""
+    lanes = words.view(np.uint8).reshape(-1, 8)
+    return np.bitwise_xor.reduce(_BYTE_CONTRIB[_LANE_INDEX, lanes], axis=-1)
+
+
+def encode_words(words: np.ndarray) -> np.ndarray:
+    """Check bytes for an array of 64-bit data words (array ``encode``)."""
+    arr = np.ascontiguousarray(words, dtype="<u8")
+    acc = _contrib(arr)
+    low = acc & 0x7F
+    overall = (acc >> 7) ^ _PARITY8[low]
+    return (low | (overall << 7)).astype(np.uint8)
+
+
+def check_words(words: np.ndarray, checks: np.ndarray) -> np.ndarray:
+    """Boolean CLEAN mask for an array of (data word, check byte) pairs.
+
+    ``True`` means the word decodes with a zero syndrome and matching
+    overall parity — exactly :func:`decode`'s ``CLEAN`` condition.  Words
+    flagged ``False`` need the scalar decoder to classify (and possibly
+    correct) them.
+    """
+    arr = np.ascontiguousarray(words, dtype="<u8")
+    chk = np.ascontiguousarray(checks, dtype=np.uint8)
+    acc = _contrib(arr)
+    syndrome = (acc ^ chk) & 0x7F
+    overall_error = ((acc >> 7) ^ _PARITY8[chk & 0x7F]) != (chk >> 7)
+    return (syndrome == 0) & ~overall_error
+
+
+def decode_words(
+    words: np.ndarray, checks: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Array ``decode``: corrected data words plus per-word status codes.
+
+    Clean words (the overwhelmingly common case) are classified entirely
+    by the vectorized syndrome check; only words with a nonzero syndrome
+    or an overall-parity mismatch fall back to the scalar decoder, which
+    also performs the correction.  Status codes index
+    ``DecodeStatus`` via ``STATUS_CODES`` (0 = CLEAN, 1 = CORRECTED,
+    2 = UNCORRECTABLE).
+    """
+    arr = np.array(words, dtype="<u8", copy=True).reshape(-1)
+    chk = np.ascontiguousarray(checks, dtype=np.uint8).reshape(-1)
+    if arr.size != chk.size:
+        raise ValueError("words and checks must have equal length")
+    statuses = np.zeros(arr.size, dtype=np.uint8)
+    clean = check_words(arr, chk)
+    for i in np.nonzero(~clean)[0]:
+        result = decode(int(arr[i]), int(chk[i]))
+        arr[i] = result.data
+        statuses[i] = STATUS_CODES[result.status]
+    return arr, statuses

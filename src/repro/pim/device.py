@@ -24,6 +24,7 @@ from ..dram.device import DeviceConfig, HbmDevice
 from ..dram.pseudochannel import BANKS_PER_PCH, PseudoChannel
 from ..dram.timing import TimingParams
 from .exec_unit import ColumnTrigger, PimExecutionUnit
+from .lockstep import LockstepGroup
 from .modes import ModeController, PimMemoryMap, PimMode
 
 __all__ = ["PimPseudoChannel", "PimHbmDevice", "UNITS_PER_PCH"]
@@ -52,6 +53,10 @@ class PimPseudoChannel(PseudoChannel):
             )
             for u in range(UNITS_PER_PCH)
         ]
+        # The batched lock-step executor over all units; adopts the units'
+        # GRF/SRF into one stacked array, so build it before any register
+        # state is written.
+        self.lockstep = LockstepGroup(self.units)
         self.memory_map = PimMemoryMap(self.bank_config.num_rows)
         self.mode_ctrl = ModeController(self.memory_map)
         self.pim_op_mode = 0
@@ -78,8 +83,7 @@ class PimPseudoChannel(PseudoChannel):
         super().hard_reset(cycle)
         self.mode_ctrl.reset()
         self.pim_op_mode = 0
-        for unit in self.units:
-            unit.stop()
+        self.lockstep.stop_all()
 
     # -- timing: AB modes serialise columns at tCCD_L ---------------------------
 
@@ -197,8 +201,7 @@ class PimPseudoChannel(PseudoChannel):
             trig = ColumnTrigger(
                 is_write=is_write, row=cmd.row, col=cmd.col, host_data=cmd.data
             )
-            for unit in self.units:
-                unit.trigger(trig)
+            self.lockstep.trigger_all(trig)
             # AB-PIM column commands do not drive data to the external I/O.
             return None
         self.ab_broadcast_columns += 1
@@ -257,11 +260,9 @@ class PimPseudoChannel(PseudoChannel):
         self.pim_op_mode = value
         changed = self.mode_ctrl.set_pim_op_mode(bool(value))
         if changed and self.mode_ctrl.pim_executing:
-            for unit in self.units:
-                unit.start()
+            self.lockstep.start_all()
         elif changed:
-            for unit in self.units:
-                unit.stop()
+            self.lockstep.stop_all()
 
 
 class PimHbmDevice(HbmDevice):

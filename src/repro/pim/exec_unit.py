@@ -53,6 +53,22 @@ class ColumnTrigger:
     col: int
     host_data: Optional[np.ndarray] = None
 
+    def host_fp16(self) -> np.ndarray:
+        """The WR burst as 16 FP16 lanes, built once per broadcast.
+
+        Every unit of a pseudo-channel reads the same HOST operand from
+        the same trigger, so the FP16 view is cached on the trigger
+        instead of re-deriving (and copying) it per unit.  Callers treat
+        the returned array as read-only.
+        """
+        cached = self.__dict__.get("_host_fp16")
+        if cached is None:
+            cached = np.ascontiguousarray(
+                self.host_data, dtype=np.uint8
+            ).view(np.float16)
+            object.__setattr__(self, "_host_fp16", cached)
+        return cached
+
 
 @dataclass
 class UnitStats:
@@ -219,16 +235,13 @@ class PimExecutionUnit:
                     "bank-sourced operand requires a column RD trigger"
                 )
             self.stats.bank_reads += 1
+            # peek returns a fresh copy, so the view needs no further copy.
             raw = self._bank(space).peek(trig.row, trig.col)
-            return raw.view(np.float16).copy()
+            return raw.view(np.float16)
         if space is OperandSpace.HOST:
             if not trig.is_write or trig.host_data is None:
                 raise PimProgramError("HOST operand requires a column WR trigger")
-            return (
-                np.ascontiguousarray(trig.host_data, dtype=np.uint8)
-                .view(np.float16)
-                .copy()
-            )
+            return trig.host_fp16()
         if space.is_grf or space.is_srf:
             return self.regs.read_vector(space, self._reg_index(operand, instr, trig))
         raise PimProgramError(f"cannot read operand from {space}")

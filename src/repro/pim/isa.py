@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from ..common.bitfield import Layout
@@ -322,8 +323,16 @@ def encode(instr: Instruction) -> int:
     )
 
 
+@lru_cache(maxsize=4096)
 def decode(word: int) -> Instruction:
-    """Decode a 32-bit word back to an :class:`Instruction`."""
+    """Decode a 32-bit word back to an :class:`Instruction`.
+
+    Decoding is memoized on the 32-bit CRF word: a microkernel re-fetches
+    the same handful of words once per column-command trigger, so the
+    sequencer's fetch stage is a dictionary hit after the first decode.
+    :class:`Instruction` is frozen, so the cached objects are safely
+    shared between execution units.
+    """
     opcode = Opcode((word >> 28) & 0xF)
     if opcode.is_control:
         fields = CONTROL_LAYOUT.unpack(word)

@@ -21,7 +21,7 @@ import numpy as np
 
 from .isa import CRF_ENTRIES, GRF_REGS, SRF_REGS, OperandSpace
 
-__all__ = ["RegisterFiles", "LANES", "GRF_REG_BYTES"]
+__all__ = ["RegisterFiles", "StackedRegisterState", "LANES", "GRF_REG_BYTES"]
 
 LANES = 16  # 16 FP16 lanes = 256-bit datapath
 GRF_REG_BYTES = LANES * 2  # one GRF register is one 32-byte column
@@ -152,3 +152,50 @@ class RegisterFiles:
         out = np.zeros(GRF_REG_BYTES, dtype=np.uint8)
         out[: SRF_REGS * 2] = half.view(np.uint8)
         return out
+
+
+class StackedRegisterState:
+    """Contiguous ``(units, ...)`` GRF/SRF backing for lock-stepped units.
+
+    The lock-step batch path executes one instruction as a stacked
+    ``(units x 16)``-lane numpy operation, which needs every unit's
+    register halves to live in one contiguous array.  :meth:`adopt`
+    rebinds a unit's :class:`RegisterFiles` arrays to row views of the
+    stacked storage — all per-unit accessors (column writes, fault
+    injection, scalar execution) keep working unchanged on the views,
+    while the batch executor slices all units at once.
+
+    The CRF is *not* stacked: it stays a per-unit list so units can
+    diverge (single-bank programming, fault injection), which the batch
+    path detects per fetched word.
+    """
+
+    def __init__(self, num_units: int):
+        self.num_units = num_units
+        self.grf_a = np.zeros((num_units, GRF_REGS, LANES), dtype=np.float16)
+        self.grf_b = np.zeros((num_units, GRF_REGS, LANES), dtype=np.float16)
+        self.srf_m = np.zeros((num_units, SRF_REGS), dtype=np.float16)
+        self.srf_a = np.zeros((num_units, SRF_REGS), dtype=np.float16)
+
+    def adopt(self, unit_index: int, regs: RegisterFiles) -> None:
+        """Rebind ``regs``'s GRF/SRF arrays to views of the stacked state."""
+        for name in ("grf_a", "grf_b", "srf_m", "srf_a"):
+            view = getattr(self, name)[unit_index]
+            view[...] = getattr(regs, name)
+            setattr(regs, name, view)
+
+    def grf(self, space: OperandSpace) -> np.ndarray:
+        """The stacked ``(units, regs, lanes)`` GRF half for ``space``."""
+        if space is OperandSpace.GRF_A:
+            return self.grf_a
+        if space is OperandSpace.GRF_B:
+            return self.grf_b
+        raise ValueError(f"{space} is not a GRF half")
+
+    def srf(self, space: OperandSpace) -> np.ndarray:
+        """The stacked ``(units, regs)`` SRF half for ``space``."""
+        if space is OperandSpace.SRF_M:
+            return self.srf_m
+        if space is OperandSpace.SRF_A:
+            return self.srf_a
+        raise ValueError(f"{space} is not an SRF half")

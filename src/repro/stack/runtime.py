@@ -105,6 +105,11 @@ class SystemConfig:
     # thread them through every layer.  Off by default — with trace=False
     # the only cost anywhere is one attribute test per hook site.
     trace: bool = False
+    # Force the per-unit scalar execution path and the per-word scalar
+    # SEC-DED loops device-wide, disabling the lock-step SIMD batch paths.
+    # Bit-exact with the default — it exists as the differential oracle
+    # and the baseline side of benchmarks/bench_hotpath.py.
+    scalar_exec: bool = False
 
     def replace(self, **overrides) -> "SystemConfig":
         """A copy with ``overrides`` applied (dataclasses.replace)."""
@@ -200,6 +205,14 @@ class PimSystem(HostSystem):
             ecc=config.ecc,
         )
         device = PimHbmDevice(device_config)
+        if config.scalar_exec:
+            from ..dram.ecc import EccBank
+
+            for channel in device.pchs:
+                channel.lockstep.enabled = False
+                for bank in channel.banks:
+                    if isinstance(bank, EccBank):
+                        bank.use_vectorized = False
         super().__init__(
             device,
             host=config.host,

@@ -4,7 +4,18 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.common.ecc import CHECK_BITS, DecodeStatus, decode, encode
+import numpy as np
+
+from repro.common.ecc import (
+    CHECK_BITS,
+    STATUS_CODES,
+    DecodeStatus,
+    check_words,
+    decode,
+    decode_words,
+    encode,
+    encode_words,
+)
 
 u64 = st.integers(min_value=0, max_value=2**64 - 1)
 
@@ -128,3 +139,87 @@ class TestSystematicProperties:
         for bit in range(64):
             result = decode(data ^ (1 << bit), check)
             assert result.data == data, bit
+
+
+class TestVectorizedCodec:
+    """The array codec (``encode_words``/``check_words``/``decode_words``)
+    must be indistinguishable from mapping the scalar codec over the
+    words — the batched ECC column path in :class:`repro.dram.ecc.EccBank`
+    is built on that equivalence."""
+
+    words_list = st.lists(u64, min_size=1, max_size=64)
+
+    @given(words_list)
+    def test_encode_words_matches_scalar(self, words):
+        batched = encode_words(np.array(words, dtype="<u8"))
+        assert batched.dtype == np.uint8
+        assert list(batched) == [encode(w) for w in words]
+
+    @given(words_list)
+    def test_check_words_clean(self, words):
+        arr = np.array(words, dtype="<u8")
+        assert check_words(arr, encode_words(arr)).all()
+
+    # Per-word corruption: 0 = clean, 1 = single data flip, 2 = double
+    # data flip, 3 = single check flip, 4 = double check flip,
+    # 5 = one data + one check flip (also a double error).
+    flips = st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 63), st.integers(0, 63)),
+        min_size=1,
+        max_size=64,
+    )
+
+    @staticmethod
+    def _corrupt(words, flips):
+        data = []
+        checks = []
+        for word, (kind, a, b) in zip(words, flips):
+            check = encode(word)
+            if kind == 1:
+                word ^= 1 << a
+            elif kind == 2 and a != b:
+                word ^= (1 << a) ^ (1 << b)
+            elif kind == 3:
+                check ^= 1 << (a % 8)
+            elif kind == 4 and a % 8 != b % 8:
+                check ^= (1 << (a % 8)) ^ (1 << (b % 8))
+            elif kind == 5:
+                word ^= 1 << a
+                check ^= 1 << (b % 8)
+            data.append(word)
+            checks.append(check)
+        return (
+            np.array(data, dtype="<u8"),
+            np.array(checks, dtype=np.uint8),
+        )
+
+    @given(words_list, flips)
+    def test_check_words_matches_scalar_cleanliness(self, words, flips):
+        arr, checks = self._corrupt(words, flips)
+        clean = check_words(arr, checks)
+        for i in range(arr.size):
+            scalar = decode(int(arr[i]), int(checks[i]))
+            assert bool(clean[i]) == (scalar.status is DecodeStatus.CLEAN)
+
+    @given(words_list, flips)
+    def test_decode_words_matches_scalar(self, words, flips):
+        arr, checks = self._corrupt(words, flips)
+        out, statuses = decode_words(arr, checks)
+        for i in range(arr.size):
+            scalar = decode(int(arr[i]), int(checks[i]))
+            assert STATUS_CODES[scalar.status] == statuses[i], i
+            if scalar.status is not DecodeStatus.UNCORRECTABLE:
+                assert int(out[i]) == scalar.data, i
+
+    def test_decode_words_leaves_input_untouched(self):
+        arr = np.array([0x1234], dtype="<u8")
+        checks = encode_words(arr)
+        arr_corrupt = arr ^ np.uint64(1)
+        out, statuses = decode_words(arr_corrupt, checks)
+        assert int(arr_corrupt[0]) == 0x1235  # input not mutated
+        assert int(out[0]) == 0x1234
+        assert statuses[0] == STATUS_CODES[DecodeStatus.CORRECTED]
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            decode_words(np.zeros(2, dtype="<u8"), np.zeros(3, dtype=np.uint8))
