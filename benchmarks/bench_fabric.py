@@ -1,0 +1,176 @@
+"""Tracked scale-out baseline for the sharded serving fabric.
+
+Serves one GEMV-heavy stream (distinct weight matrices spread across the
+consistent-hash ring) through :class:`~repro.stack.fabric.PimFabric` at
+1, 2, and 4 workers and records, per worker count:
+
+* **simulated** throughput (req/s of the merged serving profile — round
+  makespan is the max over shards, so this is what sharding actually
+  scales) and its speedup over the 1-worker fabric;
+* **wall-clock** serve time (informational only: CI containers may pin
+  the whole run to a single core, so wall time is recorded but never
+  gated).
+
+Every result is checked bit-exact against the host GEMV reference before
+being recorded.  Results land in a ``bench_fabric/v1`` JSON document::
+
+    python benchmarks/bench_fabric.py --quick --out BENCH_fabric.json \\
+        --min-speedup 1.8
+
+The process exits non-zero if the 4-worker simulated speedup falls below
+``--min-speedup`` (CI's ``fabric-smoke`` gate) or the emitted document
+fails schema validation.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.stack import (
+    PimFabric,
+    Request,
+    ServerConfig,
+    SystemConfig,
+    gemv_reference,
+)
+
+SCHEMA = "bench_fabric/v1"
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _workload(count: int, distinct: int, seed: int):
+    """``count`` GEMV requests over ``distinct`` weight matrices."""
+    m, n = 64, 96
+    rng = np.random.default_rng(seed)
+    weights = [
+        (rng.standard_normal((m, n)) * 0.25).astype(np.float16)
+        for _ in range(distinct)
+    ]
+    arrivals = np.cumsum(rng.exponential(200.0, size=count))
+    return [
+        Request(
+            "gemv",
+            weights=weights[i % distinct],
+            a=(rng.standard_normal(n) * 0.25).astype(np.float16),
+            arrival_ns=float(arrivals[i]),
+        )
+        for i in range(count)
+    ]
+
+
+def bench_workers(config, items, workers: int) -> dict:
+    """Serve ``items`` through a ``workers``-shard fabric; one result row."""
+    server_config = ServerConfig(lanes=2, max_batch=8)
+    with PimFabric(config, workers=workers, server_config=server_config) as fabric:
+        handles = [fabric.submit(request) for request in items]
+        start = time.perf_counter()
+        profile = fabric.run()
+        wall_s = time.perf_counter() - start
+    for handle in handles:
+        golden = gemv_reference(
+            handle.request.weights, handle.request.a, config.num_pchs
+        )
+        if handle.result is None or not np.array_equal(handle.result, golden):
+            raise SystemExit(
+                f"fabric result diverged from host reference at "
+                f"{workers} workers (request {handle.request_id})"
+            )
+    if sum(profile.outcomes().values()) != len(handles):
+        raise SystemExit(f"outcome conservation broken at {workers} workers")
+    return {
+        "workers": workers,
+        "requests": len(handles),
+        "throughput_rps": profile.throughput_rps(),
+        "makespan_ns": profile.makespan_ns,
+        "wall_s": wall_s,
+    }
+
+
+def validate(doc: dict) -> None:
+    """Schema check of a ``bench_fabric/v1`` document (raises ValueError)."""
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}")
+    if not isinstance(doc.get("quick"), bool):
+        raise ValueError("quick must be a bool")
+    workloads = doc.get("workloads")
+    expected = {f"workers{n}" for n in WORKER_COUNTS}
+    if not isinstance(workloads, dict) or set(workloads) != expected:
+        raise ValueError(f"workloads must be exactly {sorted(expected)}")
+    base = workloads["workers1"]
+    for name, entry in workloads.items():
+        for key in ("throughput_rps", "makespan_ns", "wall_s"):
+            value = entry.get(key)
+            if not isinstance(value, float) or value <= 0:
+                raise ValueError(f"{name}.{key} must be a positive float")
+        for key in ("workers", "requests"):
+            if not isinstance(entry.get(key), int) or entry[key] <= 0:
+                raise ValueError(f"{name}.{key} must be a positive int")
+        speedup = entry.get("speedup")
+        if not isinstance(speedup, float) or speedup <= 0:
+            raise ValueError(f"{name}.speedup must be a positive float")
+        implied = entry["throughput_rps"] / base["throughput_rps"]
+        if abs(speedup - implied) > 1e-6:
+            raise ValueError(f"{name}.speedup is inconsistent with throughput")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small request count (CI fabric-smoke)")
+    parser.add_argument("--out", default=None,
+                        help="write the bench_fabric/v1 JSON here")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail if the 4-worker simulated speedup is "
+                             "below this")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    count = 48 if args.quick else 96
+    # 8 distinct matrices is the most a single replica can keep staged
+    # (num_rows=256); more would overflow the 1-worker baseline's driver
+    # allocation and collapse it onto the host path.
+    distinct = 8
+    config = SystemConfig(
+        num_pchs=4, num_rows=256, simulate_pchs=1, server_seed=args.seed
+    )
+    items = _workload(count, distinct, args.seed)
+
+    workloads = {}
+    for workers in WORKER_COUNTS:
+        entry = bench_workers(config, items, workers)
+        workloads[f"workers{workers}"] = entry
+    base_rps = workloads["workers1"]["throughput_rps"]
+    for entry in workloads.values():
+        entry["speedup"] = entry["throughput_rps"] / base_rps
+    doc = {"schema": SCHEMA, "quick": args.quick, "workloads": workloads}
+    validate(doc)
+
+    print(f"{'workers':>8s}{'sim req/s':>14s}{'speedup':>9s}{'wall':>8s}")
+    for workers in WORKER_COUNTS:
+        entry = workloads[f"workers{workers}"]
+        print(
+            f"{workers:8d}{entry['throughput_rps']:14,.0f}"
+            f"{entry['speedup']:8.2f}x{entry['wall_s']:7.2f}s"
+        )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        validate(json.load(open(args.out)))
+        print(f"wrote {args.out}")
+    if args.min_speedup is not None:
+        speedup = workloads["workers4"]["speedup"]
+        if speedup < args.min_speedup:
+            print(
+                f"FAIL: 4-worker simulated speedup {speedup:.2f}x below "
+                f"--min-speedup {args.min_speedup}"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 from repro.faults import FaultConfig
+from repro.stack.api import Request, ServerConfig
 from repro.stack.blas import PimBlas
 from repro.stack.runtime import PimSystem, SystemConfig
 from repro.stack.server import PimServer
@@ -67,18 +68,18 @@ def run_sequential(workload):
     return results, ready
 
 
-def run_server(workload, lanes=2, max_batch=8, config=CONFIG, **server_kwargs):
+def run_server(workload, lanes=2, max_batch=8, config=CONFIG, **server_knobs):
     """Serve the stream through PimServer; returns (results, profile)."""
     system = PimSystem(config)
-    with PimServer(
-        system,
+    server_config = ServerConfig(
         lanes=lanes,
         max_batch=max_batch,
         simulate_pchs=config.simulate_pchs,
-        **server_kwargs,
-    ) as server:
+        **server_knobs,
+    )
+    with PimServer(system, server_config) as server:
         handles = [
-            server.submit(op, arrival_ns=arrival, **kw)
+            server.submit(Request(op, arrival_ns=arrival, **kw))
             for op, kw, arrival in workload
         ]
         profile = server.run()
@@ -88,16 +89,16 @@ def run_server(workload, lanes=2, max_batch=8, config=CONFIG, **server_kwargs):
 def run_bounded_server(workload, queue_depth=8, admission="shed"):
     """Serve through a bounded-queue server; returns (handles, profile)."""
     system = PimSystem(CONFIG)
-    with PimServer(
-        system,
+    server_config = ServerConfig(
         lanes=2,
         max_batch=8,
         simulate_pchs=CONFIG.simulate_pchs,
         queue_depth=queue_depth,
         admission=admission,
-    ) as server:
+    )
+    with PimServer(system, server_config) as server:
         handles = [
-            server.submit(op, arrival_ns=arrival, **kw)
+            server.submit(Request(op, arrival_ns=arrival, **kw))
             for op, kw, arrival in workload
         ]
         profile = server.run()

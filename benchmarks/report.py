@@ -160,7 +160,7 @@ def fig14():
 
 def observability():
     from repro.obs import render_timeline
-    from repro.stack import PimContext, SystemConfig
+    from repro.stack import PimContext, Request, ServerConfig, SystemConfig
 
     print("\n## Observability — traced serving session (span timeline)")
     config = SystemConfig(
@@ -171,21 +171,21 @@ def observability():
     weights = (rng.standard_normal((m, n)) * 0.25).astype(np.float16)
     arrivals = np.cumsum(rng.exponential(2000.0, size=12))
     with PimContext(config) as ctx:
-        with ctx.server(lanes=2, max_batch=8) as srv:
+        with ctx.server(ServerConfig(lanes=2, max_batch=8)) as srv:
             for i, arrival in enumerate(arrivals):
                 if i % 3 == 2:
-                    srv.submit(
+                    srv.submit(Request(
                         "add",
                         a=(rng.standard_normal(length) * 0.25).astype(np.float16),
                         b=(rng.standard_normal(length) * 0.25).astype(np.float16),
                         arrival_ns=float(arrival),
-                    )
+                    ))
                 else:
-                    srv.submit(
+                    srv.submit(Request(
                         "gemv", weights=weights,
                         a=(rng.standard_normal(n) * 0.25).astype(np.float16),
                         arrival_ns=float(arrival),
-                    )
+                    ))
             srv.run()
         for line in render_timeline(ctx.tracer, max_spans=24):
             print(line)

@@ -26,17 +26,22 @@ from .errors import (
     PimError,
     PimOverloadError,
     PimProgramError,
+    PimWorkerError,
 )
 from .faults import FaultConfig, FaultInjector
 from .obs import MetricsRegistry, Tracer
 from .stack import (
+    FabricHandle,
     GraphBuilder,
     GraphExecutor,
     PimBlas,
     PimContext,
+    PimFabric,
     PimServer,
     PimSystem,
+    Request,
     RequestOutcome,
+    ServerConfig,
     SystemConfig,
 )
 from .pim import PimHbmDevice, PimMode, assemble, disassemble
@@ -51,7 +56,12 @@ __all__ = [
     "PimAllocationError",
     "PimOverloadError",
     "PimProgramError",
+    "PimWorkerError",
     "RequestOutcome",
+    "Request",
+    "ServerConfig",
+    "FabricHandle",
+    "PimFabric",
     "FaultConfig",
     "FaultInjector",
     "MetricsRegistry",

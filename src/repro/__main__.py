@@ -102,7 +102,7 @@ def _trace(argv=None) -> int:
         write_chrome_trace,
         write_span_jsonl,
     )
-    from .stack import PimServer, PimSystem, SystemConfig
+    from .stack import PimServer, PimSystem, Request, ServerConfig, SystemConfig
 
     parser = argparse.ArgumentParser(prog="repro trace")
     parser.add_argument(
@@ -143,21 +143,21 @@ def _trace(argv=None) -> int:
     w = (rng.standard_normal((m, n)) * 0.25).astype(np.float16)
     arrivals = np.cumsum(rng.exponential(args.gap_ns, size=args.requests))
     system = PimSystem(config)
-    with PimServer(system, lanes=2, max_batch=8) as server:
+    with PimServer(system, ServerConfig(lanes=2, max_batch=8)) as server:
         for i, arrival in enumerate(arrivals):
             if i % 2 == 0:
-                server.submit(
+                server.submit(Request(
                     "gemv", weights=w,
                     a=(rng.standard_normal(n) * 0.25).astype(np.float16),
                     arrival_ns=float(arrival),
-                )
+                ))
             else:
-                server.submit(
+                server.submit(Request(
                     "add",
                     a=(rng.standard_normal(length) * 0.25).astype(np.float16),
                     b=(rng.standard_normal(length) * 0.25).astype(np.float16),
                     arrival_ns=float(arrival),
-                )
+                ))
         profile = server.run()
 
     tracer = system.tracer
@@ -237,7 +237,9 @@ def _overload_smoke(config, w, m, n, length, seed, trace_path=None) -> int:
     from .stack import (
         PimServer,
         PimSystem,
+        Request,
         RequestOutcome,
+        ServerConfig,
         add_reference,
         gemv_reference,
     )
@@ -248,27 +250,27 @@ def _overload_smoke(config, w, m, n, length, seed, trace_path=None) -> int:
         for i, arrival in enumerate(arrivals):
             if i % 2 == 0:
                 x = (rng.standard_normal(n) * 0.25).astype(np.float16)
-                items.append(("gemv", dict(weights=w, a=x), float(arrival)))
+                items.append(
+                    Request("gemv", weights=w, a=x, arrival_ns=float(arrival))
+                )
             else:
                 a = (rng.standard_normal(length) * 0.25).astype(np.float16)
                 b = (rng.standard_normal(length) * 0.25).astype(np.float16)
-                items.append(("add", dict(a=a, b=b), float(arrival)))
+                items.append(Request("add", a=a, b=b, arrival_ns=float(arrival)))
         return items
 
-    def serve(items, **server_kwargs):
+    def serve(items, **server_knobs):
         system = PimSystem(config)
-        with PimServer(system, lanes=2, max_batch=8, **server_kwargs) as srv:
-            handles = [
-                srv.submit(op, arrival_ns=arrival, **kw)
-                for op, kw, arrival in items
-            ]
+        server_config = ServerConfig(lanes=2, max_batch=8, **server_knobs)
+        with PimServer(system, server_config) as srv:
+            handles = [srv.submit(request) for request in items]
             profile = srv.run()
         return handles, profile, system
 
-    def golden(op, kw):
-        if op == "gemv":
-            return gemv_reference(kw["weights"], kw["a"], config.num_pchs)
-        return add_reference(kw["a"], kw["b"])
+    def golden(request):
+        if request.op == "gemv":
+            return gemv_reference(request.weights, request.a, config.num_pchs)
+        return add_reference(request.a, request.b)
 
     saturation_gap_ns = 500.0
     base_items = workload(32, saturation_gap_ns, np.random.default_rng(seed))
@@ -293,10 +295,10 @@ def _overload_smoke(config, w, m, n, length, seed, trace_path=None) -> int:
     served = (RequestOutcome.COMPLETED, RequestOutcome.DEGRADED_HOST)
     exact = sum(
         1
-        for handle, (op, kw, _) in zip(handles, over_items)
+        for handle, item in zip(handles, over_items)
         if handle.outcome in served
         and handle.result is not None
-        and np.array_equal(handle.result, golden(op, kw))
+        and np.array_equal(handle.result, golden(item))
     )
     num_served = sum(1 for h in handles if h.outcome in served)
     checks = {
@@ -316,6 +318,131 @@ def _overload_smoke(config, w, m, n, length, seed, trace_path=None) -> int:
             profile.goodput_rps() >= 0.9 * baseline_goodput
         ),
     }
+    failed_checks = [name for name, ok in checks.items() if not ok]
+    for name, ok in checks.items():
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    return 1 if failed_checks else 0
+
+
+def _fabric_smoke(config, args) -> int:
+    """Sharded-fabric smoke: scale-out throughput and kill conservation.
+
+    Serves one GEMV-heavy stream (``--distinct-weights`` distinct weight
+    matrices, so signatures spread across the hash ring) through a
+    1-worker fabric and an ``--workers``-worker fabric, and compares
+    *simulated* throughput (the device model's req/s; wall-clock is
+    reported but not gated — CI containers may have a single core).
+    With ``--min-speedup`` the run fails unless the sharded fabric beats
+    the 1-worker baseline by at least that factor.  With
+    ``--kill-worker`` the busiest shard is SIGKILLed after dispatch and
+    the run asserts conservation: every request exactly one terminal
+    outcome, bit-exact results, the dead shard quarantined.  Nonzero
+    exit code on any failed check (used by CI).
+    """
+    import time
+
+    import numpy as np
+
+    from .stack import PimFabric, Request, ServerConfig, gemv_reference
+
+    m, n = 64, 96
+    count = 48
+    k = max(1, args.distinct_weights)
+    rng = np.random.default_rng(args.seed)
+    weights = [
+        (rng.standard_normal((m, n)) * 0.25).astype(np.float16)
+        for _ in range(k)
+    ]
+    arrivals = np.cumsum(rng.exponential(200.0, size=count))
+    items = [
+        Request(
+            "gemv",
+            weights=weights[i % k],
+            a=(rng.standard_normal(n) * 0.25).astype(np.float16),
+            arrival_ns=float(arrivals[i]),
+            trace_id=f"req{i}",
+        )
+        for i in range(count)
+    ]
+    server_config = ServerConfig(lanes=2, max_batch=8)
+
+    def serve(workers, kill=False):
+        with PimFabric(
+            config, workers=workers, server_config=server_config
+        ) as fabric:
+            handles = [fabric.submit(request) for request in items]
+            if kill:
+                def _kill_busiest(fab):
+                    alive = [
+                        s for s in fab.alive_shards()
+                        if fab._round_assignment.get(s)
+                    ]
+                    victim = max(
+                        alive, key=lambda s: len(fab._round_assignment[s])
+                    )
+                    fab.kill_worker(victim)
+                    fab._post_dispatch_hook = None
+                fabric._post_dispatch_hook = _kill_busiest
+            t0 = time.perf_counter()
+            profile = fabric.run()
+            wall_s = time.perf_counter() - t0
+        return handles, profile, wall_s
+
+    print(
+        f"Fabric smoke: {count} gemv requests over {k} weight matrices, "
+        f"{args.workers} workers"
+        + (" (killing the busiest shard mid-round)" if args.kill_worker else "")
+    )
+    base_handles, base_profile, base_wall = serve(1)
+    handles, profile, wall = serve(args.workers, kill=args.kill_worker)
+    print("\n".join(profile.render()))
+
+    base_rps = base_profile.throughput_rps()
+    rps = profile.throughput_rps()
+    speedup = rps / base_rps if base_rps > 0 else float("inf")
+    print(
+        f"  simulated throughput: 1 worker {base_rps:,.0f} req/s, "
+        f"{args.workers} workers {rps:,.0f} req/s "
+        f"(speedup {speedup:.2f}x)"
+    )
+    print(
+        f"  wall clock (informational): 1 worker {base_wall:.2f}s, "
+        f"{args.workers} workers {wall:.2f}s"
+    )
+
+    def exact(hs):
+        return all(
+            h.result is not None
+            and np.array_equal(
+                h.result,
+                gemv_reference(h.request.weights, h.request.a,
+                               config.num_pchs),
+            )
+            for h in hs
+        )
+
+    checks = {
+        "every request terminal": all(h.outcome is not None for h in handles),
+        "outcomes conserve requests": (
+            sum(profile.outcomes().values()) == len(handles)
+        ),
+        "results bit-exact vs host reference": exact(handles),
+        "baseline results bit-exact": exact(base_handles),
+    }
+    if args.kill_worker:
+        checks["dead shard quarantined"] = len(profile.quarantined_shards) == 1
+        checks["killed requests replayed or host-completed"] = (
+            profile.replays > 0
+        )
+    else:
+        shards_used = {h.shard for h in handles}
+        checks["all shards served work"] = shards_used == set(
+            range(args.workers)
+        )
+    if args.min_speedup is not None:
+        checks[f"simulated speedup >= {args.min_speedup:g}x"] = (
+            speedup >= args.min_speedup
+        )
     failed_checks = [name for name, ok in checks.items() if not ok]
     for name, ok in checks.items():
         print(f"  [{'ok' if ok else 'FAIL'}] {name}")
@@ -342,12 +469,36 @@ def _serve_bench(argv=None) -> int:
     from .stack import (
         PimServer,
         PimSystem,
+        Request,
+        ServerConfig,
         SystemConfig,
         add_reference,
         gemv_reference,
     )
 
     parser = argparse.ArgumentParser(prog="repro serve-bench")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the sharded-fabric smoke: serve the workload through a "
+             "PimFabric with N worker processes and compare simulated "
+             "throughput against a 1-worker fabric",
+    )
+    parser.add_argument(
+        "--kill-worker", action="store_true",
+        help="with --workers: SIGKILL the busiest worker mid-round and "
+             "assert conservation (every request exactly one terminal "
+             "outcome, bit-exact results, dead shard quarantined)",
+    )
+    parser.add_argument(
+        "--distinct-weights", type=int, default=8,
+        help="distinct GEMV weight matrices in the fabric workload "
+             "(signature spread across the hash ring; default: 8)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="with --workers: fail unless fabric simulated throughput is "
+             "at least this multiple of the 1-worker fabric's",
+    )
     parser.add_argument(
         "--faults", action="store_true",
         help="run the fault-injection smoke instead of the load sweep",
@@ -395,6 +546,9 @@ def _serve_bench(argv=None) -> int:
     rng = np.random.default_rng(args.seed)
     w = (rng.standard_normal((m, n)) * 0.25).astype(np.float16)
 
+    if args.workers is not None:
+        return _fabric_smoke(config, args)
+
     if args.overload:
         return _overload_smoke(
             config, w, m, n, length, args.seed, trace_path=args.trace
@@ -425,20 +579,22 @@ def _serve_bench(argv=None) -> int:
         arrivals = np.cumsum(rng.exponential(2000.0, size=24))
         system = PimSystem(config)
         requests = []
-        with PimServer(system, lanes=2, max_batch=8) as server:
+        with PimServer(system, ServerConfig(lanes=2, max_batch=8)) as server:
             for i, arrival in enumerate(arrivals):
                 if i % 2 == 0:
                     x = (rng.standard_normal(n) * 0.25).astype(np.float16)
                     requests.append(
-                        (server.submit("gemv", weights=w, a=x,
-                                       arrival_ns=float(arrival)), "gemv")
+                        (server.submit(Request(
+                            "gemv", weights=w, a=x,
+                            arrival_ns=float(arrival))), "gemv")
                     )
                 else:
                     a = (rng.standard_normal(length) * 0.25).astype(np.float16)
                     b = (rng.standard_normal(length) * 0.25).astype(np.float16)
                     requests.append(
-                        (server.submit("add", a=a, b=b,
-                                       arrival_ns=float(arrival)), "add")
+                        (server.submit(Request(
+                            "add", a=a, b=b,
+                            arrival_ns=float(arrival))), "add")
                     )
             profile = server.run()
         print("\n".join(profile.render()))
@@ -477,21 +633,21 @@ def _serve_bench(argv=None) -> int:
     for gap_ns in (8000.0, 2000.0, 500.0):
         arrivals = np.cumsum(rng.exponential(gap_ns, size=32))
         system = PimSystem(config)
-        with PimServer(system, lanes=2, max_batch=8) as server:
+        with PimServer(system, ServerConfig(lanes=2, max_batch=8)) as server:
             for i, arrival in enumerate(arrivals):
                 if i % 2 == 0:
-                    server.submit(
+                    server.submit(Request(
                         "gemv", weights=w,
                         a=(rng.standard_normal(n) * 0.25).astype(np.float16),
                         arrival_ns=float(arrival),
-                    )
+                    ))
                 else:
-                    server.submit(
+                    server.submit(Request(
                         "add",
                         a=(rng.standard_normal(length) * 0.25).astype(np.float16),
                         b=(rng.standard_normal(length) * 0.25).astype(np.float16),
                         arrival_ns=float(arrival),
-                    )
+                    ))
             profile = server.run()
         print(
             f"  {gap_ns:8.0f}ns {profile.throughput_rps():9,.0f} "

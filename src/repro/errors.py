@@ -16,6 +16,9 @@ self-healing server reacts:
 * :class:`PimOverloadError` — the serving layer refused work because a
   bounded queue is full.  Recoverable by backing off and resubmitting
   (the canonical reaction to backpressure).
+* :class:`PimWorkerError` — a fabric worker process failed (died, or
+  reported an unrecoverable serving error).  Recoverable by quarantining
+  the shard and replaying its requests on the survivors.
 
 Subclasses keep their historical bases (``RuntimeError``, and
 ``ValueError`` for program errors) so pre-taxonomy ``except`` clauses and
@@ -37,6 +40,7 @@ __all__ = [
     "PimAllocationError",
     "PimProgramError",
     "PimOverloadError",
+    "PimWorkerError",
 ]
 
 
@@ -79,3 +83,21 @@ class PimOverloadError(PimError):
         super().__init__(message)
         #: Index of the saturated lane (-1 when not attributable).
         self.lane = lane
+
+
+class PimWorkerError(PimError):
+    """A fabric worker process failed (see :mod:`repro.stack.fabric`).
+
+    Raised inside the router when a shard's worker process dies (SIGKILL,
+    crash, broken pipe) or replies with an unrecoverable serving error.
+    The fabric reacts like the server reacts to a dead channel: the shard
+    is quarantined and its in-flight requests are replayed on surviving
+    shards (or completed on the host golden path), so the error surfaces
+    to callers only through the shard-quarantine counters — never as a
+    lost request.  ``shard`` names the failed shard when attributable.
+    """
+
+    def __init__(self, message: str, shard: int = -1):
+        super().__init__(message)
+        #: Index of the failed shard (-1 when not attributable).
+        self.shard = shard

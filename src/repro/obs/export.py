@@ -39,8 +39,15 @@ __all__ = [
 #: (the serving layer: request / dispatch / host spans).
 SERVING_PID = 1000
 
+#: pid base for fabric shards: a shard-tagged item lands in process
+#: ``SHARD_PID_BASE + shard`` (named ``shard<N>``), so a merged
+#: multi-worker trace shows one Chrome process row per shard.
+SHARD_PID_BASE = 2000
+
 
 def _pid(item: Union[Span, TraceEvent]) -> int:
+    if item.shard is not None:
+        return SHARD_PID_BASE + item.shard
     return SERVING_PID if item.channel is None else item.channel
 
 
@@ -49,11 +56,20 @@ def _tid(item: Union[Span, TraceEvent]) -> int:
 
 
 def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
-    """The tracer's content as a Chrome Trace Event Format object."""
+    """The tracer's content as a Chrome Trace Event Format object.
+
+    Single-process traces keep the historical pid scheme (pseudo-channel
+    pid for device spans, ``SERVING_PID`` for the serving layer).  Spans
+    a :class:`~repro.stack.fabric.PimFabric` merged from its workers
+    carry a ``shard`` tag and land one Chrome process per shard
+    (pid = ``SHARD_PID_BASE + shard``, tid = serving lane).
+    """
     events: List[Dict[str, Any]] = []
     pids = {SERVING_PID: "serving"}
     for span in tracer.spans:
-        if span.channel is not None:
+        if span.shard is not None:
+            pids.setdefault(SHARD_PID_BASE + span.shard, f"shard{span.shard}")
+        elif span.channel is not None:
             pids.setdefault(span.channel, f"pch{span.channel}")
     for pid in sorted(pids):
         events.append(
@@ -129,6 +145,7 @@ def write_span_jsonl(tracer: Tracer, path_or_file: Union[str, IO]) -> int:
                         "end_ns": span.end_ns,
                         "lane": span.lane,
                         "channel": span.channel,
+                        "shard": span.shard,
                         "attrs": span.attrs,
                     }
                 )
@@ -146,6 +163,7 @@ def write_span_jsonl(tracer: Tracer, path_or_file: Union[str, IO]) -> int:
                         "at_ns": event.at_ns,
                         "lane": event.lane,
                         "channel": event.channel,
+                        "shard": event.shard,
                         "attrs": event.attrs,
                     }
                 )

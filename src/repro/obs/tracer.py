@@ -49,6 +49,10 @@ class Span:
     lane: Optional[int] = None
     #: Pseudo-channel the span ran on (None above the controller layer).
     channel: Optional[int] = None
+    #: Fabric shard the span came from (None outside a sharded fabric).
+    #: Set by the fabric when it merges worker traces, never by the
+    #: producers themselves, so single-process traces are unchanged.
+    shard: Optional[int] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -66,6 +70,8 @@ class TraceEvent:
     parent_id: Optional[int] = None
     lane: Optional[int] = None
     channel: Optional[int] = None
+    #: Fabric shard the event came from (None outside a sharded fabric).
+    shard: Optional[int] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -224,6 +230,7 @@ class Tracer:
                     parent_id=event.parent_id,
                     lane=event.lane,
                     channel=event.channel,
+                    shard=event.shard,
                     attrs=event.attrs,
                 )
 

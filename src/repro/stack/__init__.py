@@ -6,7 +6,9 @@ from ..errors import (
     PimError,
     PimOverloadError,
     PimProgramError,
+    PimWorkerError,
 )
+from .api import Request, ServerConfig, request_signature
 from .blas import (
     PimBlas,
     add_reference,
@@ -57,6 +59,7 @@ from .profiler import (
 from .runtime import PimExecutor, PimSystem, SystemConfig
 from .server import PimRequest, PimServer, RequestOutcome
 from .context import PimContext
+from .fabric import FabricHandle, PimFabric
 
 __all__ = [
     "PimBlas",
@@ -72,6 +75,7 @@ __all__ = [
     "PimAllocationError",
     "PimOverloadError",
     "PimProgramError",
+    "PimWorkerError",
     "PimDeviceDriver",
     "RowSetRange",
     "ScrubResult",
@@ -98,6 +102,11 @@ __all__ = [
     "PimRequest",
     "PimServer",
     "RequestOutcome",
+    "Request",
+    "ServerConfig",
+    "request_signature",
+    "FabricHandle",
+    "PimFabric",
     "MicrokernelCache",
     "PimLayout",
     "aligned_size",

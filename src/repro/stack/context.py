@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from .api import ServerConfig
 from .blas import PimBlas
 from .profiler import Profiler
 from .runtime import PimSystem, SystemConfig
@@ -52,6 +53,7 @@ class PimContext:
             profiler=self.profiler if reports == "profile" else None,
         )
         self._servers: List[PimServer] = []
+        self._fabrics: List = []
 
     def __enter__(self) -> "PimContext":
         return self
@@ -60,51 +62,60 @@ class PimContext:
         self.close()
 
     def close(self) -> None:
-        """Release any serving lanes still leased from the driver."""
+        """Release serving lanes and shut down any fabrics' workers."""
         for server in self._servers:
             server.close()
         self._servers = []
+        for fabric in self._fabrics:
+            fabric.close()
+        self._fabrics = []
 
     # -- factories ----------------------------------------------------------------
 
-    def server(
-        self,
-        lanes: int = 2,
-        max_batch: int = 8,
-        simulate_pchs: Optional[int] = None,
-        max_retries: int = 2,
-        scrub_interval: Optional[int] = None,
-        **overload_knobs,
-    ) -> PimServer:
+    def server(self, config: Optional[ServerConfig] = None, **legacy) -> PimServer:
         """A serving engine over this context's device and profiler.
 
-        The server's per-request statistics and batch reports land in this
-        context's profiler; its channel leases are released when the server
-        (or the context) closes.  ``max_retries`` and ``scrub_interval``
-        configure the self-healing layer (the latter defaults to the
-        config's ``scrub_interval``).  Any overload-protection knob of
-        :class:`~repro.stack.server.PimServer` (``queue_depth``,
-        ``admission``, ``aging_ns``, ``retry_budget``, ``retry_refill``,
-        ``backoff_base_ns``, ``backoff_jitter``, ``breaker_threshold``,
-        ``breaker_cooldown_ns``, ``seed``) passes through unchanged;
-        unset knobs inherit this context's config.
+        Configure with one :class:`~repro.stack.api.ServerConfig`
+        (``ctx.server(ServerConfig(lanes=2, max_batch=4))``); knobs left
+        at ``None`` inherit this context's config.  The server's
+        per-request statistics and batch reports land in the context's
+        profiler; its channel leases are released when the server (or the
+        context) closes.
+
+        The historical keyword form ``ctx.server(lanes=2, queue_depth=8,
+        ...)`` still works behind one consolidated ``DeprecationWarning``
+        (see ``docs/MIGRATION.md``).
         """
         server = PimServer(
-            self.system,
-            lanes=lanes,
-            max_batch=max_batch,
-            simulate_pchs=(
-                simulate_pchs
-                if simulate_pchs is not None
-                else self.config.simulate_pchs
-            ),
-            profiler=self.profiler,
-            max_retries=max_retries,
-            scrub_interval=scrub_interval,
-            **overload_knobs,
+            self.system, config, profiler=self.profiler, **legacy
         )
         self._servers.append(server)
         return server
+
+    def fabric(self, workers: int = 2, config: Optional[ServerConfig] = None):
+        """A sharded multi-process serving fabric over this config.
+
+        The blessed entry point to scale-out serving: spawns ``workers``
+        worker processes, each owning a full device replica configured
+        exactly like this context's system, and routes
+        :class:`~repro.stack.api.Request` submissions across them (see
+        :class:`~repro.stack.fabric.PimFabric`).  Merged serving
+        profiles land in this context's profiler, shard-tagged trace
+        spans in its tracer, and counters in its metrics registry.  The
+        workers are shut down when the fabric (or the context) closes.
+        """
+        from .fabric import PimFabric  # local: fabric->worker->context cycle
+
+        fabric = PimFabric(
+            self.config,
+            workers=workers,
+            server_config=config,
+            profiler=self.profiler,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        self._fabrics.append(fabric)
+        return fabric
 
     # -- reporting ----------------------------------------------------------------
 

@@ -1,0 +1,536 @@
+"""A multi-process serving fabric: one router, N device-replica shards.
+
+The paper's software stack serves "millions of users" from one runtime;
+a single Python process driving every lane serialises on the interpreter
+long before the simulated device saturates.  :class:`PimFabric` is the
+scale-out tier: it shards serving across worker *processes* (each owning
+a full :class:`~repro.stack.context.PimContext` +
+:class:`~repro.stack.server.PimServer` over an identically-configured
+device replica — see :mod:`repro.stack.worker`) and plays the role the
+device driver plays one level down: placement, failure isolation, and
+merged accounting.
+
+* **placement** — requests are routed by *signature* on a consistent-hash
+  ring (virtual nodes per shard), so same-signature requests land on the
+  same shard and reuse its staged weights/kernels, and a quarantined
+  shard only re-homes its own arc of the ring.  A group that would push
+  its home shard past the round's fair share falls back to the
+  least-loaded shard instead.
+* **failure handling** — the quarantine + breaker discipline of the
+  channel tier, lifted to shards: a worker that dies (SIGKILL, crash,
+  broken pipe) or replies with an unrecoverable serving error is
+  quarantined, and every request of its round is replayed on the
+  survivors — or completed on the host golden path when no shard is
+  left.  Every submitted request ends in exactly one terminal
+  :class:`~repro.stack.server.RequestOutcome`; results are bit-exact
+  regardless of which shard (or the host) served them, because shards
+  are full device replicas and the golden path reproduces the device's
+  arithmetic.
+* **accounting** — per-shard :class:`~repro.stack.profiler.ServingProfile`
+  replies merge through ``ServingProfile.merge()`` (associative and
+  commutative, so arrival order does not matter) with channels rewritten
+  into a global ``shard * num_pchs + local`` space; worker trace spans
+  merge into the router's tracer with shard tags, and the Chrome export
+  shows one process row per shard (pid = shard, tid = lane).
+
+::
+
+    with PimContext(SystemConfig.fast_functional()) as ctx:
+        with ctx.fabric(workers=4) as fabric:
+            handles = [fabric.submit(Request("gemv", weights=w, a=x))
+                       for x in inputs]
+            profile = fabric.run()
+        results = [h.result for h in handles]
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import math
+import multiprocessing
+import os
+import signal
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import PimProgramError, PimWorkerError
+from .api import Request, ServerConfig
+from .blas import (
+    add_reference,
+    bn_reference,
+    gemv_reference,
+    mul_reference,
+    relu_reference,
+)
+from .profiler import Profiler, RequestStats, ServingProfile
+from .runtime import SystemConfig
+from .worker import run_worker
+
+__all__ = ["FabricHandle", "PimFabric"]
+
+
+class FabricHandle:
+    """The caller's handle to one request submitted to a fabric.
+
+    Mirrors the single-process :class:`~repro.stack.server.PimRequest`
+    surface the way callers actually use it: ``result`` (the computed
+    array, bit-exact with the host reference), ``outcome`` (the terminal
+    :class:`~repro.stack.server.RequestOutcome` value as a string), and
+    ``shard`` (which worker served it; -1 means the router's host golden
+    path).  All three are ``None`` until :meth:`PimFabric.run` returns.
+    """
+
+    def __init__(self, request_id: int, request: Request):
+        #: Fabric-wide request id (unique across shards and rounds).
+        self.request_id = request_id
+        #: The immutable submitted request.
+        self.request = request
+        #: Computed result (None until run(), or for dropped requests).
+        self.result: Optional[np.ndarray] = None
+        #: Terminal outcome string (see RequestOutcome), None until run().
+        self.outcome: Optional[str] = None
+        #: Shard that produced the terminal outcome (-1 = router host path).
+        self.shard: Optional[int] = None
+        #: How many times the request was replayed off a dead shard.
+        self.replays: int = 0
+
+
+class _HashRing:
+    """Consistent-hash ring with virtual nodes over the alive shards."""
+
+    def __init__(self, shards, vnodes: int = 64):
+        self._vnodes = int(vnodes)
+        self._shards: set = set()
+        self._points: List[int] = []
+        self._owners: List[int] = []
+        for shard in shards:
+            self.add(shard)
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(
+            hashlib.sha1(key.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def _rebuild(self) -> None:
+        ring = []
+        for shard in self._shards:
+            for v in range(self._vnodes):
+                ring.append((self._hash(f"shard{shard}:vn{v}"), shard))
+        ring.sort()
+        self._points = [p for p, _ in ring]
+        self._owners = [s for _, s in ring]
+
+    def add(self, shard: int) -> None:
+        """Add ``shard``'s virtual nodes to the ring."""
+        self._shards.add(int(shard))
+        self._rebuild()
+
+    def remove(self, shard: int) -> None:
+        """Drop ``shard`` from the ring (no-op when absent)."""
+        self._shards.discard(int(shard))
+        self._rebuild()
+
+    def lookup(self, key: Tuple) -> int:
+        """The shard owning ``key``'s ring point (clockwise successor)."""
+        if not self._points:
+            raise PimWorkerError("no alive shards on the ring")
+        point = self._hash(repr(key))
+        i = bisect.bisect_right(self._points, point) % len(self._points)
+        return self._owners[i]
+
+
+@dataclass
+class _WorkerLink:
+    """The router's bookkeeping for one shard's worker process."""
+
+    shard: int
+    process: Any
+    conn: Any
+    alive: bool = True
+    #: Requests this shard has terminally served across rounds.
+    served: int = 0
+
+
+class PimFabric:
+    """Routes requests across N worker processes, each a device replica.
+
+    Construct directly (``PimFabric(SystemConfig(...), workers=4)``) or —
+    the blessed path — via :meth:`repro.stack.context.PimContext.fabric`,
+    which wires the context's profiler/tracer/metrics through.  The
+    submit surface is the new-API one only: :meth:`submit` takes a
+    :class:`~repro.stack.api.Request`; there is no legacy op-string form
+    to deprecate because the fabric never had one.
+    """
+
+    #: Reply-wait bound per shard round; a worker silent this long is
+    #: treated as dead (SIGKILLed and quarantined).
+    reply_timeout_s: float = 600.0
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        workers: int = 2,
+        server_config: Optional[ServerConfig] = None,
+        *,
+        profiler: Optional[Profiler] = None,
+        tracer=None,
+        metrics=None,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.config = config or SystemConfig()
+        self.server_config = (server_config or ServerConfig()).resolve(
+            self.config
+        )
+        self.num_workers = int(workers)
+        self.profiler = profiler
+        self.metrics = metrics
+        self.tracer = tracer
+        if self.tracer is None and self.config.trace:
+            from ..obs import Tracer
+
+            self.tracer = Tracer()
+        #: PimWorkerError log, one entry per quarantined shard (newest last).
+        self.worker_errors: List[PimWorkerError] = []
+        self._mp = multiprocessing.get_context(start_method)
+        self._workers: Dict[int, _WorkerLink] = {
+            shard: self._spawn(shard) for shard in range(self.num_workers)
+        }
+        self._ring = _HashRing(range(self.num_workers))
+        self._pending: List[FabricHandle] = []
+        self._next_rid = 0
+        self._quarantined: List[int] = []
+        self._merged_ids = 0
+        # Test/failure-injection hook: called once per round, after every
+        # dispatch is on the wire and before any reply is collected.  The
+        # worker-kill conservation test SIGKILLs a shard here, which is
+        # the most adversarial deterministic instant (work genuinely
+        # in flight on the doomed worker).
+        self._post_dispatch_hook: Optional[Callable[["PimFabric"], None]] = None
+        #: The in-flight round's shard -> handles map (for hooks/tests).
+        self._round_assignment: Dict[int, List[FabricHandle]] = {}
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _spawn(self, shard: int) -> _WorkerLink:
+        parent, child = self._mp.Pipe()
+        process = self._mp.Process(
+            target=run_worker,
+            args=(child, self.config, self.server_config, shard),
+            name=f"pim-fabric-shard{shard}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        return _WorkerLink(shard=shard, process=process, conn=parent)
+
+    def __enter__(self) -> "PimFabric":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut every worker down and reap the processes. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for link in self._workers.values():
+            if link.alive:
+                try:
+                    link.conn.send(("close",))
+                    if link.conn.poll(10.0):
+                        link.conn.recv()
+                except (OSError, EOFError, BrokenPipeError):
+                    pass
+            try:
+                link.conn.close()
+            except OSError:
+                pass
+            if link.process is not None:
+                link.process.join(timeout=10.0)
+                if link.process.is_alive():  # pragma: no cover - stuck child
+                    link.process.kill()
+                    link.process.join(timeout=10.0)
+            link.alive = False
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def quarantined_shards(self) -> Tuple[int, ...]:
+        """Shards quarantined so far, in quarantine order."""
+        return tuple(self._quarantined)
+
+    def alive_shards(self) -> List[int]:
+        """Shards currently accepting work, ascending."""
+        return sorted(s for s, l in self._workers.items() if l.alive)
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, request: Request) -> FabricHandle:
+        """Queue one :class:`~repro.stack.api.Request`; returns its handle.
+
+        The fabric speaks the redesigned surface only — pass a
+        ``Request``, not the deprecated op-string form (build one with
+        ``Request("gemv", weights=w, a=x, ...)``).
+        """
+        if self._closed:
+            raise PimProgramError("fabric is closed")
+        if not isinstance(request, Request):
+            raise PimProgramError(
+                "PimFabric.submit takes a Request; the legacy "
+                "submit(op, a=..., ...) form exists only on PimServer "
+                "(see docs/MIGRATION.md)"
+            )
+        request.validate()
+        handle = FabricHandle(self._next_rid, request)
+        self._next_rid += 1
+        self._pending.append(handle)
+        return handle
+
+    # -- placement ----------------------------------------------------------------
+
+    def _place(
+        self, handles: List[FabricHandle]
+    ) -> Dict[int, List[FabricHandle]]:
+        """Assign each handle to an alive shard for this round.
+
+        Same-signature requests stay together (they batch and reuse the
+        shard's staged weights); each group's home is its signature's
+        ring owner, unless that would push the shard past the fair share
+        — then the group falls back to the least-loaded shard.  Groups
+        are placed largest-first so the fallback has room to even out
+        hash skew (round makespan is the *max* over shards).
+        """
+        alive = self.alive_shards()
+        groups: Dict[Tuple, List[FabricHandle]] = {}
+        for handle in handles:
+            groups.setdefault(handle.request.signature, []).append(handle)
+        fair = max(1, math.ceil(len(handles) / len(alive)))
+        load = {shard: 0 for shard in alive}
+        assignment: Dict[int, List[FabricHandle]] = {s: [] for s in alive}
+        ordered = sorted(
+            groups.items(), key=lambda kv: (-len(kv[1]), repr(kv[0]))
+        )
+        for signature, group in ordered:
+            shard = self._ring.lookup(signature)
+            if load[shard] + len(group) > fair:
+                shard = min(alive, key=lambda s: (load[s], s))
+            assignment[shard].extend(group)
+            load[shard] += len(group)
+        return {s: items for s, items in assignment.items() if items}
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> ServingProfile:
+        """Serve every pending request; returns the merged profile.
+
+        Dispatches the round to every assigned shard, then collects
+        replies; a shard that died (or errored) mid-round is quarantined
+        and its requests replayed on the survivors — or completed on the
+        host golden path once no shard is left.  The returned profile is
+        the order-free merge of every shard's round profile plus the
+        router's own replay/quarantine/host accounting.
+        """
+        if self._closed:
+            raise PimProgramError("fabric is closed")
+        serving = ServingProfile()
+        todo = self._pending
+        self._pending = []
+        replayed: set = set()
+        while todo and self.alive_shards():
+            assignment = self._place(todo)
+            failed_shards: List[int] = []
+            for shard, items in assignment.items():
+                link = self._workers[shard]
+                wire = [(h.request_id, h.request) for h in items]
+                try:
+                    link.conn.send(("serve", wire))
+                except (OSError, BrokenPipeError):
+                    failed_shards.append(shard)
+            self._round_assignment = assignment
+            if self._post_dispatch_hook is not None:
+                self._post_dispatch_hook(self)
+            replay: List[FabricHandle] = []
+            for shard, items in assignment.items():
+                link = self._workers[shard]
+                payload = (
+                    None if shard in failed_shards else self._collect(link)
+                )
+                if payload is None:
+                    self._quarantine(shard, serving)
+                    for handle in items:
+                        handle.replays += 1
+                        replayed.add(handle.request_id)
+                    serving.replays += len(items)
+                    replay.extend(items)
+                else:
+                    self._fold(link, items, payload, serving)
+            todo = replay
+        for handle in todo:
+            # No shard left to replay on: the router completes the
+            # request itself, bit-exactly, on the host golden path.
+            self._complete_on_host(handle, serving)
+        if self.metrics is not None:
+            serving.to_metrics(self.metrics)
+        if self.profiler is not None:
+            self.profiler.record_serving(serving)
+        return serving
+
+    def _collect(self, link: _WorkerLink) -> Optional[Dict[str, Any]]:
+        """One shard's round reply, or None when the worker is dead/broken."""
+        try:
+            if not link.conn.poll(self.reply_timeout_s):
+                # Wedged worker: treat like a crash (and make it one).
+                self.kill_worker(link.shard)
+                return None
+            kind, body = link.conn.recv()
+        except (EOFError, OSError, ConnectionResetError):
+            return None
+        if kind != "result":
+            return None
+        return body
+
+    def _fold(
+        self,
+        link: _WorkerLink,
+        items: List[FabricHandle],
+        payload: Dict[str, Any],
+        serving: ServingProfile,
+    ) -> None:
+        """Merge one shard's successful round reply into the session."""
+        results = payload["results"]
+        outcomes = payload["outcomes"]
+        submit_errors = payload["submit_errors"]
+        for handle in items:
+            rid = handle.request_id
+            if rid in submit_errors:
+                # The shard refused it at admission; the router still
+                # owes the caller a terminal outcome and a result.
+                self._complete_on_host(handle, serving)
+                continue
+            handle.result = results.get(rid)
+            handle.outcome = outcomes[rid]
+            handle.shard = link.shard
+            link.served += 1
+        serving.merge(payload["profile"])
+        self._merge_trace(payload["spans"], payload["events"])
+
+    def _complete_on_host(
+        self, handle: FabricHandle, serving: ServingProfile
+    ) -> None:
+        """Terminally serve one request on the router's golden path.
+
+        Same bit-exact references the server's host fallback uses
+        (``num_pchs`` of the replica shape fixes the GEMV MAC order).
+        Router-side completion costs zero simulated time — it is the
+        accounting fallback of last resort, not a modelled host.
+        """
+        request = handle.request
+        if request.op == "gemv":
+            handle.result = gemv_reference(
+                request.weights, request.a, self.config.num_pchs
+            )
+        elif request.op == "add":
+            handle.result = add_reference(request.a, request.b)
+        elif request.op == "mul":
+            handle.result = mul_reference(request.a, request.b)
+        elif request.op == "relu":
+            handle.result = relu_reference(request.a)
+        else:  # bn: submit() validated the op set already
+            gamma, beta = request.scalars or (1.0, 0.0)
+            handle.result = bn_reference(request.a, gamma, beta)
+        handle.outcome = "degraded_host"
+        handle.shard = -1
+        serving.record(
+            RequestStats(
+                request_id=handle.request_id,
+                op=request.op,
+                arrival_ns=request.arrival_ns,
+                start_ns=request.arrival_ns,
+                finish_ns=request.arrival_ns,
+                batch_size=1,
+                lane=-1,
+                shard=-1,
+                fallback=True,
+                priority=request.priority,
+                outcome="degraded_host",
+                trace_id=request.trace_id,
+            )
+        )
+
+    # -- failure handling ---------------------------------------------------------
+
+    def kill_worker(self, shard: int) -> None:
+        """SIGKILL ``shard``'s worker process (failure injection).
+
+        The deterministic way to exercise the quarantine/replay path:
+        call from a ``_post_dispatch_hook`` to kill a worker with a
+        round genuinely in flight.  No-op for already-dead workers.
+        """
+        link = self._workers[shard]
+        process = link.process
+        if process is not None and process.is_alive():
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=30.0)
+
+    def _quarantine(self, shard: int, serving: ServingProfile) -> None:
+        """Retire a dead/errored shard, mirroring channel quarantine."""
+        link = self._workers[shard]
+        if not link.alive:
+            return
+        link.alive = False
+        self._ring.remove(shard)
+        self._quarantined.append(shard)
+        serving.quarantined_shards.append(shard)
+        error = PimWorkerError(
+            f"shard {shard} worker died or errored mid-round; quarantined "
+            f"and its requests replayed",
+            shard=shard,
+        )
+        self.worker_errors.append(error)
+        try:
+            link.conn.close()
+        except OSError:
+            pass
+        if link.process is not None:
+            if link.process.is_alive():
+                link.process.kill()
+            link.process.join(timeout=30.0)
+        if self.tracer is not None:
+            self.tracer.event(
+                "quarantine:shard", at_ns=0.0, category="fabric", shard=shard
+            )
+
+    # -- trace merging ------------------------------------------------------------
+
+    def _merge_trace(self, spans: List, events: List) -> None:
+        """Fold one shard round's spans/events into the router's tracer.
+
+        Worker span ids restart at 1 every round; the router shifts each
+        batch past every id it has already merged (and past the host
+        tracer's own counter), so parent/child links stay intact and ids
+        stay unique across shards, rounds, and host-side spans.
+        """
+        if self.tracer is None or not (spans or events):
+            return
+        base = max(self._merged_ids, self.tracer._next_id - 1)
+        top = base
+        for span in spans:
+            span.span_id += base
+            if span.parent_id is not None:
+                span.parent_id += base
+            top = max(top, span.span_id)
+        for event in events:
+            if event.parent_id is not None:
+                object.__setattr__(event, "parent_id", event.parent_id + base)
+        self.tracer.spans.extend(spans)
+        self.tracer.events.extend(events)
+        self._merged_ids = top
+        self.tracer._next_id = max(self.tracer._next_id, top + 1)

@@ -119,6 +119,8 @@ class RequestStats:
     finish_ns: float
     batch_size: int = 1
     lane: int = 0
+    # Which fabric shard served the request (0 outside a fabric).
+    shard: int = 0
     # How many times this request's batch was retried after a fault, and
     # whether it ultimately completed on the host golden path.
     retries: int = 0
@@ -128,6 +130,8 @@ class RequestStats:
     # "degraded_host", or "failed".
     priority: int = 0
     outcome: str = "completed"
+    # Caller-supplied correlation id (None when the caller set none).
+    trace_id: Optional[str] = None
 
     @property
     def wait_ns(self) -> float:
@@ -160,12 +164,17 @@ def _percentile(values: List[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class BreakerTransition:
-    """One circuit-breaker state change of one serving lane."""
+    """One circuit-breaker state change of one serving lane.
+
+    ``shard`` names the fabric worker whose lane transitioned (0 outside
+    a fabric), so merged multi-shard logs stay attributable.
+    """
 
     lane: int
     previous: str
     state: str
     at_ns: float
+    shard: int = 0
 
 
 @dataclass
@@ -187,6 +196,11 @@ class ServingProfile:
     fallbacks: int = 0
     # Channels the server retired through driver.quarantine_channels().
     quarantined_channels: List[int] = field(default_factory=list)
+    # Fabric shards quarantined after their worker process died (see
+    # repro.stack.fabric) and requests replayed off dead shards onto
+    # survivors or the host golden path.
+    quarantined_shards: List[int] = field(default_factory=list)
+    replays: int = 0
     # Background-scrub activity between batches.
     scrubs: int = 0
     scrub_corrected: int = 0
@@ -226,11 +240,12 @@ class ServingProfile:
             self.degraded += 1
 
     def record_breaker(
-        self, lane: int, previous: str, state: str, at_ns: float
+        self, lane: int, previous: str, state: str, at_ns: float,
+        shard: int = 0,
     ) -> None:
         """Log one circuit-breaker state change of ``lane``."""
         self.breaker_transitions.append(
-            BreakerTransition(lane, previous, state, at_ns)
+            BreakerTransition(lane, previous, state, at_ns, shard=shard)
         )
         if state == "open":
             self.breaker_opens += 1
@@ -245,6 +260,15 @@ class ServingProfile:
         back-to-back on the same device, so ``makespan_cycles`` and the
         per-channel busy numerators add, while ``makespan_ns`` (the latest
         finish on the serving clock) takes the max.
+
+        Merging is associative and commutative: the scalar folds are
+        sums/maxes, and the three event lists (requests, breaker
+        transitions, quarantined channels/shards) are re-sorted into a
+        canonical total order after every merge, so N shard profiles
+        combined in *any* order — pairwise, left fold, right fold —
+        produce identical counters, percentiles, and transition logs.
+        The fabric relies on this to merge per-shard profiles as workers
+        finish, in whatever order they finish.
         """
         self.requests.extend(other.requests)
         self.makespan_ns = max(self.makespan_ns, other.makespan_ns)
@@ -254,6 +278,8 @@ class ServingProfile:
         self.retries += other.retries
         self.fallbacks += other.fallbacks
         self.quarantined_channels.extend(other.quarantined_channels)
+        self.quarantined_shards.extend(other.quarantined_shards)
+        self.replays += other.replays
         self.scrubs += other.scrubs
         self.scrub_corrected += other.scrub_corrected
         self.scrub_uncorrectable += other.scrub_uncorrectable
@@ -270,6 +296,15 @@ class ServingProfile:
             self.channel_busy_cycles[p] = (
                 self.channel_busy_cycles.get(p, 0) + busy
             )
+        # Canonical total orders make list-carrying merges order-free.
+        self.requests.sort(
+            key=lambda r: (r.arrival_ns, r.finish_ns, r.shard, r.request_id)
+        )
+        self.breaker_transitions.sort(
+            key=lambda t: (t.at_ns, t.shard, t.lane, t.previous, t.state)
+        )
+        self.quarantined_channels.sort()
+        self.quarantined_shards.sort()
         return self
 
     def to_metrics(self, registry) -> None:
@@ -290,6 +325,8 @@ class ServingProfile:
             "serving.retry_budget.exhausted": self.retry_budget_exhausted,
             "serving.breaker.opens": self.breaker_opens,
             "serving.breaker.short_circuits": self.breaker_short_circuits,
+            "serving.replays": self.replays,
+            "serving.quarantined.shards": len(self.quarantined_shards),
         }
         for name, value in scalars.items():
             registry.counter(name).inc(value)
@@ -445,6 +482,13 @@ class ServingProfile:
                     f"  prio {priority:>3d} p50/p95      : "
                     f"{pcts[0.5] / 1000:.1f} / {pcts[0.95] / 1000:.1f} us"
                 )
+        if self.quarantined_shards or self.replays:
+            shards = (
+                ",".join(str(s) for s in sorted(set(self.quarantined_shards)))
+                or "-"
+            )
+            lines.append(f"  quarantined shards     : {shards}")
+            lines.append(f"  requests replayed      : {self.replays}")
         if (
             self.retries
             or self.fallbacks

@@ -70,11 +70,11 @@ Every submitted request ends in exactly one terminal
 
 from __future__ import annotations
 
-import hashlib
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -85,6 +85,7 @@ from ..errors import (
     PimOverloadError,
     PimProgramError,
 )
+from .api import Request, ServerConfig, request_signature
 from .blas import (
     add_reference,
     bn_reference,
@@ -102,10 +103,21 @@ from .kernels import (
 from .profiler import Profiler, RequestStats, ServingProfile
 from .runtime import PimSystem
 
-__all__ = ["PimRequest", "PimServer", "RequestOutcome"]
+__all__ = ["PimRequest", "PimServer", "Request", "RequestOutcome", "ServerConfig"]
 
 #: Valid ``admission`` policies for a bounded lane queue.
 ADMISSION_POLICIES = ("block", "shed", "degrade")
+
+
+def _trace_attrs(request: "PimRequest") -> Dict[str, str]:
+    """Span attributes carrying the caller's correlation id.
+
+    Empty when the request has no ``trace_id``, so traces from callers
+    that never set one stay byte-identical to the pre-fabric exports.
+    """
+    if request.trace_id is None:
+        return {}
+    return {"trace_id": request.trace_id}
 
 
 class RequestOutcome(str, Enum):
@@ -153,6 +165,9 @@ class PimRequest:
     # (None = never expires).
     priority: int = 0
     deadline_ns: Optional[float] = None
+    # Caller-supplied correlation id, stamped on every span this request
+    # produces (the key that reassembles a request across fabric shards).
+    trace_id: Optional[str] = None
     # Filled in by the server.
     result: Optional[np.ndarray] = None
     report: object = None
@@ -160,6 +175,8 @@ class PimRequest:
     finish_ns: float = 0.0
     batch_size: int = 1
     lane: int = 0
+    # Fabric shard that served this request (0 outside a fabric).
+    shard: int = 0
     # Fault-tolerance outcome: device retries consumed, and whether the
     # request completed on the host golden path.
     retries: int = 0
@@ -184,21 +201,9 @@ class PimRequest:
         which keeps results bit-exact by construction.
         """
         if self._signature is None:
-            if self.op == "gemv":
-                w = np.ascontiguousarray(self.weights)
-                digest = hashlib.sha1(w.tobytes()).hexdigest()
-                self._signature = ("gemv", w.shape, str(w.dtype), digest)
-            else:
-                scalar_key = (
-                    None
-                    if self.scalars is None
-                    else tuple(float(s) for s in self.scalars)
-                )
-                self._signature = (
-                    self.op,
-                    int(np.asarray(self.a).size),
-                    scalar_key,
-                )
+            self._signature = request_signature(
+                self.op, a=self.a, weights=self.weights, scalars=self.scalars
+            )
         return self._signature
 
     @property
@@ -226,6 +231,8 @@ class PimRequest:
             retries=self.retries,
             fallback=self.fallback,
             priority=self.priority,
+            shard=self.shard,
+            trace_id=self.trace_id,
             outcome=(
                 self.outcome.value
                 if self.outcome is not None
@@ -261,14 +268,37 @@ class _Lane:
     breaker_open_until_ns: float = 0.0
 
 
+#: Legacy keyword arguments of the pre-ServerConfig PimServer.__init__,
+#: mapped 1:1 onto ServerConfig fields by the deprecation shim.
+_LEGACY_SERVER_KWARGS = (
+    "lanes",
+    "max_batch",
+    "simulate_pchs",
+    "max_retries",
+    "scrub_interval",
+    "queue_depth",
+    "admission",
+    "aging_ns",
+    "retry_budget",
+    "retry_refill",
+    "backoff_base_ns",
+    "backoff_jitter",
+    "breaker_threshold",
+    "breaker_cooldown_ns",
+    "seed",
+)
+
+
 class PimServer:
     """Serves concurrent PIM requests with batching and lane pipelining.
 
     ::
 
-        server = PimServer(system, lanes=2, max_batch=8)
+        server = PimServer(system, ServerConfig(lanes=2, max_batch=8))
         for i in range(64):
-            server.submit("gemv", weights=w, a=x[i], arrival_ns=i * 2000.0)
+            server.submit(
+                Request("gemv", weights=w, a=x[i], arrival_ns=i * 2000.0)
+            )
         profile = server.run()
         print("\\n".join(profile.render()))
 
@@ -277,101 +307,82 @@ class PimServer:
     independent operators pipeline across channel sets instead of
     serialising behind a global drain.
 
-    The overload-protection knobs (``queue_depth``, ``admission``,
-    ``aging_ns``, ``retry_budget``/``retry_refill``,
-    ``backoff_base_ns``/``backoff_jitter``,
-    ``breaker_threshold``/``breaker_cooldown_ns``, ``seed``) default to
-    the system config's values; see the module docstring and
-    ``docs/API.md`` for their semantics.  ``queue_depth=0`` forces an
-    unbounded queue even when the config bounds it.
+    Configuration is one :class:`~repro.stack.api.ServerConfig`; knobs
+    left at ``None`` inherit the system config's values (see the module
+    docstring and ``docs/API.md`` for their semantics, and
+    ``docs/MIGRATION.md`` for the old-to-new mapping).  ``queue_depth=0``
+    forces an unbounded queue even when the config bounds it.  The
+    historical keyword form ``PimServer(system, lanes=2, queue_depth=8,
+    ...)`` still works behind a ``DeprecationWarning``.
     """
 
     def __init__(
         self,
         system: PimSystem,
-        lanes: int = 2,
-        max_batch: int = 8,
-        simulate_pchs: Optional[int] = None,
+        config: Optional[ServerConfig] = None,
+        *,
         profiler: Optional[Profiler] = None,
-        max_retries: int = 2,
-        scrub_interval: Optional[int] = None,
-        queue_depth: Optional[int] = None,
-        admission: Optional[str] = None,
-        aging_ns: Optional[float] = None,
-        retry_budget: Optional[float] = None,
-        retry_refill: Optional[float] = None,
-        backoff_base_ns: Optional[float] = None,
-        backoff_jitter: Optional[float] = None,
-        breaker_threshold: Optional[int] = None,
-        breaker_cooldown_ns: Optional[float] = None,
-        seed: Optional[int] = None,
+        **legacy,
     ):
         driver = getattr(system, "driver", None)
         if driver is None:
             raise TypeError("PimServer needs a PimSystem with a device driver")
-        if lanes < 1:
+        if legacy:
+            unknown = set(legacy) - set(_LEGACY_SERVER_KWARGS)
+            if unknown:
+                raise TypeError(f"unexpected arguments: {sorted(unknown)}")
+            if config is not None:
+                raise TypeError(
+                    "pass either a ServerConfig or legacy kwargs, not both"
+                )
+            warnings.warn(
+                "PimServer(lanes=..., max_batch=..., ...) is deprecated; "
+                "pass a ServerConfig (see docs/MIGRATION.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = ServerConfig(**legacy)
+        elif config is None:
+            config = ServerConfig()
+        config = config.resolve(getattr(system, "config", None))
+        if config.lanes < 1:
             raise ValueError("need at least one lane")
         free = len(driver.channels_free)
-        per_lane, extra = divmod(free, lanes)
+        per_lane, extra = divmod(free, config.lanes)
         if per_lane < 1:
             raise ValueError(
-                f"cannot split {free} free channels into {lanes} lanes"
+                f"cannot split {free} free channels into {config.lanes} lanes"
             )
-        if max_batch < 1:
+        if config.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
-        if max_retries < 0:
+        if config.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
-        self.sys = system
-        self.max_batch = max_batch
-        self.max_retries = max_retries
-        config = getattr(system, "config", None)
-
-        def from_config(value, attr, fallback):
-            if value is not None:
-                return value
-            if config is not None:
-                return getattr(config, attr)
-            return fallback
-
-        if simulate_pchs is None:
-            simulate_pchs = config.simulate_pchs if config is not None else None
-        if scrub_interval is None:
-            scrub_interval = config.scrub_interval if config is not None else 0
-        queue_depth = from_config(queue_depth, "queue_depth", None)
-        if queue_depth is not None and queue_depth <= 0:
-            queue_depth = None  # 0 forces the unbounded historical mode
-        admission = from_config(admission, "admission", "block")
-        if admission not in ADMISSION_POLICIES:
+        if config.admission not in ADMISSION_POLICIES:
             raise PimProgramError(
                 f"admission must be one of {ADMISSION_POLICIES}, "
-                f"got {admission!r}"
+                f"got {config.admission!r}"
             )
-        self.simulate_pchs = simulate_pchs
-        self.scrub_interval = scrub_interval
+        self.sys = system
+        #: The fully-resolved serving configuration of this server.
+        self.server_config = config
+        lanes = config.lanes
+        self.max_batch = config.max_batch
+        self.max_retries = config.max_retries
+        self.simulate_pchs = config.simulate_pchs
+        self.scrub_interval = config.scrub_interval
+        queue_depth = config.queue_depth
+        if queue_depth is not None and queue_depth <= 0:
+            queue_depth = None  # 0 forces the unbounded historical mode
         self.queue_depth = queue_depth
-        self.admission = admission
-        self.aging_ns = float(from_config(aging_ns, "aging_ns", 50_000.0))
-        self.retry_budget = float(
-            from_config(retry_budget, "retry_budget", 8.0)
-        )
-        self.retry_refill = float(
-            from_config(retry_refill, "retry_refill", 0.5)
-        )
-        self.backoff_base_ns = float(
-            from_config(backoff_base_ns, "backoff_base_ns", 2_000.0)
-        )
-        self.backoff_jitter = float(
-            from_config(backoff_jitter, "backoff_jitter", 0.5)
-        )
-        self.breaker_threshold = int(
-            from_config(breaker_threshold, "breaker_threshold", 3)
-        )
-        self.breaker_cooldown_ns = float(
-            from_config(breaker_cooldown_ns, "breaker_cooldown_ns", 100_000.0)
-        )
-        self._rng = np.random.default_rng(
-            from_config(seed, "server_seed", 0)
-        )
+        self.admission = config.admission
+        self.aging_ns = float(config.aging_ns)
+        self.retry_budget = float(config.retry_budget)
+        self.retry_refill = float(config.retry_refill)
+        self.backoff_base_ns = float(config.backoff_base_ns)
+        self.backoff_jitter = float(config.backoff_jitter)
+        self.breaker_threshold = int(config.breaker_threshold)
+        self.breaker_cooldown_ns = float(config.breaker_cooldown_ns)
+        self._rng = np.random.default_rng(config.seed)
         self._retry_tokens = self.retry_budget
         self.injector = getattr(system, "fault_injector", None)
         self.profiler = profiler
@@ -446,7 +457,7 @@ class PimServer:
 
     def submit(
         self,
-        op: str,
+        request: Union[Request, str],
         a: Optional[np.ndarray] = None,
         b: Optional[np.ndarray] = None,
         weights: Optional[np.ndarray] = None,
@@ -454,8 +465,17 @@ class PimServer:
         arrival_ns: float = 0.0,
         priority: int = 0,
         deadline_ns: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> PimRequest:
-        """Queue one request; returns the (not yet served) request object.
+        """Queue one request; returns the (not yet served) request handle.
+
+        The blessed form takes one :class:`~repro.stack.api.Request`::
+
+            server.submit(Request("gemv", weights=w, a=x, priority=1))
+
+        The historical form ``submit("gemv", weights=w, a=x, ...)`` with
+        a bare op string and operand keywords still works behind a
+        ``DeprecationWarning`` (see ``docs/MIGRATION.md``).
 
         ``priority`` dispatches higher classes first (aging prevents
         starvation); ``deadline_ns`` is an absolute simulated-clock bound
@@ -471,26 +491,42 @@ class PimServer:
         """
         if self._closed:
             raise PimProgramError("server is closed")
-        if op == "gemv":
-            if weights is None or a is None:
-                raise PimProgramError("gemv needs weights and an input vector")
-        elif op in ELEMENTWISE_OPS:
-            if a is None:
-                raise PimProgramError(f"{op} needs an input vector")
-            if ELEMENTWISE_OPS[op].uses_second_operand and b is None:
-                raise PimProgramError(f"{op} needs a second operand")
+        if isinstance(request, Request):
+            req = request
         else:
-            raise PimProgramError(f"unknown op {op!r}")
+            warnings.warn(
+                "submit(op, a=..., weights=..., ...) is deprecated; pass a "
+                "Request (see docs/MIGRATION.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            req = Request(
+                op=request,
+                a=a,
+                b=b,
+                weights=weights,
+                scalars=scalars,
+                arrival_ns=float(arrival_ns),
+                priority=int(priority),
+                deadline_ns=(
+                    None if deadline_ns is None else float(deadline_ns)
+                ),
+                trace_id=trace_id,
+            )
+        req.validate()
         request = PimRequest(
             request_id=self._next_id,
-            op=op,
-            arrival_ns=float(arrival_ns),
-            a=a,
-            b=b,
-            weights=weights,
-            scalars=scalars,
-            priority=int(priority),
-            deadline_ns=None if deadline_ns is None else float(deadline_ns),
+            op=req.op,
+            arrival_ns=float(req.arrival_ns),
+            a=req.a,
+            b=req.b,
+            weights=req.weights,
+            scalars=req.scalars,
+            priority=int(req.priority),
+            deadline_ns=(
+                None if req.deadline_ns is None else float(req.deadline_ns)
+            ),
+            trace_id=req.trace_id,
         )
         lane = self._lane_for(request.signature)
         if (
@@ -676,6 +712,7 @@ class PimServer:
                 request_id=request.request_id,
                 outcome=outcome.value,
                 priority=request.priority,
+                **_trace_attrs(request),
             )
 
     def _degrade_to_host(
@@ -696,6 +733,7 @@ class PimServer:
                 lane=lane.index,
                 request_id=request.request_id,
                 priority=request.priority,
+                **_trace_attrs(request),
             )
         report = self._execute_host([request])
         request.report = report
@@ -793,6 +831,7 @@ class PimServer:
                 lane=lane.index,
                 request_id=head.request_id,
                 priority=head.priority,
+                **_trace_attrs(head),
             )
             dispatch_span = tracer.begin(
                 "dispatch",
@@ -840,6 +879,7 @@ class PimServer:
                     outcome=outcome.value,
                     priority=member.priority,
                     batch_span=dispatch_span.span_id,
+                    **_trace_attrs(member),
                 )
         lane.ready_ns = finish
         serving.batches += 1

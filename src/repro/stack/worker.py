@@ -1,0 +1,191 @@
+"""The shard-side half of the serving fabric: one process, one device.
+
+:func:`run_worker` is the entry point a :class:`~repro.stack.fabric.PimFabric`
+spawns once per shard.  Each worker owns a *complete* platform — a
+:class:`~repro.stack.context.PimContext` (hence a full simulated device)
+plus a :class:`~repro.stack.server.PimServer` — configured identically to
+every other shard.  Identical device shapes matter: the GEMV golden path's
+FP16 MAC order depends on the device's channel count, so full-device
+replicas keep results bit-exact no matter which shard serves a request
+(shards replicate the device, they do not slice it).
+
+The wire protocol is deliberately tiny — picklable tuples over one
+``multiprocessing`` pipe, strictly request/reply from the router's side:
+
+* ``("serve", [(rid, Request), ...])`` → ``("result", payload)`` where the
+  payload carries per-rid results and outcomes, the round's
+  :class:`~repro.stack.profiler.ServingProfile` (request ids rewritten to
+  fabric rids, channels/transitions rewritten to the shard's global ids),
+  and the round's trace spans/events (rids rewritten likewise).  A serve
+  round that fails wholesale replies ``("error", message)`` instead.
+* ``("ping",)`` → ``("pong", shard)`` — liveness probe.
+* ``("close",)`` → ``("closed", shard)``, then the worker releases its
+  device and exits.
+* ``("kill",)`` → no reply: the worker drops the connection and dies
+  abruptly — the in-process test double for SIGKILL.
+
+Because the loop only touches the connection's ``recv``/``send`` API, the
+same function can be driven by a thread over a local pipe pair (how the
+unit tests exercise it) or by a real child process (how the fabric runs
+it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..errors import PimError
+from .api import Request, ServerConfig
+from .profiler import BreakerTransition, ServingProfile
+
+__all__ = ["run_worker", "serve_round"]
+
+
+def serve_round(ctx, server, shard: int, items: List[Tuple[int, "Request"]]) -> Dict[str, Any]:
+    """Serve one batch of ``(rid, Request)`` items; build the reply payload.
+
+    Requests the server refuses at submit time (queue full in ``"block"``
+    mode, malformed request) are reported per-rid in ``submit_errors`` —
+    the router completes those on the host golden path so the fabric's
+    conservation invariant (exactly one terminal outcome per request)
+    never depends on a worker's admission policy.
+    """
+    num_pchs = server.sys.num_pchs
+    handles = {}
+    rid_of: Dict[int, int] = {}
+    submit_errors: Dict[int, str] = {}
+    for rid, request in items:
+        try:
+            handle = server.submit(request)
+        except PimError as err:
+            submit_errors[rid] = str(err)
+        else:
+            handles[rid] = handle
+            rid_of[handle.request_id] = rid
+    profile = server.run()
+    _globalise_profile(profile, shard, num_pchs, rid_of)
+    payload: Dict[str, Any] = {
+        "shard": shard,
+        "results": {rid: h.result for rid, h in handles.items()},
+        "outcomes": {rid: h.outcome.value for rid, h in handles.items()},
+        "submit_errors": submit_errors,
+        "profile": profile,
+        "spans": [],
+        "events": [],
+    }
+    tracer = getattr(ctx, "tracer", None)
+    if tracer is not None:
+        for span in tracer.spans:
+            span.shard = shard
+            internal = span.attrs.get("request_id")
+            if internal in rid_of:
+                span.attrs["request_id"] = rid_of[internal]
+        events = []
+        for event in tracer.events:
+            attrs = dict(event.attrs)
+            internal = attrs.get("request_id")
+            if internal in rid_of:
+                attrs["request_id"] = rid_of[internal]
+            events.append(
+                type(event)(
+                    name=event.name,
+                    at_ns=event.at_ns,
+                    category=event.category,
+                    parent_id=event.parent_id,
+                    lane=event.lane,
+                    channel=event.channel,
+                    shard=shard,
+                    attrs=attrs,
+                )
+            )
+        payload["spans"] = list(tracer.spans)
+        payload["events"] = events
+        # Each round ships and forgets its trace, so span ids restart at
+        # 1 per round; the router offsets them into one global id space.
+        tracer.reset()
+    return payload
+
+
+def _globalise_profile(
+    profile: ServingProfile,
+    shard: int,
+    num_pchs: int,
+    rid_of: Dict[int, int],
+) -> None:
+    """Rewrite a shard-local profile into the fabric's global id spaces.
+
+    Request ids become fabric rids, channel indices become
+    ``shard * num_pchs + local`` (each shard replicates the device, so
+    local channel 0 of shard 2 is a different physical resource than
+    local channel 0 of shard 0), and breaker transitions are stamped with
+    the shard.
+    """
+    for stats in profile.requests:
+        stats.request_id = rid_of.get(stats.request_id, stats.request_id)
+        stats.shard = shard
+    base = shard * num_pchs
+    profile.channel_busy_cycles = {
+        base + p: busy for p, busy in profile.channel_busy_cycles.items()
+    }
+    profile.quarantined_channels = [
+        base + p for p in profile.quarantined_channels
+    ]
+    profile.breaker_transitions = [
+        BreakerTransition(
+            lane=t.lane,
+            previous=t.previous,
+            state=t.state,
+            at_ns=t.at_ns,
+            shard=shard,
+        )
+        for t in profile.breaker_transitions
+    ]
+
+
+def run_worker(conn, system_config, server_config: ServerConfig, shard: int) -> None:
+    """Serve fabric messages over ``conn`` until closed, killed, or EOF.
+
+    Builds the shard's platform (one ``PimContext`` over
+    ``system_config``, one ``PimServer`` over ``server_config``), then
+    loops on the protocol described in the module docstring.  Any
+    exception a serve round raises is reported as an ``("error", ...)``
+    reply — the router reacts by quarantining the shard — rather than
+    crashing silently.
+    """
+    from .context import PimContext  # local: fabric->worker->context cycle
+
+    ctx = PimContext(system_config)
+    server = ctx.server(server_config)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "serve":
+                try:
+                    payload = serve_round(ctx, server, shard, message[1])
+                except Exception as err:  # noqa: BLE001 - shipped to router
+                    conn.send(("error", f"{type(err).__name__}: {err}"))
+                else:
+                    conn.send(("result", payload))
+            elif kind == "ping":
+                conn.send(("pong", shard))
+            elif kind == "kill":
+                # Abrupt death on request: no reply, no cleanup handshake.
+                break
+            elif kind == "close":
+                conn.send(("closed", shard))
+                break
+            else:
+                conn.send(("error", f"unknown message {message[0]!r}"))
+    finally:
+        try:
+            ctx.close()
+        except PimError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -1,0 +1,307 @@
+"""Tests for the sharded serving fabric and the serving-tier shims.
+
+The worker-kill conservation test is the load-bearing one: a 4-worker
+fabric loses a worker to SIGKILL mid-round (after dispatch, before
+collection — the most adversarial deterministic instant) and every
+submitted request must still end in exactly one terminal outcome with a
+bit-exact result, with the dead shard reported as quarantined.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import PimProgramError, PimWorkerError
+from repro.obs.export import SHARD_PID_BASE, chrome_trace, validate_chrome_trace
+from repro.stack import (
+    PimContext,
+    PimFabric,
+    PimServer,
+    PimSystem,
+    Request,
+    ServerConfig,
+    SystemConfig,
+    gemv_reference,
+)
+
+CONFIG = SystemConfig(num_pchs=2, num_rows=256, simulate_pchs=1, server_seed=7)
+
+
+def rand(shape, seed, scale=0.25):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal(shape) * scale).astype(np.float16)
+
+
+def gemv_stream(count, distinct, seed=7):
+    """``count`` gemv Requests over ``distinct`` weight matrices."""
+    rng = np.random.default_rng(seed)
+    weights = [rand((16, 8), 1000 + k) for k in range(distinct)]
+    arrivals = np.cumsum(rng.exponential(300.0, size=count))
+    return [
+        Request(
+            "gemv", weights=weights[i % distinct], a=rand(8, i),
+            arrival_ns=float(arrivals[i]), trace_id=f"req{i}",
+        )
+        for i in range(count)
+    ]
+
+
+def assert_bit_exact(handles):
+    for handle in handles:
+        golden = gemv_reference(
+            handle.request.weights, handle.request.a, CONFIG.num_pchs
+        )
+        assert handle.result is not None
+        assert np.array_equal(handle.result, golden)
+
+
+class TestFabricServing:
+    def test_serves_bit_exact_across_shards(self):
+        items = gemv_stream(16, 4)
+        with PimFabric(CONFIG, workers=2) as fabric:
+            handles = [fabric.submit(r) for r in items]
+            profile = fabric.run()
+        assert_bit_exact(handles)
+        assert all(h.outcome == "completed" for h in handles)
+        assert sum(profile.outcomes().values()) == len(handles)
+        assert {h.shard for h in handles} == {0, 1}
+
+    def test_same_signature_requests_share_a_shard(self):
+        items = gemv_stream(12, 3)
+        with PimFabric(CONFIG, workers=3) as fabric:
+            handles = [fabric.submit(r) for r in items]
+            fabric.run()
+        by_signature = {}
+        for handle in handles:
+            by_signature.setdefault(handle.request.signature, set()).add(
+                handle.shard
+            )
+        assert all(len(shards) == 1 for shards in by_signature.values())
+
+    def test_submit_rejects_legacy_op_string(self):
+        with PimFabric(CONFIG, workers=1) as fabric:
+            with pytest.raises(PimProgramError, match="takes a Request"):
+                fabric.submit("gemv")
+
+    def test_submit_after_close_rejected(self):
+        fabric = PimFabric(CONFIG, workers=1)
+        fabric.close()
+        with pytest.raises(PimProgramError, match="closed"):
+            fabric.submit(Request("relu", a=rand(8, 0)))
+
+    def test_context_fabric_entry_point_merges_into_profiler(self):
+        items = gemv_stream(8, 2)
+        with PimContext(CONFIG) as ctx:
+            fabric = ctx.fabric(workers=2)
+            handles = [fabric.submit(r) for r in items]
+            fabric.run()
+            assert ctx.profiler.serving is not None
+            assert ctx.profiler.serving.num_requests == len(items)
+            text = "\n".join(ctx.report())
+            assert "serving profile" in text
+        assert_bit_exact(handles)
+
+
+class TestWorkerKillConservation:
+    """Satellite: SIGKILL one of four workers mid-run; nothing is lost."""
+
+    def kill_busiest(self, fabric):
+        busiest = max(
+            (s for s in fabric.alive_shards() if fabric._round_assignment.get(s)),
+            key=lambda s: len(fabric._round_assignment[s]),
+        )
+        fabric.kill_worker(busiest)
+        fabric._post_dispatch_hook = None
+        self.victim = busiest
+
+    def test_every_request_exactly_one_terminal_outcome(self):
+        items = gemv_stream(24, 6)
+        with PimFabric(CONFIG, workers=4) as fabric:
+            handles = [fabric.submit(r) for r in items]
+            fabric._post_dispatch_hook = self.kill_busiest
+            profile = fabric.run()
+        assert all(h.outcome is not None for h in handles)
+        assert sum(profile.outcomes().values()) == len(handles)
+        assert_bit_exact(handles)
+        assert fabric.quarantined_shards == (self.victim,)
+        assert profile.quarantined_shards == [self.victim]
+        assert profile.replays > 0
+        assert any(h.replays > 0 for h in handles)
+        assert all(h.shard != self.victim for h in handles)
+        assert len(fabric.worker_errors) == 1
+        assert isinstance(fabric.worker_errors[0], PimWorkerError)
+        assert fabric.worker_errors[0].shard == self.victim
+
+    def test_all_workers_dead_completes_on_host(self):
+        items = gemv_stream(6, 2)
+        with PimFabric(CONFIG, workers=2) as fabric:
+            handles = [fabric.submit(r) for r in items]
+
+            def kill_everything(fab):
+                for shard in list(fab.alive_shards()):
+                    fab.kill_worker(shard)
+                fab._post_dispatch_hook = None
+
+            fabric._post_dispatch_hook = kill_everything
+            profile = fabric.run()
+        assert_bit_exact(handles)
+        assert all(h.outcome == "degraded_host" for h in handles)
+        assert all(h.shard == -1 for h in handles)
+        assert sum(profile.outcomes().values()) == len(handles)
+        assert sorted(profile.quarantined_shards) == [0, 1]
+
+    def test_replay_lands_on_survivors(self):
+        items = gemv_stream(12, 4)
+        with PimFabric(CONFIG, workers=3) as fabric:
+            handles = [fabric.submit(r) for r in items]
+            fabric._post_dispatch_hook = self.kill_busiest
+            fabric.run()
+            survivors = set(fabric.alive_shards())
+        replayed = [h for h in handles if h.replays > 0]
+        assert replayed
+        assert all(h.shard in survivors for h in replayed)
+
+
+class TestFabricTraceMerge:
+    """Satellite: spans from every worker reassemble into one valid trace."""
+
+    def run_traced(self, kill=False):
+        config = CONFIG.replace(trace=True)
+        items = gemv_stream(12, 4)
+        fabric = PimFabric(config, workers=3)
+        try:
+            handles = [fabric.submit(r) for r in items]
+            if kill:
+                def hook(fab):
+                    fab.kill_worker(fab.alive_shards()[0])
+                    fab._post_dispatch_hook = None
+                fabric._post_dispatch_hook = hook
+            fabric.run()
+        finally:
+            fabric.close()
+        return fabric, handles
+
+    def test_merged_trace_validates(self):
+        fabric, handles = self.run_traced()
+        doc = chrome_trace(fabric.tracer)
+        assert validate_chrome_trace(doc) == []
+
+    def test_one_process_row_per_shard(self):
+        fabric, handles = self.run_traced()
+        doc = chrome_trace(fabric.tracer)
+        span_pids = {
+            e["pid"] for e in doc["traceEvents"] if e["ph"] in ("X", "i")
+        }
+        shards = {h.shard for h in handles}
+        assert {SHARD_PID_BASE + s for s in shards} <= span_pids
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        for shard in shards:
+            assert (SHARD_PID_BASE + shard, f"shard{shard}") in names
+
+    def test_trace_ids_thread_through_workers(self):
+        fabric, handles = self.run_traced()
+        seen = {
+            span.attrs["trace_id"]
+            for span in fabric.tracer.spans
+            if "trace_id" in span.attrs
+        }
+        assert {f"req{i}" for i in range(12)} <= seen
+
+    def test_span_ids_unique_after_multi_shard_merge(self):
+        fabric, handles = self.run_traced()
+        ids = [span.span_id for span in fabric.tracer.spans]
+        assert len(ids) == len(set(ids))
+        known = set(ids)
+        assert all(
+            span.parent_id is None or span.parent_id in known
+            for span in fabric.tracer.spans
+        )
+
+    def test_quarantine_emits_event_and_trace_still_validates(self):
+        fabric, handles = self.run_traced(kill=True)
+        assert_bit_exact(handles)
+        doc = chrome_trace(fabric.tracer)
+        assert validate_chrome_trace(doc) == []
+        assert any(
+            event.name == "quarantine:shard" for event in fabric.tracer.events
+        )
+
+
+class TestServingDeprecationShims:
+    """Satellite: the old serving call forms warn once and keep working."""
+
+    def test_server_legacy_kwargs_warn_and_work(self):
+        system = PimSystem(CONFIG)
+        with pytest.warns(DeprecationWarning, match="MIGRATION"):
+            server = PimServer(system, lanes=2, max_batch=4)
+        assert server.server_config.lanes == 2
+        assert server.server_config.max_batch == 4
+        server.close()
+
+    def test_server_config_form_does_not_warn(self):
+        system = PimSystem(CONFIG)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            server = PimServer(system, ServerConfig(lanes=2))
+        server.close()
+
+    def test_server_mixing_forms_rejected(self):
+        system = PimSystem(CONFIG)
+        with pytest.raises(TypeError, match="not both"):
+            PimServer(system, ServerConfig(), lanes=2)
+
+    def test_server_unknown_kwargs_rejected(self):
+        system = PimSystem(CONFIG)
+        with pytest.raises(TypeError):
+            PimServer(system, turbo=True)
+
+    def test_submit_legacy_op_string_warns_and_matches_request_form(self):
+        w, x = rand((16, 8), 0), rand(8, 1)
+        system = PimSystem(CONFIG)
+        with PimServer(system, ServerConfig(lanes=2)) as server:
+            with pytest.warns(DeprecationWarning, match="pass a Request"):
+                legacy = server.submit("gemv", weights=w, a=x)
+            modern = server.submit(Request("gemv", weights=w, a=x))
+            server.run()
+        assert np.array_equal(legacy.result, modern.result)
+
+    def test_submit_request_form_does_not_warn(self):
+        system = PimSystem(CONFIG)
+        with PimServer(system, ServerConfig(lanes=2)) as server:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                server.submit(Request("relu", a=rand(8, 0)))
+            server.run()
+
+    def test_ctx_server_legacy_kwargs_warn(self):
+        with PimContext(CONFIG) as ctx:
+            with pytest.warns(DeprecationWarning, match="ServerConfig"):
+                server = ctx.server(lanes=2)
+            assert server.server_config.lanes == 2
+
+    def test_legacy_and_modern_servers_serve_identically(self):
+        w = rand((16, 8), 0)
+        xs = [rand(8, i + 1) for i in range(4)]
+
+        def serve(build):
+            system = PimSystem(CONFIG)
+            with build(system) as server:
+                handles = [
+                    server.submit(Request("gemv", weights=w, a=x))
+                    for x in xs
+                ]
+                server.run()
+            return [h.result for h in handles]
+
+        with pytest.warns(DeprecationWarning):
+            legacy = serve(lambda s: PimServer(s, lanes=2, max_batch=4))
+        modern = serve(
+            lambda s: PimServer(s, ServerConfig(lanes=2, max_batch=4))
+        )
+        for left, right in zip(legacy, modern):
+            assert np.array_equal(left, right)

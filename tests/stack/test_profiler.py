@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.stack.blas import PimBlas
 from repro.stack.profiler import (
@@ -311,3 +313,100 @@ class TestServingProfileMerge:
         profiler.record_serving(b)
         assert profiler.serving.num_requests == combined.num_requests
         assert profiler.serving.render() == combined.render()
+
+
+def _random_profile(draw_seed: int, shard: int) -> ServingProfile:
+    """One shard-flavoured ServingProfile from a deterministic seed."""
+    rng = np.random.default_rng(draw_seed)
+    profile = ServingProfile(makespan_cycles=int(rng.integers(0, 500)))
+    outcomes = ["completed", "rejected", "expired", "degraded_host"]
+    for i in range(int(rng.integers(1, 6))):
+        arrival = float(rng.integers(0, 1000))
+        start = arrival + float(rng.integers(0, 100))
+        profile.record(
+            RequestStats(
+                request_id=int(rng.integers(0, 1000)),
+                op="gemv",
+                arrival_ns=arrival,
+                start_ns=start,
+                finish_ns=start + float(rng.integers(0, 400)),
+                lane=int(rng.integers(0, 3)),
+                shard=shard,
+                priority=int(rng.integers(0, 3)),
+                outcome=outcomes[int(rng.integers(0, len(outcomes)))],
+            )
+        )
+    for _ in range(int(rng.integers(0, 3))):
+        profile.record_breaker(
+            int(rng.integers(0, 3)), "closed", "open",
+            float(rng.integers(0, 1000)), shard=shard,
+        )
+    profile.channel_busy_cycles[int(rng.integers(0, 8))] = int(
+        rng.integers(1, 400)
+    )
+    profile.retries = int(rng.integers(0, 4))
+    profile.fallbacks = int(rng.integers(0, 4))
+    profile.replays = int(rng.integers(0, 4))
+    if rng.integers(0, 2):
+        profile.quarantined_shards.append(shard)
+        profile.quarantined_channels.append(int(rng.integers(0, 8)))
+    return profile
+
+
+def _merge_fold(profiles):
+    """Left-fold merge into a fresh profile (merge mutates its target)."""
+    import copy
+
+    acc = ServingProfile()
+    for profile in profiles:
+        acc.merge(copy.deepcopy(profile))
+    return acc
+
+
+class TestMergeAlgebra:
+    """``merge()`` must be associative and commutative: the fabric folds
+    shard profiles in whatever order replies arrive (and re-folds after
+    replays), and the merged session must not depend on that order."""
+
+    @given(
+        seeds=st.lists(st.integers(0, 2**16), min_size=3, max_size=5),
+        order=st.permutations(list(range(3))),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_merge_order_free(self, seeds, order):
+        profiles = [
+            _random_profile(seed, shard) for shard, seed in enumerate(seeds)
+        ]
+        forward = _merge_fold(profiles)
+        shuffled = list(profiles)
+        base = [shuffled[i] for i in order] + shuffled[3:]
+        permuted = _merge_fold(base)
+        assert forward.render() == permuted.render()
+        assert forward.outcomes() == permuted.outcomes()
+        assert forward.requests == permuted.requests
+        assert forward.breaker_transitions == permuted.breaker_transitions
+        assert forward.quarantined_shards == permuted.quarantined_shards
+        assert forward.quarantined_channels == permuted.quarantined_channels
+        assert forward.channel_busy_cycles == permuted.channel_busy_cycles
+        assert forward.replays == permuted.replays
+
+    @given(seeds=st.lists(st.integers(0, 2**16), min_size=3, max_size=4))
+    @settings(max_examples=15, deadline=None)
+    def test_merge_associative_grouping(self, seeds):
+        """(a ∪ b) ∪ c == a ∪ (b ∪ c) for every counter and log."""
+        import copy
+
+        profiles = [
+            _random_profile(seed, shard) for shard, seed in enumerate(seeds)
+        ]
+        a, b, c = (copy.deepcopy(p) for p in profiles[:3])
+        left = a.merge(b).merge(c)
+        a2, b2, c2 = (copy.deepcopy(p) for p in profiles[:3])
+        right = a2.merge(b2.merge(c2))
+        assert left.render() == right.render()
+        assert left.requests == right.requests
+        assert left.breaker_transitions == right.breaker_transitions
+        assert (
+            left.turnaround_percentiles_by_priority()
+            == right.turnaround_percentiles_by_priority()
+        )
