@@ -1,0 +1,147 @@
+"""Tracked resilience baseline for the self-healing serving fabric.
+
+Runs the seeded chaos scenario (:func:`repro.chaos.run_chaos` — worker
+kill, wedge, slowdown, device channel death, bit flips, pipe-payload
+corruption) next to its fault-free baseline and records what resilience
+cost:
+
+* **recovery throughput** (simulated req/s of the post-schedule recovery
+  wave, served on the healed fleet) and its retention versus the
+  fault-free run of the same wave — the 20% degradation gate;
+* **p99 turnaround** of the chaos session versus fault-free — the 2x
+  tail gate the straggler hedge defends;
+* the healing ledger: respawns per slot, replays, hedges won/lost.
+
+Every invariant of the chaos harness (conservation, bit-exactness,
+trace validity, capacity recovery) must hold for a row to be recorded.
+Results land in a ``bench_chaos/v1`` JSON document::
+
+    python benchmarks/bench_chaos.py --quick --out BENCH_chaos.json \\
+        --min-retention 0.8
+
+The process exits non-zero on any harness violation, if recovery
+throughput retention falls below ``--min-retention``, or if the emitted
+document fails schema validation.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.chaos import run_chaos
+from repro.stack.profiler import _percentile
+
+SCHEMA = "bench_chaos/v1"
+_SERVED = ("completed", "degraded_host")
+
+
+def _p99_us(profile) -> float:
+    """p99 turnaround of a session's served requests, microseconds."""
+    return _percentile(
+        [r.turnaround_ns for r in profile.requests if r.outcome in _SERVED],
+        0.99,
+    ) / 1000.0
+
+
+def bench_chaos(seed: int, workers: int, requests: int) -> dict:
+    """One full chaos scenario with gates; returns the result row."""
+    start = time.perf_counter()
+    report = run_chaos(seed=seed, workers=workers, requests=requests)
+    wall_s = time.perf_counter() - start
+    if not report.ok:
+        raise SystemExit(
+            "chaos harness violations:\n"
+            + "\n".join(f"  - {v}" for v in report.violations)
+        )
+    return {
+        "seed": seed,
+        "workers": workers,
+        "requests": report.requests,
+        "recovery_rps": report.recovery_rps,
+        "baseline_recovery_rps": report.baseline_recovery_rps,
+        "retention": report.recovery_rps / report.baseline_recovery_rps,
+        "p99_us": _p99_us(report.profile),
+        "baseline_p99_us": _p99_us(report.baseline_profile),
+        "respawns": sum(report.respawns.values()),
+        "replays": report.profile.replays,
+        "hedge_wins": report.profile.hedge_wins,
+        "hedge_losses": report.profile.hedge_losses,
+        "wall_s": wall_s,
+    }
+
+
+def validate(doc: dict) -> None:
+    """Schema check of a ``bench_chaos/v1`` document (raises ValueError)."""
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}")
+    if not isinstance(doc.get("quick"), bool):
+        raise ValueError("quick must be a bool")
+    entry = doc.get("scenario")
+    if not isinstance(entry, dict):
+        raise ValueError("scenario must be a dict")
+    for key in (
+        "recovery_rps", "baseline_recovery_rps", "retention", "p99_us",
+        "baseline_p99_us", "wall_s",
+    ):
+        value = entry.get(key)
+        if not isinstance(value, float) or value <= 0:
+            raise ValueError(f"scenario.{key} must be a positive float")
+    for key in ("seed", "workers", "requests", "respawns", "replays",
+                "hedge_wins", "hedge_losses"):
+        if not isinstance(entry.get(key), int) or entry[key] < 0:
+            raise ValueError(f"scenario.{key} must be a non-negative int")
+    implied = entry["recovery_rps"] / entry["baseline_recovery_rps"]
+    if abs(entry["retention"] - implied) > 1e-6:
+        raise ValueError("scenario.retention is inconsistent with throughput")
+    if entry["p99_us"] > 2.0 * entry["baseline_p99_us"]:
+        raise ValueError("scenario.p99_us exceeds 2x the fault-free p99")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller request count (CI-sized run)")
+    parser.add_argument("--out", default=None,
+                        help="write the bench_chaos/v1 JSON here")
+    parser.add_argument("--min-retention", type=float, default=None,
+                        help="fail if recovery throughput retention is "
+                             "below this fraction of fault-free")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    requests = 48 if args.quick else 96
+    entry = bench_chaos(args.seed, args.workers, requests)
+    doc = {"schema": SCHEMA, "quick": args.quick, "scenario": entry}
+    validate(doc)
+
+    print(
+        f"recovery {entry['recovery_rps']:,.0f} req/s "
+        f"(fault-free {entry['baseline_recovery_rps']:,.0f}, "
+        f"retention {entry['retention']:.2f})"
+    )
+    print(
+        f"p99 {entry['p99_us']:.1f}us (fault-free "
+        f"{entry['baseline_p99_us']:.1f}us)  respawns {entry['respawns']}  "
+        f"replays {entry['replays']}  hedges won/lost "
+        f"{entry['hedge_wins']}/{entry['hedge_losses']}  "
+        f"wall {entry['wall_s']:.1f}s"
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        validate(json.load(open(args.out)))
+        print(f"wrote {args.out}")
+    if args.min_retention is not None and entry["retention"] < args.min_retention:
+        print(
+            f"FAIL: recovery retention {entry['retention']:.2f} below "
+            f"--min-retention {args.min_retention}"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,9 @@
     python -m repro serve-bench  # serving engine under a Poisson load
     python -m repro serve-bench --trace trace.json
                                  # same, tracing the last served session
+    python -m repro chaos --seed 7
+                                 # scripted fault storm against the fabric;
+                                 # nonzero exit on any invariant violation
 """
 
 from __future__ import annotations
@@ -660,12 +663,98 @@ def _serve_bench(argv=None) -> int:
     return 0
 
 
+def _chaos(argv=None) -> int:
+    """Chaos smoke: a scripted fault storm the fabric must survive.
+
+    Generates a seeded :class:`~repro.chaos.ChaosSchedule` covering
+    worker kill, wedge, slowdown, channel death, stored-bit flips, and
+    pipe-payload corruption, replays it against a live
+    :class:`~repro.stack.fabric.PimFabric` alongside a fault-free
+    baseline, and checks the invariant suite: every request exactly one
+    terminal outcome, bit-exact results versus the host golden path, a
+    valid merged Chrome trace, every respawned shard rejoined to the
+    ring, post-recovery throughput within 20% of fault-free, and p99
+    turnaround below 2x fault-free.  The scenario then runs a *second*
+    time at the same seed and the two runs' serving profiles and span
+    trees are compared — byte-identical replay is itself a gated
+    invariant.  Nonzero exit code on any violation (used by CI).
+    """
+    import argparse
+
+    from .chaos import run_chaos
+    from .obs.export import diff_span_trees
+
+    parser = argparse.ArgumentParser(prog="repro chaos")
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="seed of the chaos schedule, the workload, and every "
+             "scripted fault; identical seeds replay byte-identical runs "
+             "(default: 7)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="fabric worker processes (default: 4)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=48,
+        help="total requests across all waves (default: 48)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="skip the replay-determinism pass (single scenario run)",
+    )
+    args = parser.parse_args(argv or [])
+
+    print(
+        f"Chaos smoke: seed={args.seed} workers={args.workers} "
+        f"requests={args.requests}"
+    )
+    report = run_chaos(
+        seed=args.seed, workers=args.workers, requests=args.requests
+    )
+    print("\n".join(report.render()))
+    failures = list(report.violations)
+    if not args.once:
+        replay = run_chaos(
+            seed=args.seed, workers=args.workers, requests=args.requests
+        )
+        failures.extend(replay.violations)
+        checks = {
+            "replay profile identical": (
+                "\n".join(report.profile.render())
+                == "\n".join(replay.profile.render())
+                and report.profile.outcomes() == replay.profile.outcomes()
+                and [
+                    (r.request_id, r.outcome, r.shard, r.finish_ns)
+                    for r in report.profile.requests
+                ]
+                == [
+                    (r.request_id, r.outcome, r.shard, r.finish_ns)
+                    for r in replay.profile.requests
+                ]
+            ),
+            "replay span tree identical": (
+                diff_span_trees(report.tracer, replay.tracer) is None
+            ),
+        }
+        for name, ok in checks.items():
+            print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+            if not ok:
+                failures.append(f"determinism check failed: {name}")
+    if failures:
+        print(f"chaos smoke FAILED ({len(failures)} violation(s))")
+        return 1
+    print("chaos smoke passed: every invariant held")
+    return 0
+
+
 _COMMANDS = {
     "report": _report,
     "demo": _demo,
     "specs": _specs,
     "trace": _trace,
     "serve-bench": _serve_bench,
+    "chaos": _chaos,
 }
 
 
@@ -682,7 +771,7 @@ def main(argv=None) -> int:
     if handler is None:
         print(__doc__)
         return 1
-    if handler in (_serve_bench, _trace):
+    if handler in (_serve_bench, _trace, _chaos):
         result = handler(argv[1:])
     else:
         result = handler()

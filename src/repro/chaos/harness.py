@@ -1,0 +1,326 @@
+"""Chaos orchestration: replay a fault script against a live fabric.
+
+:func:`run_chaos` is the engine behind ``python -m repro chaos``.  It
+serves one seeded request workload twice — once fault-free (the
+baseline) and once with a :class:`~repro.chaos.schedule.ChaosSchedule`
+playing out against the fabric — and checks the fabric's contract with
+the invariant suite (:mod:`repro.chaos.invariants`): outcome
+conservation, bit-exactness against the host golden path, merged-trace
+validity, ring-capacity recovery, and the degradation gates
+(post-recovery throughput within 20% of fault-free, p99 turnaround
+below 2x fault-free).
+
+The workload is served in *waves* — one fabric ``run()`` per arrival
+window — because that is where the lifecycle manager does its work:
+between waves the router heartbeats, respawns quarantined slots, and
+rejoins them to the ring, so a schedule's kill in wave 2 is healed
+capacity by wave 3.  The wave after the last scripted event is the
+*recovery wave*: it runs on the healed fleet and supplies the
+post-recovery throughput the 20% gate compares against the fault-free
+baseline.
+
+Everything is seeded and the faults are scripted with wide margins
+relative to the harness's wall-clock bounds, so two runs of the same
+seed produce identical profiles and span trees — the replay-determinism
+property the CLI asserts by running every scenario twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..stack.api import Request, ServerConfig
+from ..stack.fabric import PimFabric
+from ..stack.profiler import ServingProfile
+from ..stack.runtime import SystemConfig
+from .invariants import (
+    check_bit_exactness,
+    check_capacity,
+    check_conservation,
+    check_degradation,
+    check_dropped_spans,
+    check_trace,
+)
+from .schedule import ChaosSchedule, KINDS
+
+__all__ = ["ChaosReport", "run_chaos"]
+
+#: Arrival width of one request wave on the simulated clock.
+WAVE_NS = 50_000.0
+#: Scripted straggler stall: far past the hedge threshold, well inside
+#: the heartbeat bound, so the round is hedged and the worker survives.
+SLOW_DELAY_S = 1.5
+#: Scripted wedge stall: past every liveness bound, so the worker is
+#: detected (watchdog or heartbeat), killed, quarantined, and respawned.
+WEDGE_DELAY_S = 8.0
+
+
+def _chaos_server_config() -> ServerConfig:
+    """The resilience knobs the harness runs under.
+
+    Wall-clock bounds are compressed from the production defaults so a
+    scripted wedge is detected in seconds, with wide margins between the
+    tiers: normal rounds finish well under ``hedge_min_s``, a ``slow``
+    stall (1.5s) sits far past the hedge threshold but inside the
+    heartbeat bound once hedged, and a ``wedge`` stall (8s) overruns
+    every bound.  The respawn budget is effectively unbounded — the
+    harness is testing that healing *works*, not rationing it.
+    """
+    return ServerConfig(
+        reply_timeout_s=3.0,
+        heartbeat_timeout_s=3.0,
+        close_timeout_s=5.0,
+        join_timeout_s=10.0,
+        max_respawns=16,
+        hedge=True,
+        hedge_quantile=0.95,
+        hedge_factor=4.0,
+        hedge_min_s=0.5,
+        pipe_checksum=True,
+    )
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos scenario produced, gates included.
+
+    ``violations`` is the aggregated invariant-checker output (empty
+    means the fabric's contract held); the remaining fields are the
+    evidence: merged chaos and baseline profiles, the tracers (for span
+    -tree replay comparison), per-kind applied-event log, respawn/hedge
+    counters, and the simulated throughput/latency numbers behind the
+    degradation gates.
+    """
+
+    seed: int
+    workers: int
+    requests: int
+    schedule: ChaosSchedule
+    profile: ServingProfile
+    baseline_profile: ServingProfile
+    tracer: object
+    baseline_tracer: object
+    applied: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    alive_after: List[int] = field(default_factory=list)
+    respawns: Dict[int, int] = field(default_factory=dict)
+    recovery_rps: float = 0.0
+    baseline_recovery_rps: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether every invariant and gate held."""
+        return not self.violations
+
+    def render(self) -> List[str]:
+        """A text summary of the scenario, gates last."""
+        profile = self.profile
+        lines = [
+            f"chaos scenario        : seed={self.seed} workers={self.workers} "
+            f"requests={self.requests}",
+            f"scripted events       : "
+            + (", ".join(self.applied) if self.applied else "none"),
+            f"quarantined shards    : "
+            + (
+                ",".join(str(s) for s in sorted(set(profile.quarantined_shards)))
+                or "-"
+            ),
+            f"respawns (slot x n)   : "
+            + (
+                ",".join(f"{s}x{n}" for s, n in sorted(self.respawns.items()))
+                or "-"
+            ),
+            f"replays / hedges      : {profile.replays} / {profile.hedges} "
+            f"(won {profile.hedge_wins}, lost {profile.hedge_losses})",
+            f"recovery throughput   : {self.recovery_rps:,.0f} req/s "
+            f"(fault-free {self.baseline_recovery_rps:,.0f})",
+            f"alive shards after    : {len(self.alive_after)}/{self.workers}",
+        ]
+        if self.violations:
+            lines.append("violations:")
+            lines.extend(f"  - {violation}" for violation in self.violations)
+        else:
+            lines.append("violations            : none")
+        return lines
+
+
+def _wave_requests(
+    seed: int, wave: int, count: int, distinct: int
+) -> List[Request]:
+    """One wave's seeded GEMV stream, arrivals inside the wave's window."""
+    rng = np.random.default_rng(seed * 7919 + wave)
+    weights = [
+        (rng.standard_normal((16, 8)) * 0.25).astype(np.float16)
+        for _ in range(distinct)
+    ]
+    offsets = np.sort(rng.uniform(0.0, WAVE_NS * 0.8, size=count))
+    return [
+        Request(
+            "gemv",
+            weights=weights[i % distinct],
+            a=(rng.standard_normal(8) * 0.25).astype(np.float16),
+            arrival_ns=float(wave * WAVE_NS + offsets[i]),
+            trace_id=f"chaos-w{wave}-r{i}",
+        )
+        for i in range(count)
+    ]
+
+
+def _arm_event(fabric: PimFabric, event, seed: int) -> str:
+    """Fire one scripted event against the fabric, pre-wave.
+
+    ``kill`` arms a post-dispatch hook (the worker dies with the wave
+    genuinely in flight); the rest arm in-worker faults through the
+    ``("chaos", spec)`` control message.  A target that is dead and out
+    of respawn budget is retargeted to the lowest alive shard so the
+    schedule never fizzles.  Returns a log line for the report.
+    """
+    shard = event.shard
+    if shard not in fabric.alive_shards():
+        fabric._heal()
+        if shard not in fabric.alive_shards():
+            alive = fabric.alive_shards()
+            if not alive:
+                return f"{event.kind}@skipped (no alive shard)"
+            shard = alive[0]
+    if event.kind == "kill":
+        def hook(fab, victim=shard):
+            if victim in fab.alive_shards():
+                fab.kill_worker(victim)
+            fab._post_dispatch_hook = None
+
+        fabric._post_dispatch_hook = hook
+        return f"kill@shard{shard}"
+    spec: Dict[str, object] = {"seed": seed}
+    if event.kind == "wedge":
+        spec.update(delay_s=WEDGE_DELAY_S, wedge=True)
+    elif event.kind == "slow":
+        spec.update(delay_s=SLOW_DELAY_S)
+    elif event.kind == "fail_channel":
+        spec.update(fail_channel=int(event.param))
+    elif event.kind == "bit_flips":
+        spec.update(bit_flips=max(1, int(event.param)))
+    else:  # corrupt_pipe: schedule validated the kind set already
+        spec.update(corrupt_reply=True)
+    fabric.inject_worker_fault(shard, spec)
+    return f"{event.kind}@shard{shard}"
+
+
+def _execute(
+    seed: int,
+    workers: int,
+    num_waves: int,
+    per_wave: int,
+    by_wave: Dict[int, List],
+    config: SystemConfig,
+    server_config: ServerConfig,
+) -> Tuple:
+    """Serve every wave on one fabric; returns the session's evidence.
+
+    ``by_wave`` empty runs the fault-free baseline; otherwise each
+    wave's scripted events are armed immediately before its requests are
+    submitted and served.
+    """
+    fabric = PimFabric(config, workers=workers, server_config=server_config)
+    total = ServingProfile()
+    handles = []
+    wave_profiles = []
+    applied: List[str] = []
+    try:
+        for wave in range(num_waves):
+            for event in by_wave.get(wave, ()):
+                applied.append(_arm_event(fabric, event, seed))
+            for request in _wave_requests(seed, wave, per_wave, workers):
+                handles.append(fabric.submit(request))
+            profile = fabric.run()
+            wave_profiles.append(profile)
+            total.merge(profile)
+        fabric._heal()  # final rejoin pass so capacity reflects healing
+        alive_after = fabric.alive_shards()
+        respawns = fabric.respawns
+        tracer = fabric.tracer
+    finally:
+        fabric.close()
+    return handles, total, wave_profiles, applied, alive_after, respawns, tracer
+
+
+def run_chaos(
+    seed: int = 7,
+    workers: int = 4,
+    requests: int = 48,
+    kinds: Tuple[str, ...] = KINDS,
+    schedule: Optional[ChaosSchedule] = None,
+    gates: bool = True,
+) -> ChaosReport:
+    """Run one chaos scenario end to end; returns its :class:`ChaosReport`.
+
+    Generates (or takes) a schedule, serves the seeded workload fault-free
+    for the baseline, replays it under the schedule, and aggregates every
+    invariant violation into ``report.violations`` (empty = the fabric's
+    contract held).  ``gates=False`` skips the baseline comparison gates
+    (and their extra fault-free session) — the fast mode the property
+    tests use, where only conservation/bit-exactness/trace/capacity
+    matter.
+    """
+    if schedule is None:
+        schedule = ChaosSchedule.generate(
+            seed, workers, kinds=kinds, wave_ns=WAVE_NS
+        )
+    by_wave = schedule.by_wave(WAVE_NS)
+    num_waves = (max(by_wave) + 1 if by_wave else 1) + 1  # +1 recovery wave
+    per_wave = max(workers, requests // num_waves)
+    config = SystemConfig(
+        num_pchs=2,
+        num_rows=256,
+        simulate_pchs=1,
+        server_seed=seed,
+        ecc=True,
+        scrub_interval=4,
+        trace=True,
+    )
+    server_config = _chaos_server_config()
+    if gates:
+        (_, base_total, base_waves, _, _, _, base_tracer) = _execute(
+            seed, workers, num_waves, per_wave, {}, config, server_config
+        )
+    else:
+        base_total, base_waves, base_tracer = ServingProfile(), [], None
+    (handles, total, wave_profiles, applied, alive_after, respawns,
+     tracer) = _execute(
+        seed, workers, num_waves, per_wave, by_wave, config, server_config
+    )
+    report = ChaosReport(
+        seed=seed,
+        workers=workers,
+        requests=len(handles),
+        schedule=schedule,
+        profile=total,
+        baseline_profile=base_total,
+        tracer=tracer,
+        baseline_tracer=base_tracer,
+        applied=applied,
+        alive_after=alive_after,
+        respawns=respawns,
+        recovery_rps=wave_profiles[-1].throughput_rps(),
+        baseline_recovery_rps=(
+            base_waves[-1].throughput_rps() if base_waves else 0.0
+        ),
+    )
+    report.violations.extend(check_conservation(handles, total))
+    report.violations.extend(check_bit_exactness(handles, config.num_pchs))
+    report.violations.extend(check_trace(tracer))
+    report.violations.extend(check_dropped_spans(tracer, total))
+    report.violations.extend(check_capacity(alive_after, workers))
+    if gates:
+        report.violations.extend(
+            check_degradation(
+                total,
+                base_total,
+                report.recovery_rps,
+                report.baseline_recovery_rps,
+            )
+        )
+    return report

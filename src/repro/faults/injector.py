@@ -73,6 +73,14 @@ class FaultStats:
     crf_faults: int = 0
     channels_failed: List[int] = field(default_factory=list)
     epochs: int = 0
+    # -- worker-tier / latency fault classes (the chaos harness drives
+    #    these through the fabric's worker protocol; see repro.chaos) --
+    # Pipe payloads corrupted in transit (caught by the CRC32 check).
+    pipe_corruptions: int = 0
+    # Serve rounds stalled past the router's reply timeout (wedges) or
+    # delayed long enough to trip the straggler hedge (slowdowns).
+    wedges: int = 0
+    slowdowns: int = 0
 
     @property
     def total(self) -> int:
@@ -82,6 +90,9 @@ class FaultStats:
             + self.check_flips
             + self.register_faults
             + len(self.channels_failed)
+            + self.pipe_corruptions
+            + self.wedges
+            + self.slowdowns
         )
 
 
@@ -175,6 +186,51 @@ class FaultInjector:
                         self.stats.check_flips += count
                         flipped += count
         return flipped
+
+    def flip_random_bits(self, count: int) -> int:
+        """Flip exactly ``count`` stored data bits, scripted-chaos style.
+
+        Unlike the rate-driven :meth:`inject_storage_faults`, this is the
+        deterministic "flip N bits *now*" primitive the chaos harness
+        schedules at a simulated instant.  Targets are drawn (seeded)
+        from the allocated, materialised rows — the same eligibility rule
+        as the rate path; returns the number of bits actually flipped
+        (0 when no live row exists to strike).
+        """
+        allocated = set(self._allocated_rows())
+        targets = []
+        for pch in range(self.sys.num_pchs):
+            if self.is_failed(pch):
+                continue
+            for bank in self.sys.device.pch(pch).banks:
+                for row in sorted(set(bank.materialized_rows()) & allocated):
+                    targets.append((bank, row))
+        if not targets:
+            return 0
+        flipped = 0
+        for _ in range(int(count)):
+            bank, row = targets[int(self.rng.integers(0, len(targets)))]
+            bit = int(self.rng.integers(0, bank.config.row_bytes * 8))
+            bank.flip_bit(row, bit)
+            self.stats.bit_flips += 1
+            flipped += 1
+        return flipped
+
+    def corrupt_blob(self, blob: bytes) -> bytes:
+        """Flip one seeded bit of a pipe payload (latency-tier fault).
+
+        Models in-transit corruption of a worker<->router message: the
+        CRC32 the sender computed no longer matches, so the receiver's
+        checksum verification must catch it (see
+        :mod:`repro.stack.fabric`).  Counts under
+        ``stats.pipe_corruptions``.
+        """
+        corrupted = bytearray(blob)
+        if corrupted:
+            index = int(self.rng.integers(0, len(corrupted)))
+            corrupted[index] ^= 1 << int(self.rng.integers(0, 8))
+        self.stats.pipe_corruptions += 1
+        return bytes(corrupted)
 
     def corrupt_registers(self) -> int:
         """Corrupt one register word per struck execution unit.

@@ -171,7 +171,12 @@ class ServerConfig:
     the historical unbounded queue even when the system config bounds it.
 
     Being frozen and picklable, one ``ServerConfig`` configures every
-    worker of a :class:`~repro.stack.fabric.PimFabric` identically.
+    worker of a :class:`~repro.stack.fabric.PimFabric` identically.  The
+    fabric-tier resilience knobs (reply/heartbeat/join timeouts, respawn
+    budget, straggler hedging, pipe checksums) live here too: they are
+    plain defaults, never inherited from :class:`SystemConfig`, because
+    they bound *wall-clock process* behaviour rather than simulated
+    device behaviour.
     """
 
     lanes: int = 2
@@ -189,6 +194,36 @@ class ServerConfig:
     breaker_threshold: Optional[int] = None
     breaker_cooldown_ns: Optional[float] = None
     seed: Optional[int] = None
+    # -- fabric resilience (PimFabric; docs/ARCHITECTURE.md, "Fabric
+    #    resilience & chaos").  All wall-clock bounds are in real seconds
+    #    because they guard against wedged *processes*, not simulated
+    #    device time. --
+    # How long the router waits for one shard's round reply before
+    # declaring the worker wedged (SIGKILL + quarantine + replay).
+    reply_timeout_s: float = 600.0
+    # Reply bound of the between-rounds heartbeat ping.
+    heartbeat_timeout_s: float = 30.0
+    # Whether the router pings every alive worker between rounds.
+    heartbeat: bool = True
+    # Close-handshake reply bound and process-join bound used when the
+    # fabric shuts a worker down (gracefully or after a kill).
+    close_timeout_s: float = 10.0
+    join_timeout_s: float = 30.0
+    # How many times one shard slot may be respawned after its worker
+    # died or wedged (0 disables self-healing respawn entirely).
+    max_respawns: int = 1
+    # -- straggler hedging: when a shard's round reply takes longer than
+    #    hedge_factor x the hedge_quantile of the round's completed reply
+    #    times (never less than hedge_min_s), the router re-dispatches
+    #    the group to the least-loaded idle survivor and takes the first
+    #    reply; the loser is cancelled (its reply discarded). --
+    hedge: bool = True
+    hedge_quantile: float = 0.95
+    hedge_factor: float = 3.0
+    hedge_min_s: float = 0.25
+    # CRC32-checksum worker<->router serve/result pipe payloads; a
+    # corrupt payload is a PimWorkerError and replays on the survivors.
+    pipe_checksum: bool = True
 
     def replace(self, **overrides) -> "ServerConfig":
         """A copy with ``overrides`` applied (dataclasses.replace)."""

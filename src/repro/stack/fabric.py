@@ -1,4 +1,4 @@
-"""A multi-process serving fabric: one router, N device-replica shards.
+"""A self-healing multi-process serving fabric: one router, N replica shards.
 
 The paper's software stack serves "millions of users" from one runtime;
 a single Python process driving every lane serialises on the interpreter
@@ -17,21 +17,34 @@ merged accounting.
   its home shard past the round's fair share falls back to the
   least-loaded shard instead.
 * **failure handling** — the quarantine + breaker discipline of the
-  channel tier, lifted to shards: a worker that dies (SIGKILL, crash,
-  broken pipe) or replies with an unrecoverable serving error is
-  quarantined, and every request of its round is replayed on the
-  survivors — or completed on the host golden path when no shard is
-  left.  Every submitted request ends in exactly one terminal
-  :class:`~repro.stack.server.RequestOutcome`; results are bit-exact
-  regardless of which shard (or the host) served them, because shards
-  are full device replicas and the golden path reproduces the device's
-  arithmetic.
+  channel tier, lifted to shards, plus a *lifecycle manager* that brings
+  capacity back.  Each shard slot walks the state machine ``serving →
+  suspected → quarantined → respawning → rejoined`` (see
+  ``docs/ARCHITECTURE.md``, "Fabric resilience & chaos"): a worker that
+  dies (SIGKILL, crash, broken pipe), misses a between-rounds heartbeat,
+  wedges past the configurable ``ServerConfig.reply_timeout_s``
+  watchdog, or ships a payload that fails its CRC32 check is
+  quarantined and its round replayed on the survivors — then, within
+  ``ServerConfig.max_respawns``, a fresh process is respawned into the
+  slot, rebuilds the device replica, and *rejoins* the ring, restoring
+  capacity.  :meth:`drain` is the graceful variant: in-flight groups
+  finish, the process is recycled with a handshake, nothing is
+  quarantined or replayed.  Stragglers short of the wedge timeout are
+  *hedged*: past a percentile-based threshold the group is re-dispatched
+  to the least-loaded idle survivor and the first reply wins (replicas
+  are bit-exact, so first == correct); the loser is cancelled and its
+  late reply discarded.  Every submitted request still ends in exactly
+  one terminal :class:`~repro.stack.server.RequestOutcome` — the host
+  golden path remains the completion of last resort when no shard is
+  left and the respawn budget is spent.
 * **accounting** — per-shard :class:`~repro.stack.profiler.ServingProfile`
   replies merge through ``ServingProfile.merge()`` (associative and
   commutative, so arrival order does not matter) with channels rewritten
   into a global ``shard * num_pchs + local`` space; worker trace spans
   merge into the router's tracer with shard tags, and the Chrome export
-  shows one process row per shard (pid = shard, tid = lane).
+  shows one process row per shard (pid = shard, tid = lane).  Respawns
+  (shard-tagged) and hedge dispatches/wins/losses are counted on the
+  profile and emitted as instant trace events.
 
 ::
 
@@ -49,9 +62,13 @@ import bisect
 import hashlib
 import math
 import multiprocessing
+import multiprocessing.connection
 import os
+import pickle
 import signal
-from dataclasses import dataclass, field
+import time
+import zlib
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -65,7 +82,7 @@ from .blas import (
     mul_reference,
     relu_reference,
 )
-from .profiler import Profiler, RequestStats, ServingProfile
+from .profiler import Profiler, RequestStats, ServingProfile, _percentile
 from .runtime import SystemConfig
 from .worker import run_worker
 
@@ -125,7 +142,11 @@ class _HashRing:
         self._owners = [s for _, s in ring]
 
     def add(self, shard: int) -> None:
-        """Add ``shard``'s virtual nodes to the ring."""
+        """Add ``shard``'s virtual nodes to the ring (no-op when present).
+
+        A respawned shard re-adds the *same* virtual nodes it owned
+        before quarantine, so its arc of signature space comes home.
+        """
         self._shards.add(int(shard))
         self._rebuild()
 
@@ -145,7 +166,7 @@ class _HashRing:
 
 @dataclass
 class _WorkerLink:
-    """The router's bookkeeping for one shard's worker process."""
+    """The router's bookkeeping for one shard slot's worker process."""
 
     shard: int
     process: Any
@@ -153,6 +174,16 @@ class _WorkerLink:
     alive: bool = True
     #: Requests this shard has terminally served across rounds.
     served: int = 0
+    #: Lifecycle state of the slot: serving -> suspected -> quarantined
+    #: -> respawning -> rejoined (drain adds a "draining" detour).
+    state: str = "serving"
+    #: Respawns this slot has consumed (bounded by max_respawns; a
+    #: graceful drain recycle is free).
+    generation: int = 0
+    #: Cancelled-hedge replies still queued in the pipe; the router
+    #: discards exactly this many result/error messages before trusting
+    #: the connection again (pipe ordering is FIFO).
+    pending_discards: int = 0
 
 
 class PimFabric:
@@ -164,11 +195,13 @@ class PimFabric:
     submit surface is the new-API one only: :meth:`submit` takes a
     :class:`~repro.stack.api.Request`; there is no legacy op-string form
     to deprecate because the fabric never had one.
-    """
 
-    #: Reply-wait bound per shard round; a worker silent this long is
-    #: treated as dead (SIGKILLed and quarantined).
-    reply_timeout_s: float = 600.0
+    Every wall-clock bound of the lifecycle manager (reply watchdog,
+    heartbeat, close/join, hedge thresholds) comes from the resolved
+    :class:`~repro.stack.api.ServerConfig` — nothing is hard-coded, so
+    tests run the wedge path in milliseconds and operators tune it for
+    their deployment.
+    """
 
     def __init__(
         self,
@@ -195,8 +228,16 @@ class PimFabric:
             from ..obs import Tracer
 
             self.tracer = Tracer()
+        #: Reply-wait bound per shard round (seconds); a worker silent
+        #: this long is wedged: SIGKILLed, quarantined, and — within the
+        #: respawn budget — respawned.  Mirrors
+        #: ``ServerConfig.reply_timeout_s``; mutate per-instance to tune
+        #: a live fabric.
+        self.reply_timeout_s: float = self.server_config.reply_timeout_s
         #: PimWorkerError log, one entry per quarantined shard (newest last).
         self.worker_errors: List[PimWorkerError] = []
+        #: Graceful drain/hot-restart recycles performed (see drain()).
+        self.drains: int = 0
         self._mp = multiprocessing.get_context(start_method)
         self._workers: Dict[int, _WorkerLink] = {
             shard: self._spawn(shard) for shard in range(self.num_workers)
@@ -205,6 +246,7 @@ class PimFabric:
         self._pending: List[FabricHandle] = []
         self._next_rid = 0
         self._quarantined: List[int] = []
+        self._respawns: Dict[int, int] = {}
         self._merged_ids = 0
         # Test/failure-injection hook: called once per round, after every
         # dispatch is on the wire and before any reply is collected.  The
@@ -214,6 +256,10 @@ class PimFabric:
         self._post_dispatch_hook: Optional[Callable[["PimFabric"], None]] = None
         #: The in-flight round's shard -> handles map (for hooks/tests).
         self._round_assignment: Dict[int, List[FabricHandle]] = {}
+        # Shards dispatched this round whose reply is not yet resolved.
+        self._in_flight: set = set()
+        # Replies collected early by drain(), keyed by shard.
+        self._stashed_replies: Dict[int, Tuple] = {}
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------------
@@ -241,11 +287,12 @@ class PimFabric:
         if self._closed:
             return
         self._closed = True
+        cfg = self.server_config
         for link in self._workers.values():
             if link.alive:
                 try:
                     link.conn.send(("close",))
-                    if link.conn.poll(10.0):
+                    if link.conn.poll(cfg.close_timeout_s):
                         link.conn.recv()
                 except (OSError, EOFError, BrokenPipeError):
                     pass
@@ -254,22 +301,204 @@ class PimFabric:
             except OSError:
                 pass
             if link.process is not None:
-                link.process.join(timeout=10.0)
+                link.process.join(timeout=cfg.join_timeout_s)
                 if link.process.is_alive():  # pragma: no cover - stuck child
                     link.process.kill()
-                    link.process.join(timeout=10.0)
+                    link.process.join(timeout=cfg.join_timeout_s)
             link.alive = False
+
+    def _reap(self, link: _WorkerLink) -> None:
+        """Join (or kill-then-join) one worker process, bounded."""
+        cfg = self.server_config
+        if link.process is not None:
+            if link.process.is_alive():
+                link.process.kill()
+            link.process.join(timeout=cfg.join_timeout_s)
+
+    def drain(self, shard: int) -> None:
+        """Gracefully recycle ``shard``'s worker: a zero-loss hot restart.
+
+        If a round is in flight on the shard (drain called from a
+        post-dispatch hook), its reply is collected *first* and stashed
+        for the round's normal folding — in-flight groups finish,
+        nothing is quarantined or replayed.  The worker is then shut
+        down with the close handshake, joined, and a fresh device
+        replica is spawned into the slot; the shard never leaves the
+        ring, so capacity is uninterrupted.  A drain does not spend
+        respawn budget.  Raises :class:`~repro.errors.PimWorkerError`
+        for a dead shard (use the quarantine/respawn path instead).
+        """
+        link = self._workers[shard]
+        if self._closed or not link.alive:
+            raise PimWorkerError(
+                f"cannot drain shard {shard}: worker is not serving",
+                shard=shard,
+            )
+        cfg = self.server_config
+        link.state = "draining"
+        if shard in self._in_flight and shard not in self._stashed_replies:
+            # Finish the in-flight group before recycling the process.
+            while link.pending_discards > 0 and link.conn.poll(
+                self.reply_timeout_s
+            ):
+                try:
+                    link.conn.recv()
+                except (EOFError, OSError):
+                    break
+                link.pending_discards -= 1
+            if link.conn.poll(self.reply_timeout_s):
+                try:
+                    self._stashed_replies[shard] = link.conn.recv()
+                except (EOFError, OSError):
+                    pass
+        try:
+            link.conn.send(("close",))
+            if link.conn.poll(cfg.close_timeout_s):
+                link.conn.recv()
+        except (OSError, EOFError, BrokenPipeError):
+            pass
+        try:
+            link.conn.close()
+        except OSError:
+            pass
+        if link.process is not None:
+            link.process.join(timeout=cfg.join_timeout_s)
+            if link.process.is_alive():  # pragma: no cover - stuck child
+                link.process.kill()
+                link.process.join(timeout=cfg.join_timeout_s)
+        fresh = self._spawn(shard)
+        fresh.served = link.served
+        fresh.generation = link.generation
+        fresh.state = "rejoined"
+        self._workers[shard] = fresh
+        self.drains += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "drain:shard", at_ns=0.0, category="fabric", shard=shard
+            )
+
+    def heartbeat(
+        self, serving: Optional[ServingProfile] = None
+    ) -> List[int]:
+        """Ping every alive worker; quarantine the silent.  Returns them.
+
+        The between-rounds liveness probe of the lifecycle manager: every
+        alive shard is pinged concurrently and must pong within
+        ``ServerConfig.heartbeat_timeout_s``.  A silent worker moves
+        ``serving -> suspected``, is killed, and is quarantined (the
+        next :meth:`_heal` respawns it within budget).  Stale
+        cancelled-hedge replies queued ahead of the pong are discarded
+        on the way.
+        """
+        cfg = self.server_config
+        failed: List[int] = []
+        pinged: List[int] = []
+        for shard in self.alive_shards():
+            link = self._workers[shard]
+            try:
+                link.conn.send(("ping",))
+            except (OSError, BrokenPipeError):
+                failed.append(shard)
+            else:
+                pinged.append(shard)
+        for shard in pinged:
+            link = self._workers[shard]
+            deadline = time.monotonic() + cfg.heartbeat_timeout_s
+            ok = False
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not link.conn.poll(remaining):
+                    break
+                try:
+                    message = link.conn.recv()
+                except (EOFError, OSError):
+                    break
+                if link.pending_discards > 0 and message[0] in (
+                    "result", "error",
+                ):
+                    link.pending_discards -= 1
+                    continue
+                if message[0] == "pong":
+                    ok = True
+                break
+            if not ok:
+                failed.append(shard)
+        for shard in failed:
+            link = self._workers[shard]
+            link.state = "suspected"
+            if self.tracer is not None:
+                self.tracer.event(
+                    "heartbeat:miss", at_ns=0.0, category="fabric",
+                    shard=shard,
+                )
+            self.kill_worker(shard)
+            self._quarantine(
+                shard, serving,
+                reason="missed the between-rounds heartbeat",
+            )
+        return failed
+
+    def _heal(
+        self, serving: Optional[ServingProfile] = None
+    ) -> List[int]:
+        """Respawn quarantined slots within budget; rejoin them to the ring.
+
+        Returns the shards revived.  Each respawn rebuilds a full device
+        replica in a fresh process and re-adds the shard's virtual nodes
+        to the consistent-hash ring — capacity comes *back*, which is
+        what distinguishes this fabric from the quarantine-only tier it
+        replaces.  Bounded by ``ServerConfig.max_respawns`` per slot.
+        """
+        if self._closed:
+            return []
+        cfg = self.server_config
+        revived: List[int] = []
+        for shard in sorted(self._workers):
+            link = self._workers[shard]
+            if link.alive or link.generation >= cfg.max_respawns:
+                continue
+            link.state = "respawning"
+            fresh = self._spawn(shard)
+            fresh.served = link.served
+            fresh.generation = link.generation + 1
+            fresh.state = "rejoined"
+            self._workers[shard] = fresh
+            self._ring.add(shard)
+            revived.append(shard)
+            self._respawns[shard] = self._respawns.get(shard, 0) + 1
+            if serving is not None:
+                serving.respawns[shard] = serving.respawns.get(shard, 0) + 1
+            if self.tracer is not None:
+                self.tracer.event(
+                    "respawn:shard", at_ns=0.0, category="fabric",
+                    shard=shard, generation=fresh.generation,
+                )
+        return revived
 
     # -- introspection ------------------------------------------------------------
 
     @property
     def quarantined_shards(self) -> Tuple[int, ...]:
-        """Shards quarantined so far, in quarantine order."""
+        """Shards quarantined so far, in quarantine order.
+
+        A respawned shard stays in this history (it *was* quarantined)
+        while serving again — check :meth:`alive_shards` or
+        :meth:`shard_states` for current capacity.
+        """
         return tuple(self._quarantined)
+
+    @property
+    def respawns(self) -> Dict[int, int]:
+        """Respawns consumed per shard slot over the fabric's lifetime."""
+        return dict(self._respawns)
 
     def alive_shards(self) -> List[int]:
         """Shards currently accepting work, ascending."""
         return sorted(s for s, l in self._workers.items() if l.alive)
+
+    def shard_states(self) -> Dict[int, str]:
+        """Current lifecycle state of every shard slot (see module docs)."""
+        return {s: link.state for s, link in sorted(self._workers.items())}
 
     # -- submission ---------------------------------------------------------------
 
@@ -326,53 +555,91 @@ class PimFabric:
             load[shard] += len(group)
         return {s: items for s, items in assignment.items() if items}
 
+    # -- wire protocol ------------------------------------------------------------
+
+    def _dispatch(self, link: _WorkerLink, wire: List[Tuple]) -> bool:
+        """Put one serve round on a shard's pipe; False when the send fails.
+
+        With ``pipe_checksum`` the items are pickled once here and framed
+        with a CRC32 of the bytes, so the worker detects a dispatch
+        corrupted in transit instead of serving garbage.
+        """
+        try:
+            if self.server_config.pipe_checksum:
+                blob = pickle.dumps(wire, protocol=pickle.HIGHEST_PROTOCOL)
+                link.conn.send(("serve", zlib.crc32(blob), blob))
+            else:
+                link.conn.send(("serve", wire))
+            return True
+        except (OSError, BrokenPipeError, ValueError):
+            return False
+
+    def _decode_reply(self, message: Tuple) -> Dict[str, Any]:
+        """The payload of one result message, CRC-verified when framed.
+
+        Raises :class:`~repro.errors.PimWorkerError` on an ``error``
+        reply or a checksum mismatch — both route the round through the
+        quarantine/replay path, never into silently wrong bytes.
+        """
+        kind = message[0]
+        if kind != "result":
+            raise PimWorkerError(
+                f"worker replied {kind!r}: {message[1] if len(message) > 1 else ''}"
+            )
+        if len(message) == 3:
+            _, crc, blob = message
+            if zlib.crc32(blob) != crc:
+                raise PimWorkerError(
+                    "result payload failed its CRC32 check (corrupted in "
+                    "transit); replaying the round"
+                )
+            return pickle.loads(blob)
+        return message[1]
+
     # -- execution ----------------------------------------------------------------
 
     def run(self) -> ServingProfile:
         """Serve every pending request; returns the merged profile.
 
-        Dispatches the round to every assigned shard, then collects
-        replies; a shard that died (or errored) mid-round is quarantined
-        and its requests replayed on the survivors — or completed on the
-        host golden path once no shard is left.  The returned profile is
-        the order-free merge of every shard's round profile plus the
-        router's own replay/quarantine/host accounting.
+        Each iteration heals dead slots (respawn + ring rejoin),
+        heartbeats the survivors, places and dispatches the round, then
+        collects replies under the watchdog/hedging loop; requests off a
+        dead or wedged shard are replayed next iteration on the healed
+        fleet.  Only when no shard is alive *and* the respawn budget is
+        spent does the router complete the remainder on the host golden
+        path.  The returned profile is the order-free merge of every
+        shard's round profile plus the router's own replay / respawn /
+        hedge / quarantine / host accounting.
         """
         if self._closed:
             raise PimProgramError("fabric is closed")
         serving = ServingProfile()
         todo = self._pending
         self._pending = []
-        replayed: set = set()
-        while todo and self.alive_shards():
+        while todo:
+            self._heal(serving)
+            if self.server_config.heartbeat:
+                if self.heartbeat(serving):
+                    # Heartbeat quarantined someone: heal before placing.
+                    self._heal(serving)
+            if not self.alive_shards():
+                break
             assignment = self._place(todo)
             failed_shards: List[int] = []
+            wires: Dict[int, List[Tuple]] = {}
             for shard, items in assignment.items():
                 link = self._workers[shard]
-                wire = [(h.request_id, h.request) for h in items]
-                try:
-                    link.conn.send(("serve", wire))
-                except (OSError, BrokenPipeError):
+                wires[shard] = [(h.request_id, h.request) for h in items]
+                if not self._dispatch(link, wires[shard]):
                     failed_shards.append(shard)
             self._round_assignment = assignment
+            self._in_flight = set(assignment) - set(failed_shards)
             if self._post_dispatch_hook is not None:
                 self._post_dispatch_hook(self)
-            replay: List[FabricHandle] = []
-            for shard, items in assignment.items():
-                link = self._workers[shard]
-                payload = (
-                    None if shard in failed_shards else self._collect(link)
-                )
-                if payload is None:
-                    self._quarantine(shard, serving)
-                    for handle in items:
-                        handle.replays += 1
-                        replayed.add(handle.request_id)
-                    serving.replays += len(items)
-                    replay.extend(items)
-                else:
-                    self._fold(link, items, payload, serving)
-            todo = replay
+            todo = self._collect_round(
+                assignment, wires, failed_shards, serving
+            )
+            self._in_flight = set()
         for handle in todo:
             # No shard left to replay on: the router completes the
             # request itself, bit-exactly, on the host golden path.
@@ -383,19 +650,277 @@ class PimFabric:
             self.profiler.record_serving(serving)
         return serving
 
-    def _collect(self, link: _WorkerLink) -> Optional[Dict[str, Any]]:
-        """One shard's round reply, or None when the worker is dead/broken."""
-        try:
-            if not link.conn.poll(self.reply_timeout_s):
-                # Wedged worker: treat like a crash (and make it one).
-                self.kill_worker(link.shard)
-                return None
-            kind, body = link.conn.recv()
-        except (EOFError, OSError, ConnectionResetError):
+    def _collect_round(
+        self,
+        assignment: Dict[int, List[FabricHandle]],
+        wires: Dict[int, List[Tuple]],
+        failed_shards: List[int],
+        serving: ServingProfile,
+    ) -> List[FabricHandle]:
+        """Collect one round's replies; returns the handles to replay.
+
+        Replies are multiplexed across every dispatched (and hedged)
+        pipe so the router can watchdog wedged workers
+        (``reply_timeout_s``), hedge stragglers past the percentile
+        threshold, and accept completions in any arrival order — but
+        payloads are *folded* in sorted shard order afterwards, so the
+        merged profile and trace are identical run to run.
+        """
+        cfg = self.server_config
+        now = time.monotonic()
+        # origin shard -> dispatch time of its (or its hedge's) wait.
+        waiting: Dict[int, float] = {}
+        # origin shard -> (serving shard, payload) once resolved.
+        payloads: Dict[int, Tuple[int, Dict[str, Any]]] = {}
+        replay: List[FabricHandle] = []
+        hedge_of: Dict[int, int] = {}   # hedge shard -> origin shard
+        hedged: Dict[int, int] = {}     # origin shard -> hedge shard
+        hedge_start: Dict[int, float] = {}
+        dead_originals: set = set()     # origins alive only through a hedge
+        durations: List[float] = []
+
+        def add_replay(origin: int) -> None:
+            for handle in assignment[origin]:
+                handle.replays += 1
+            serving.replays += len(assignment[origin])
+            replay.extend(assignment[origin])
+            self._in_flight.discard(origin)
+
+        def resolve(origin: int, server_shard: int, payload) -> None:
+            payloads[origin] = (server_shard, payload)
+            waiting.pop(origin, None)
+            dead_originals.discard(origin)
+            self._in_flight.discard(origin)
+
+        def fail_origin(origin: int, reason: str) -> None:
+            self._quarantine(origin, serving, reason=reason)
+            waiting.pop(origin, None)
+            if origin in hedged:
+                # A hedge is already racing this group: the round now
+                # rides on it alone (its own watchdog still applies).
+                dead_originals.add(origin)
+            else:
+                add_replay(origin)
+
+        def fail_hedge(hedge: int, reason: str) -> None:
+            origin = hedge_of.pop(hedge)
+            hedged.pop(origin, None)
+            hedge_start.pop(hedge, None)
+            self._quarantine(hedge, serving, reason=reason)
+            if origin in dead_originals:
+                dead_originals.discard(origin)
+                add_replay(origin)
+
+        for origin in failed_shards:
+            self._quarantine(
+                origin, serving, reason="dispatch failed (broken pipe)"
+            )
+            add_replay(origin)
+        for origin in assignment:
+            if origin in failed_shards:
+                continue
+            stashed = self._stashed_replies.pop(origin, None)
+            if stashed is not None:
+                # drain() finished this group before recycling the slot.
+                try:
+                    resolve(origin, origin, self._decode_reply(stashed))
+                except PimWorkerError:
+                    add_replay(origin)
+                continue
+            waiting[origin] = now
+
+        while waiting or hedge_of:
+            now = time.monotonic()
+            conns = {}
+            for origin in waiting:
+                if origin not in dead_originals:
+                    conns[self._workers[origin].conn] = origin
+            for hedge in hedge_of:
+                conns[self._workers[hedge].conn] = hedge
+            if not conns:
+                break  # pragma: no cover - every path is dead already
+            timeout = self._next_wakeup(
+                now, waiting, hedge_start, durations, hedged
+            )
+            ready = multiprocessing.connection.wait(
+                list(conns), timeout=timeout
+            )
+            for conn in ready:
+                shard = conns[conn]
+                link = self._workers[shard]
+                try:
+                    message = link.conn.recv()
+                except (EOFError, OSError, ConnectionResetError):
+                    if shard in hedge_of:
+                        fail_hedge(shard, "hedge worker died mid-round")
+                    else:
+                        fail_origin(shard, "worker died mid-round")
+                    continue
+                if link.pending_discards > 0 and message[0] in (
+                    "result", "error",
+                ):
+                    link.pending_discards -= 1
+                    continue
+                try:
+                    payload = self._decode_reply(message)
+                except PimWorkerError as err:
+                    self.kill_worker(shard)
+                    if shard in hedge_of:
+                        fail_hedge(shard, str(err))
+                    else:
+                        fail_origin(shard, str(err))
+                    continue
+                if shard in hedge_of:
+                    origin = hedge_of.pop(shard)
+                    hedged.pop(origin, None)
+                    hedge_start.pop(shard, None)
+                    if origin in waiting or origin in dead_originals:
+                        # First (bit-exact) reply wins: the hedge.
+                        if origin in waiting:
+                            self._workers[origin].pending_discards += 1
+                        resolve(origin, shard, payload)
+                        serving.hedge_wins += 1
+                        if self.tracer is not None:
+                            self.tracer.event(
+                                "hedge:win", at_ns=0.0, category="fabric",
+                                shard=shard, origin=origin,
+                            )
+                elif shard in waiting:
+                    durations.append(now - waiting[shard])
+                    hedge = hedged.pop(shard, None)
+                    if hedge is not None:
+                        # The original outran its hedge: cancel the
+                        # loser — its late reply is discarded, never
+                        # folded, so the outcome stays exactly-once.
+                        hedge_of.pop(hedge, None)
+                        hedge_start.pop(hedge, None)
+                        self._workers[hedge].pending_discards += 1
+                        serving.hedge_losses += 1
+                        if self.tracer is not None:
+                            self.tracer.event(
+                                "hedge:loss", at_ns=0.0, category="fabric",
+                                shard=hedge, origin=shard,
+                            )
+                    resolve(shard, shard, payload)
+            now = time.monotonic()
+            threshold = self._hedge_threshold(durations)
+            for origin in list(waiting):
+                if origin in dead_originals:
+                    continue
+                elapsed = now - waiting[origin]
+                if elapsed > self.reply_timeout_s:
+                    # Wedged worker: treat like a crash (and make it one).
+                    link = self._workers[origin]
+                    link.state = "suspected"
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "wedge:shard", at_ns=0.0, category="fabric",
+                            shard=origin,
+                        )
+                    self.kill_worker(origin)
+                    fail_origin(
+                        origin,
+                        f"wedged: no reply within reply_timeout_s="
+                        f"{self.reply_timeout_s:g}s",
+                    )
+                elif (
+                    cfg.hedge
+                    and threshold is not None
+                    and elapsed > threshold
+                    and origin not in hedged
+                ):
+                    target = self._hedge_target(
+                        assignment, waiting, hedge_of
+                    )
+                    if target is None:
+                        continue
+                    if self._dispatch(self._workers[target], wires[origin]):
+                        hedge_of[target] = origin
+                        hedged[origin] = target
+                        hedge_start[target] = now
+                        serving.hedges += 1
+                        if self.tracer is not None:
+                            self.tracer.event(
+                                "hedge:dispatch", at_ns=0.0,
+                                category="fabric", shard=target,
+                                origin=origin,
+                            )
+            for hedge in list(hedge_of):
+                if now - hedge_start.get(hedge, now) > self.reply_timeout_s:
+                    self.kill_worker(hedge)
+                    fail_hedge(
+                        hedge,
+                        "hedge wedged past reply_timeout_s",
+                    )
+        # Fold in sorted-origin order: merge results must not depend on
+        # reply arrival order, or seeded replays would diverge.
+        for origin in sorted(payloads):
+            server_shard, payload = payloads[origin]
+            self._fold(
+                self._workers[server_shard], assignment[origin], payload,
+                serving,
+            )
+        return replay
+
+    def _hedge_threshold(self, durations: List[float]) -> Optional[float]:
+        """Wall-clock straggler bound from this round's completed replies.
+
+        ``hedge_factor`` times the ``hedge_quantile`` of completed reply
+        times, floored at ``hedge_min_s``; None until a first completion
+        exists (a percentile of nothing is meaningless, and hedging every
+        round's first reply would double the fleet's work).
+        """
+        if not durations:
             return None
-        if kind != "result":
+        cfg = self.server_config
+        return max(
+            cfg.hedge_min_s,
+            cfg.hedge_factor * _percentile(durations, cfg.hedge_quantile),
+        )
+
+    def _hedge_target(
+        self,
+        assignment: Dict[int, List[FabricHandle]],
+        waiting: Dict[int, float],
+        hedge_of: Dict[int, int],
+    ) -> Optional[int]:
+        """The least-loaded idle survivor to hedge onto (None when none).
+
+        Idle means alive, not waiting on its own group, not already
+        hedging, and with no stale cancelled reply queued; least-loaded
+        prefers the shard that served the smallest group this round.
+        """
+        candidates = [
+            s
+            for s in self.alive_shards()
+            if s not in waiting
+            and s not in hedge_of
+            and self._workers[s].pending_discards == 0
+        ]
+        if not candidates:
             return None
-        return body
+        return min(candidates, key=lambda s: (len(assignment.get(s, [])), s))
+
+    def _next_wakeup(
+        self,
+        now: float,
+        waiting: Dict[int, float],
+        hedge_start: Dict[int, float],
+        durations: List[float],
+        hedged: Dict[int, int],
+    ) -> float:
+        """Bounded sleep until the next watchdog/hedge deadline."""
+        soonest = float("inf")
+        threshold = self._hedge_threshold(durations)
+        for origin, started in waiting.items():
+            soonest = min(soonest, started + self.reply_timeout_s)
+            if threshold is not None and origin not in hedged:
+                soonest = min(soonest, started + threshold)
+        for started in hedge_start.values():
+            soonest = min(soonest, started + self.reply_timeout_s)
+        if soonest == float("inf"):
+            return 1.0
+        return min(1.0, max(0.01, soonest - now))
 
     def _fold(
         self,
@@ -478,20 +1003,73 @@ class PimFabric:
         process = link.process
         if process is not None and process.is_alive():
             os.kill(process.pid, signal.SIGKILL)
-            process.join(timeout=30.0)
+            process.join(timeout=self.server_config.join_timeout_s)
 
-    def _quarantine(self, shard: int, serving: ServingProfile) -> None:
+    def inject_worker_fault(self, shard: int, spec: Dict[str, Any]) -> None:
+        """Arm one scripted chaos fault on ``shard``'s worker.
+
+        Sends a ``("chaos", spec)`` control message (see
+        :func:`repro.stack.worker.apply_chaos` for the spec keys:
+        ``delay_s``, ``fail_channel``, ``bit_flips``, ``corrupt_reply``,
+        ``seed``) and waits for the acknowledgement, so the fault is
+        armed *before* the next round is dispatched.  Raises
+        :class:`~repro.errors.PimWorkerError` when the worker is dead or
+        refuses the spec.
+        """
+        link = self._workers[shard]
+        if not link.alive:
+            raise PimWorkerError(
+                f"cannot inject fault into dead shard {shard}", shard=shard
+            )
+        try:
+            link.conn.send(("chaos", dict(spec)))
+            while True:
+                if not link.conn.poll(self.server_config.heartbeat_timeout_s):
+                    raise PimWorkerError(
+                        f"shard {shard} did not acknowledge the chaos spec",
+                        shard=shard,
+                    )
+                message = link.conn.recv()
+                if link.pending_discards > 0 and message[0] in (
+                    "result", "error",
+                ):
+                    link.pending_discards -= 1
+                    continue
+                break
+        except (OSError, EOFError, BrokenPipeError) as err:
+            raise PimWorkerError(
+                f"shard {shard} died while arming a chaos fault: {err}",
+                shard=shard,
+            ) from err
+        if message[0] != "chaos-ok":
+            raise PimWorkerError(
+                f"shard {shard} rejected the chaos spec: {message!r}",
+                shard=shard,
+            )
+        if self.tracer is not None:
+            self.tracer.event(
+                "chaos:armed", at_ns=0.0, category="chaos", shard=shard,
+                spec=",".join(sorted(spec)),
+            )
+
+    def _quarantine(
+        self,
+        shard: int,
+        serving: Optional[ServingProfile] = None,
+        reason: str = "worker died or errored mid-round",
+    ) -> None:
         """Retire a dead/errored shard, mirroring channel quarantine."""
         link = self._workers[shard]
         if not link.alive:
             return
         link.alive = False
+        link.state = "quarantined"
         self._ring.remove(shard)
         self._quarantined.append(shard)
-        serving.quarantined_shards.append(shard)
+        if serving is not None:
+            serving.quarantined_shards.append(shard)
         error = PimWorkerError(
-            f"shard {shard} worker died or errored mid-round; quarantined "
-            f"and its requests replayed",
+            f"shard {shard} {reason}; quarantined and its requests replayed",
             shard=shard,
         )
         self.worker_errors.append(error)
@@ -500,9 +1078,7 @@ class PimFabric:
         except OSError:
             pass
         if link.process is not None:
-            if link.process.is_alive():
-                link.process.kill()
-            link.process.join(timeout=30.0)
+            self._reap(link)
         if self.tracer is not None:
             self.tracer.event(
                 "quarantine:shard", at_ns=0.0, category="fabric", shard=shard

@@ -201,6 +201,18 @@ class ServingProfile:
     # survivors or the host golden path.
     quarantined_shards: List[int] = field(default_factory=list)
     replays: int = 0
+    # -- fabric self-healing (see docs/ARCHITECTURE.md, "Fabric
+    #    resilience & chaos") --
+    # shard slot -> times its worker was respawned after dying/wedging.
+    respawns: Dict[int, int] = field(default_factory=dict)
+    # Straggler hedges the router dispatched, and how the races ended:
+    # a win means the hedge's reply landed first (the origin was
+    # cancelled), a loss means the origin outran its hedge.  An in-
+    # flight hedge whose origin died resolves as neither (the hedge
+    # simply becomes the serving shard).
+    hedges: int = 0
+    hedge_wins: int = 0
+    hedge_losses: int = 0
     # Background-scrub activity between batches.
     scrubs: int = 0
     scrub_corrected: int = 0
@@ -280,6 +292,11 @@ class ServingProfile:
         self.quarantined_channels.extend(other.quarantined_channels)
         self.quarantined_shards.extend(other.quarantined_shards)
         self.replays += other.replays
+        for shard, count in other.respawns.items():
+            self.respawns[shard] = self.respawns.get(shard, 0) + count
+        self.hedges += other.hedges
+        self.hedge_wins += other.hedge_wins
+        self.hedge_losses += other.hedge_losses
         self.scrubs += other.scrubs
         self.scrub_corrected += other.scrub_corrected
         self.scrub_uncorrectable += other.scrub_uncorrectable
@@ -327,6 +344,10 @@ class ServingProfile:
             "serving.breaker.short_circuits": self.breaker_short_circuits,
             "serving.replays": self.replays,
             "serving.quarantined.shards": len(self.quarantined_shards),
+            "serving.respawns": sum(self.respawns.values()),
+            "serving.hedges": self.hedges,
+            "serving.hedge.wins": self.hedge_wins,
+            "serving.hedge.losses": self.hedge_losses,
         }
         for name, value in scalars.items():
             registry.counter(name).inc(value)
@@ -489,6 +510,16 @@ class ServingProfile:
             )
             lines.append(f"  quarantined shards     : {shards}")
             lines.append(f"  requests replayed      : {self.replays}")
+        if self.respawns:
+            respawned = ",".join(
+                f"{s}x{n}" for s, n in sorted(self.respawns.items())
+            )
+            lines.append(f"  shards respawned       : {respawned}")
+        if self.hedges:
+            lines.append(
+                f"  hedges (won/lost)      : {self.hedges} "
+                f"({self.hedge_wins}/{self.hedge_losses})"
+            )
         if (
             self.retries
             or self.fallbacks

@@ -12,13 +12,23 @@ replicas keep results bit-exact no matter which shard serves a request
 The wire protocol is deliberately tiny — picklable tuples over one
 ``multiprocessing`` pipe, strictly request/reply from the router's side:
 
-* ``("serve", [(rid, Request), ...])`` → ``("result", payload)`` where the
-  payload carries per-rid results and outcomes, the round's
+* ``("serve", crc32, blob)`` → ``("result", crc32, blob)`` — the blobs
+  are pickled payloads guarded by a CRC32 of their bytes, so a payload
+  corrupted in transit is *detected* (and replayed) instead of silently
+  decoding into wrong results.  With ``ServerConfig.pipe_checksum``
+  off, the historical unchecked forms ``("serve", [(rid, Request),
+  ...])`` → ``("result", payload)`` are spoken instead; the worker
+  answers in whichever dialect the dispatch arrived in.  The payload
+  carries per-rid results and outcomes, the round's
   :class:`~repro.stack.profiler.ServingProfile` (request ids rewritten to
   fabric rids, channels/transitions rewritten to the shard's global ids),
   and the round's trace spans/events (rids rewritten likewise).  A serve
   round that fails wholesale replies ``("error", message)`` instead.
-* ``("ping",)`` → ``("pong", shard)`` — liveness probe.
+* ``("ping",)`` → ``("pong", shard)`` — liveness probe (the router's
+  between-rounds heartbeat).
+* ``("chaos", spec)`` → ``("chaos-ok", shard)`` — arm one scripted fault
+  (see :func:`apply_chaos`): a latency fault before the next serve, a
+  dead device channel, scripted bit flips, or next-reply corruption.
 * ``("close",)`` → ``("closed", shard)``, then the worker releases its
   device and exits.
 * ``("kill",)`` → no reply: the worker drops the connection and dies
@@ -32,13 +42,16 @@ it).
 
 from __future__ import annotations
 
+import pickle
+import time
+import zlib
 from typing import Any, Dict, List, Tuple
 
 from ..errors import PimError
 from .api import Request, ServerConfig
 from .profiler import BreakerTransition, ServingProfile
 
-__all__ = ["run_worker", "serve_round"]
+__all__ = ["apply_chaos", "run_worker", "serve_round"]
 
 
 def serve_round(ctx, server, shard: int, items: List[Tuple[int, "Request"]]) -> Dict[str, Any]:
@@ -142,6 +155,77 @@ def _globalise_profile(
     ]
 
 
+class _ChaosState:
+    """Scripted faults armed on this worker, applied at the next serve."""
+
+    def __init__(self):
+        #: Wall-clock stall (seconds) applied before the next serve round
+        #: — small values model stragglers (hedge territory), values past
+        #: the router's reply timeout model a wedged process.
+        self.delay_s: float = 0.0
+        #: Corrupt the next result blob *after* its CRC32 was computed,
+        #: modelling in-transit pipe corruption the checksum must catch.
+        self.corrupt_next_reply: bool = False
+        #: Lazily-built seeded injector for device-tier scripted faults.
+        self.injector = None
+
+
+def apply_chaos(ctx, state: _ChaosState, spec: Dict[str, Any]) -> None:
+    """Arm one scripted chaos fault on this worker (see ``("chaos", spec)``).
+
+    ``spec`` keys (any subset):
+
+    * ``delay_s`` — stall this many wall-clock seconds before serving the
+      next round (straggler when small, wedge when past the router's
+      ``reply_timeout_s``); pass ``wedge: True`` alongside to count the
+      stall under ``FaultStats.wedges`` instead of ``slowdowns``.
+    * ``fail_channel`` — hard-fail one pseudo-channel of this worker's
+      device replica (the in-worker ``PimServer`` quarantines and heals).
+    * ``bit_flips`` — flip exactly N stored data bits across the
+      allocated rows (with ECC armed these are corrected/scrubbed).
+    * ``corrupt_reply`` — corrupt the next result payload after
+      checksumming, so the router's CRC32 verification must catch it.
+    * ``seed`` — seed of the worker's scripted-fault injector (defaults
+      to 0; only the first ``chaos`` message builds the injector).
+    """
+    from ..faults import FaultConfig, FaultInjector
+
+    if state.injector is None:
+        system = ctx.system
+        state.injector = system.fault_injector or FaultInjector(
+            system, FaultConfig(seed=int(spec.get("seed", 0)))
+        )
+    if "delay_s" in spec:
+        state.delay_s = max(0.0, float(spec["delay_s"]))
+        if spec.get("wedge"):
+            state.injector.stats.wedges += 1
+        else:
+            state.injector.stats.slowdowns += 1
+    if spec.get("corrupt_reply"):
+        state.corrupt_next_reply = True
+    if "fail_channel" in spec:
+        state.injector.fail_channel(int(spec["fail_channel"]))
+    if "bit_flips" in spec:
+        state.injector.flip_random_bits(int(spec["bit_flips"]))
+
+
+def _decode_serve(message: Tuple) -> List[Tuple[int, "Request"]]:
+    """The (rid, Request) items of one dispatch, CRC-verified when framed.
+
+    Raises ``ValueError`` on a checksum mismatch — the caller reports it
+    as an ``("error", ...)`` reply and the router replays the round.
+    """
+    if len(message) == 3:
+        _, crc, blob = message
+        if zlib.crc32(blob) != crc:
+            raise ValueError(
+                "serve dispatch failed its CRC32 check (payload corrupted "
+                "in transit)"
+            )
+        return pickle.loads(blob)
+    return message[1]
+
+
 def run_worker(conn, system_config, server_config: ServerConfig, shard: int) -> None:
     """Serve fabric messages over ``conn`` until closed, killed, or EOF.
 
@@ -156,6 +240,7 @@ def run_worker(conn, system_config, server_config: ServerConfig, shard: int) -> 
 
     ctx = PimContext(system_config)
     server = ctx.server(server_config)
+    chaos = _ChaosState()
     try:
         while True:
             try:
@@ -164,14 +249,46 @@ def run_worker(conn, system_config, server_config: ServerConfig, shard: int) -> 
                 break
             kind = message[0]
             if kind == "serve":
+                if chaos.delay_s > 0.0:
+                    # Scripted straggler/wedge: stall with the round
+                    # already on the wire (the adversarial instant).
+                    time.sleep(chaos.delay_s)
+                    chaos.delay_s = 0.0
                 try:
-                    payload = serve_round(ctx, server, shard, message[1])
+                    items = _decode_serve(message)
+                    payload = serve_round(ctx, server, shard, items)
                 except Exception as err:  # noqa: BLE001 - shipped to router
                     conn.send(("error", f"{type(err).__name__}: {err}"))
                 else:
-                    conn.send(("result", payload))
+                    if len(message) == 3:
+                        blob = pickle.dumps(
+                            payload, protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                        crc = zlib.crc32(blob)
+                        if chaos.corrupt_next_reply:
+                            from ..faults import FaultConfig, FaultInjector
+
+                            chaos.corrupt_next_reply = False
+                            if chaos.injector is None:
+                                chaos.injector = FaultInjector(
+                                    ctx.system, FaultConfig(seed=shard)
+                                )
+                            # CRC was computed on the good bytes; the blob
+                            # is corrupted after, modelling the transit
+                            # fault the router's check must catch.
+                            blob = chaos.injector.corrupt_blob(blob)
+                        conn.send(("result", crc, blob))
+                    else:
+                        conn.send(("result", payload))
             elif kind == "ping":
                 conn.send(("pong", shard))
+            elif kind == "chaos":
+                try:
+                    apply_chaos(ctx, chaos, message[1])
+                except Exception as err:  # noqa: BLE001 - shipped to router
+                    conn.send(("error", f"{type(err).__name__}: {err}"))
+                else:
+                    conn.send(("chaos-ok", shard))
             elif kind == "kill":
                 # Abrupt death on request: no reply, no cleanup handshake.
                 break

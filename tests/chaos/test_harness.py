@@ -1,0 +1,87 @@
+"""The chaos harness end to end: invariants hold, properties survive fuzzing.
+
+The hypothesis property is the satellite acceptance check: *any* seeded
+chaos schedule (over the fast fault kinds — no wall-clock stalls) leaves
+every request with exactly one terminal outcome, bit-exact results, a
+valid merged trace, zero device spans for dropped work, and full ring
+capacity after healing.  ``gates=False`` skips the fault-free baseline
+session the degradation gates need, keeping each example cheap.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import ChaosSchedule, run_chaos
+from repro.chaos.invariants import check_capacity, check_conservation
+from repro.stack.profiler import RequestStats, ServingProfile
+
+# Fault kinds with no scripted wall-clock stall: cheap enough to fuzz.
+FAST_KINDS = ("kill", "corrupt_pipe", "bit_flips", "fail_channel")
+
+
+class TestHarnessSmoke:
+    def test_fast_kinds_scenario_holds_every_invariant(self):
+        report = run_chaos(
+            seed=3, workers=2, requests=12, kinds=FAST_KINDS, gates=False
+        )
+        assert report.ok, "\n".join(report.violations)
+        assert report.alive_after == [0, 1]
+        assert len(report.applied) == len(FAST_KINDS)
+        assert sum(report.profile.outcomes().values()) == report.requests
+
+    def test_report_renders(self):
+        report = run_chaos(
+            seed=3, workers=2, requests=8, kinds=("bit_flips",), gates=False
+        )
+        text = "\n".join(report.render())
+        assert "chaos scenario" in text
+        assert "violations" in text
+
+    def test_explicit_schedule_honoured(self):
+        schedule = ChaosSchedule.generate(5, workers=2, kinds=("kill",))
+        report = run_chaos(
+            seed=5, workers=2, requests=8, schedule=schedule, gates=False
+        )
+        assert report.ok, "\n".join(report.violations)
+        assert report.schedule is schedule
+        assert any(entry.startswith("kill@") for entry in report.applied)
+
+
+class TestInvariantCheckers:
+    """The checkers themselves must catch violations, not just pass."""
+
+    def test_conservation_flags_phantom_profile_entry(self):
+        profile = ServingProfile()
+        stats = RequestStats(
+            request_id=99, op="gemv", arrival_ns=0.0, start_ns=0.0,
+            finish_ns=1.0,
+        )
+        stats.outcome = "completed"
+        profile.requests.append(stats)
+        violations = check_conservation([], profile)
+        assert any("never submitted" in v for v in violations)
+
+    def test_capacity_flags_missing_shard(self):
+        violations = check_capacity([0], workers=2)
+        assert violations
+        assert any("capacity" in v for v in violations)
+
+    def test_capacity_ok_when_full(self):
+        assert check_capacity([0, 1], workers=2) == []
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    kinds=st.sets(st.sampled_from(FAST_KINDS), min_size=1).map(
+        lambda s: tuple(sorted(s))
+    ),
+)
+@settings(max_examples=5, deadline=None)
+def test_any_chaos_schedule_preserves_fabric_contract(seed, kinds):
+    """Property (satellite): every request ends in exactly one terminal
+    outcome, dropped work has zero device spans, capacity recovers —
+    regardless of which faults fire where."""
+    report = run_chaos(
+        seed=seed, workers=2, requests=8, kinds=kinds, gates=False
+    )
+    assert report.ok, "\n".join(report.violations)

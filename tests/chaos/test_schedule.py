@@ -1,0 +1,53 @@
+"""The chaos schedule: seeded, validated, deterministic."""
+
+import pytest
+
+from repro.chaos import KINDS, ChaosEvent, ChaosSchedule
+
+
+class TestChaosEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            ChaosEvent(at_ns=0.0, kind="meteor", shard=0)
+
+    def test_known_kinds_accepted(self):
+        for kind in KINDS:
+            event = ChaosEvent(at_ns=100.0, kind=kind, shard=1)
+            assert event.kind == kind
+
+
+class TestChaosSchedule:
+    def test_same_seed_same_schedule(self):
+        a = ChaosSchedule.generate(7, workers=4)
+        b = ChaosSchedule.generate(7, workers=4)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = ChaosSchedule.generate(7, workers=4)
+        b = ChaosSchedule.generate(8, workers=4)
+        assert a != b
+
+    def test_every_requested_kind_scripted_once(self):
+        schedule = ChaosSchedule.generate(7, workers=4)
+        assert schedule.kinds() == KINDS
+        assert len(schedule.events) == len(KINDS)
+
+    def test_kind_subset_respected(self):
+        subset = ("kill", "bit_flips")
+        schedule = ChaosSchedule.generate(3, workers=2, kinds=subset)
+        assert set(schedule.kinds()) == set(subset)
+
+    def test_wave_zero_always_fault_free(self):
+        for seed in range(5):
+            schedule = ChaosSchedule.generate(seed, workers=4)
+            by_wave = schedule.by_wave(50_000.0)
+            assert 0 not in by_wave
+
+    def test_by_wave_partitions_all_events(self):
+        schedule = ChaosSchedule.generate(7, workers=4)
+        by_wave = schedule.by_wave(50_000.0)
+        assert sum(len(v) for v in by_wave.values()) == len(schedule.events)
+
+    def test_shards_within_worker_range(self):
+        schedule = ChaosSchedule.generate(7, workers=3)
+        assert all(0 <= e.shard < 3 for e in schedule.events)

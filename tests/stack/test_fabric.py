@@ -26,6 +26,9 @@ from repro.stack import (
 )
 
 CONFIG = SystemConfig(num_pchs=2, num_rows=256, simulate_pchs=1, server_seed=7)
+# Pin the pre-self-healing semantics for the conservation tests: a killed
+# shard stays quarantined (no respawn) so replays land on survivors only.
+NO_RESPAWN = ServerConfig(max_respawns=0)
 
 
 def rand(shape, seed, scale=0.25):
@@ -117,7 +120,7 @@ class TestWorkerKillConservation:
 
     def test_every_request_exactly_one_terminal_outcome(self):
         items = gemv_stream(24, 6)
-        with PimFabric(CONFIG, workers=4) as fabric:
+        with PimFabric(CONFIG, workers=4, server_config=NO_RESPAWN) as fabric:
             handles = [fabric.submit(r) for r in items]
             fabric._post_dispatch_hook = self.kill_busiest
             profile = fabric.run()
@@ -135,7 +138,7 @@ class TestWorkerKillConservation:
 
     def test_all_workers_dead_completes_on_host(self):
         items = gemv_stream(6, 2)
-        with PimFabric(CONFIG, workers=2) as fabric:
+        with PimFabric(CONFIG, workers=2, server_config=NO_RESPAWN) as fabric:
             handles = [fabric.submit(r) for r in items]
 
             def kill_everything(fab):
@@ -153,7 +156,7 @@ class TestWorkerKillConservation:
 
     def test_replay_lands_on_survivors(self):
         items = gemv_stream(12, 4)
-        with PimFabric(CONFIG, workers=3) as fabric:
+        with PimFabric(CONFIG, workers=3, server_config=NO_RESPAWN) as fabric:
             handles = [fabric.submit(r) for r in items]
             fabric._post_dispatch_hook = self.kill_busiest
             fabric.run()
@@ -305,3 +308,196 @@ class TestServingDeprecationShims:
         )
         for left, right in zip(legacy, modern):
             assert np.array_equal(left, right)
+
+
+class TestSelfHealing:
+    """Tentpole: the lifecycle manager respawns, rejoins, hedges, drains."""
+
+    def kill_busiest(self, fabric):
+        busiest = max(
+            (s for s in fabric.alive_shards() if fabric._round_assignment.get(s)),
+            key=lambda s: len(fabric._round_assignment[s]),
+        )
+        fabric.kill_worker(busiest)
+        fabric._post_dispatch_hook = None
+        self.victim = busiest
+
+    def test_killed_shard_respawns_and_rejoins_ring(self):
+        items = gemv_stream(24, 6)
+        config = ServerConfig(max_respawns=1)
+        with PimFabric(CONFIG, workers=2, server_config=config) as fabric:
+            handles = [fabric.submit(r) for r in items]
+            fabric._post_dispatch_hook = self.kill_busiest
+            profile = fabric.run()
+            # Capacity restored: the victim was respawned into its slot
+            # and rejoined the ring within the same run.
+            assert fabric.alive_shards() == [0, 1]
+            assert fabric.shard_states()[self.victim] == "rejoined"
+        assert_bit_exact(handles)
+        assert sum(profile.outcomes().values()) == len(handles)
+        assert profile.quarantined_shards == [self.victim]
+        assert profile.respawns == {self.victim: 1}
+        assert fabric.respawns == {self.victim: 1}
+        assert profile.replays > 0
+        # Nothing was forced onto the host path: the healed fleet served
+        # every replay on-device.
+        assert all(h.shard != -1 for h in handles)
+
+    def test_respawn_budget_bounds_healing(self):
+        items = gemv_stream(8, 2)
+        config = ServerConfig(max_respawns=0)
+        with PimFabric(CONFIG, workers=2, server_config=config) as fabric:
+            handles = [fabric.submit(r) for r in items]
+            fabric._post_dispatch_hook = self.kill_busiest
+            fabric.run()
+            assert self.victim not in fabric.alive_shards()
+            assert fabric.respawns == {}
+        assert_bit_exact(handles)
+
+    def test_wedged_worker_detected_by_reply_timeout_watchdog(self):
+        """A worker stalled past ``reply_timeout_s`` is killed, quarantined,
+        its round replayed, and its slot respawned (fabric watchdog path)."""
+        items = gemv_stream(12, 4)
+        config = ServerConfig(
+            reply_timeout_s=0.4, hedge=False, heartbeat=False, max_respawns=1
+        )
+        with PimFabric(CONFIG, workers=2, server_config=config) as fabric:
+            assert fabric.reply_timeout_s == 0.4
+            handles = [fabric.submit(r) for r in items]
+            fabric.inject_worker_fault(0, {"delay_s": 5.0, "wedge": True})
+            profile = fabric.run()
+            assert fabric.alive_shards() == [0, 1]
+        assert_bit_exact(handles)
+        assert sum(profile.outcomes().values()) == len(handles)
+        assert 0 in profile.quarantined_shards
+        assert profile.respawns.get(0) == 1
+        wedge_errors = [e for e in fabric.worker_errors if "wedged" in str(e)]
+        assert wedge_errors and "reply_timeout_s" in str(wedge_errors[0])
+        assert any(e.name == "wedge:shard" for e in (fabric.tracer.events if fabric.tracer else [])) or fabric.tracer is None
+
+    def test_straggler_hedged_to_idle_survivor(self):
+        """A slow (not wedged) shard's group is re-dispatched and the
+        first bit-exact reply wins; the straggler survives un-quarantined."""
+        items = gemv_stream(12, 4)
+        config = ServerConfig(
+            reply_timeout_s=30.0, heartbeat_timeout_s=10.0,
+            hedge=True, hedge_min_s=0.2, hedge_factor=2.0, max_respawns=0,
+        )
+        with PimFabric(CONFIG, workers=2, server_config=config) as fabric:
+            handles = [fabric.submit(r) for r in items]
+            fabric.inject_worker_fault(0, {"delay_s": 1.5})
+            profile = fabric.run()
+            assert fabric.alive_shards() == [0, 1]
+        assert_bit_exact(handles)
+        assert sum(profile.outcomes().values()) == len(handles)
+        assert profile.hedges >= 1
+        assert profile.hedge_wins >= 1
+        assert profile.quarantined_shards == []
+        assert profile.replays == 0
+
+    def test_heartbeat_detects_silent_death_between_rounds(self):
+        config = ServerConfig(heartbeat_timeout_s=2.0, max_respawns=1)
+        with PimFabric(CONFIG, workers=2, server_config=config) as fabric:
+            first = [fabric.submit(r) for r in gemv_stream(8, 2)]
+            fabric.run()
+            fabric.kill_worker(0)  # dies silently between rounds
+            second = [fabric.submit(r) for r in gemv_stream(8, 2, seed=11)]
+            profile = fabric.run()
+            assert fabric.alive_shards() == [0, 1]
+        assert_bit_exact(first + second)
+        assert any("heartbeat" in str(e) for e in fabric.worker_errors)
+        assert fabric.respawns == {0: 1}
+        assert profile.respawns == {0: 1}
+
+    def test_drain_between_rounds_is_zero_loss_hot_restart(self):
+        with PimFabric(CONFIG, workers=2) as fabric:
+            first = [fabric.submit(r) for r in gemv_stream(8, 2)]
+            fabric.run()
+            fabric.drain(0)
+            assert fabric.drains == 1
+            assert fabric.alive_shards() == [0, 1]
+            assert fabric.shard_states()[0] == "rejoined"
+            second = [fabric.submit(r) for r in gemv_stream(8, 2, seed=11)]
+            profile = fabric.run()
+        assert_bit_exact(first + second)
+        assert profile.quarantined_shards == []
+        assert profile.replays == 0
+        assert fabric.respawns == {}
+
+    def test_drain_mid_round_finishes_in_flight_groups(self):
+        """Draining a shard with a round in flight collects its reply
+        first: in-flight groups finish, nothing is replayed."""
+        items = gemv_stream(12, 4)
+
+        def drain_busiest(fabric):
+            busiest = max(
+                (s for s in fabric.alive_shards()
+                 if fabric._round_assignment.get(s)),
+                key=lambda s: len(fabric._round_assignment[s]),
+            )
+            fabric.drain(busiest)
+            fabric._post_dispatch_hook = None
+            self.drained = busiest
+
+        with PimFabric(CONFIG, workers=2) as fabric:
+            handles = [fabric.submit(r) for r in items]
+            fabric._post_dispatch_hook = drain_busiest
+            profile = fabric.run()
+            assert fabric.alive_shards() == [0, 1]
+            assert fabric.drains == 1
+        assert_bit_exact(handles)
+        assert sum(profile.outcomes().values()) == len(handles)
+        assert profile.replays == 0
+        assert profile.quarantined_shards == []
+
+    def test_drain_dead_shard_rejected(self):
+        config = ServerConfig(max_respawns=0)
+        with PimFabric(CONFIG, workers=2, server_config=config) as fabric:
+            fabric.kill_worker(0)
+            fabric._quarantine(0)
+            with pytest.raises(PimWorkerError, match="drain"):
+                fabric.drain(0)
+
+    def test_corrupt_reply_fails_crc_and_replays(self):
+        """Satellite: a worker reply corrupted in transit is caught by the
+        CRC32 check, the shard quarantined, and the round replayed."""
+        items = gemv_stream(12, 4)
+        config = ServerConfig(max_respawns=1)
+        with PimFabric(CONFIG, workers=2, server_config=config) as fabric:
+            handles = [fabric.submit(r) for r in items]
+            fabric.inject_worker_fault(0, {"corrupt_reply": True, "seed": 3})
+            profile = fabric.run()
+            assert fabric.alive_shards() == [0, 1]
+        assert_bit_exact(handles)
+        assert sum(profile.outcomes().values()) == len(handles)
+        assert 0 in profile.quarantined_shards
+        assert profile.replays > 0
+        assert any("CRC32" in str(e) for e in fabric.worker_errors)
+
+    def test_pipe_checksum_off_speaks_legacy_dialect(self):
+        items = gemv_stream(8, 2)
+        config = ServerConfig(pipe_checksum=False)
+        with PimFabric(CONFIG, workers=2, server_config=config) as fabric:
+            handles = [fabric.submit(r) for r in items]
+            profile = fabric.run()
+        assert_bit_exact(handles)
+        assert sum(profile.outcomes().values()) == len(handles)
+
+    def test_timeouts_thread_through_server_config(self):
+        """Satellite: the historical hard-coded poll/join constants are
+        now ServerConfig knobs (defaults preserved)."""
+        assert ServerConfig().reply_timeout_s == 600.0
+        assert ServerConfig().close_timeout_s == 10.0
+        assert ServerConfig().join_timeout_s == 30.0
+        config = ServerConfig(
+            reply_timeout_s=1.25, close_timeout_s=2.5, join_timeout_s=3.5,
+            heartbeat_timeout_s=4.5,
+        )
+        fabric = PimFabric(CONFIG, workers=1, server_config=config)
+        try:
+            assert fabric.reply_timeout_s == 1.25
+            assert fabric.server_config.close_timeout_s == 2.5
+            assert fabric.server_config.join_timeout_s == 3.5
+            assert fabric.server_config.heartbeat_timeout_s == 4.5
+        finally:
+            fabric.close()

@@ -141,3 +141,90 @@ class TestServeRoundTracing:
             # the next round's span ids restart at 1.
             assert ctx.tracer.spans == []
             assert ctx.tracer.events == []
+
+
+class TestWorkerChecksumProtocol:
+    """Satellite: CRC32-framed serve/result payloads and chaos control."""
+
+    @staticmethod
+    def wire(items):
+        import pickle
+        import zlib
+
+        blob = pickle.dumps(items, protocol=pickle.HIGHEST_PROTOCOL)
+        return ("serve", zlib.crc32(blob), blob)
+
+    @staticmethod
+    def gemv_items(rids):
+        w = rand((16, 8), 0)
+        return [
+            (rid, Request("gemv", weights=w, a=rand(8, rid + 1)))
+            for rid in rids
+        ]
+
+    def test_crc_framed_round_trip_bit_exact(self, worker):
+        import pickle
+        import zlib
+
+        items = self.gemv_items((20, 21))
+        worker.send(self.wire(items))
+        message = worker.recv()
+        # CRC dispatch earns a CRC reply (the worker answers in kind).
+        assert message[0] == "result" and len(message) == 3
+        _, crc, blob = message
+        assert zlib.crc32(blob) == crc
+        payload = pickle.loads(blob)
+        for rid, request in items:
+            golden = gemv_reference(request.weights, request.a, CONFIG.num_pchs)
+            assert np.array_equal(payload["results"][rid], golden)
+
+    def test_corrupted_dispatch_detected_not_served(self, worker):
+        import pickle
+        import zlib
+
+        items = self.gemv_items((30,))
+        blob = pickle.dumps(items, protocol=pickle.HIGHEST_PROTOCOL)
+        corrupted = bytearray(blob)
+        corrupted[len(corrupted) // 2] ^= 0x40
+        worker.send(("serve", zlib.crc32(blob), bytes(corrupted)))
+        kind, body = worker.recv()
+        assert kind == "error"
+        assert "CRC32" in body
+
+    def test_chaos_corrupt_reply_fails_router_checksum(self, worker):
+        import zlib
+
+        worker.send(("chaos", {"corrupt_reply": True, "seed": 1}))
+        assert worker.recv() == ("chaos-ok", 3)
+        worker.send(self.wire(self.gemv_items((40,))))
+        message = worker.recv()
+        assert message[0] == "result" and len(message) == 3
+        _, crc, blob = message
+        # The blob was corrupted *after* checksumming: the CRC must not
+        # match, which is exactly what the router's verification catches.
+        assert zlib.crc32(blob) != crc
+        # One-shot fault: the next round is clean again.
+        worker.send(self.wire(self.gemv_items((41,))))
+        _, crc, blob = worker.recv()
+        assert zlib.crc32(blob) == crc
+
+    def test_chaos_delay_stalls_next_serve_only(self, worker):
+        import time
+
+        worker.send(("chaos", {"delay_s": 0.2}))
+        assert worker.recv() == ("chaos-ok", 3)
+        t0 = time.monotonic()
+        worker.send(("serve", self.gemv_items((50,))))
+        kind, _ = worker.recv()
+        assert kind == "result"
+        assert time.monotonic() - t0 >= 0.2
+        t0 = time.monotonic()
+        worker.send(("serve", self.gemv_items((51,))))
+        worker.recv()
+        assert time.monotonic() - t0 < 0.2
+
+    def test_chaos_bad_spec_reports_error(self, worker):
+        worker.send(("chaos", {"fail_channel": 99}))
+        kind, body = worker.recv()
+        assert kind == "error"
+        assert "channel" in body.lower()
