@@ -24,8 +24,10 @@ from .errors import (
     PimChannelError,
     PimDataError,
     PimError,
+    PimJournalError,
     PimOverloadError,
     PimProgramError,
+    PimReplayError,
     PimWorkerError,
 )
 from .faults import FaultConfig, FaultInjector
@@ -57,6 +59,8 @@ __all__ = [
     "PimOverloadError",
     "PimProgramError",
     "PimWorkerError",
+    "PimJournalError",
+    "PimReplayError",
     "RequestOutcome",
     "Request",
     "ServerConfig",

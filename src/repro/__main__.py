@@ -15,6 +15,14 @@
     python -m repro chaos --seed 7
                                  # scripted fault storm against the fabric;
                                  # nonzero exit on any invariant violation
+    python -m repro serve-bench --journal wal/
+                                 # same load sweep, journaling every request
+                                 # and outcome into a write-ahead log
+    python -m repro replay --journal wal/gap-2000
+                                 # recover a journal into terminal outcomes
+    python -m repro replay --trace workload.trace
+                                 # execute an HBM-PIMulator textual trace
+                                 # against the device model (see -h)
 """
 
 from __future__ import annotations
@@ -466,6 +474,7 @@ def _serve_bench(argv=None) -> int:
     protection layer regressed (both are used by CI).
     """
     import argparse
+    import os
 
     import numpy as np
 
@@ -538,6 +547,21 @@ def _serve_bench(argv=None) -> int:
         help="enable the observability layer and write a Chrome trace of "
              "the last served session to PATH",
     )
+    parser.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="journal every accepted request and terminal outcome of the "
+             "load sweep into DIR (one write-ahead-log subdirectory per "
+             "offered gap); 'python -m repro replay --journal DIR/gap-*' "
+             "recovers it after a crash",
+    )
+    parser.add_argument(
+        "--replay", action="store_true",
+        help="run the record/replay smoke instead of the load sweep: "
+             "journal one seeded session, re-serve the journaled request "
+             "stream on a fresh system, and fail unless the two sessions "
+             "are byte-comparable (identical profiles, identical span "
+             "trees under diff_span_trees, bit-exact results)",
+    )
     args = parser.parse_args(argv or [])
     fault_seed = args.seed if args.fault_seed is None else args.fault_seed
 
@@ -548,6 +572,9 @@ def _serve_bench(argv=None) -> int:
     m, n, length = 64, 96, 256
     rng = np.random.default_rng(args.seed)
     w = (rng.standard_normal((m, n)) * 0.25).astype(np.float16)
+
+    if args.replay:
+        return _replay_smoke(config, w, m, n, length, args)
 
     if args.workers is not None:
         return _fabric_smoke(config, args)
@@ -632,17 +659,32 @@ def _serve_bench(argv=None) -> int:
 
     print("Serving a mixed GEMV+ADD Poisson stream (2 lanes, max_batch=8)")
     print(f"  device: {config.num_pchs} pCH, gemv {m}x{n}, add[{length}]")
+    if args.journal is not None:
+        print(f"  journaling every request and outcome under {args.journal}")
     print("  offered gap     req/s   mean batch   mean wait   p95 turnaround")
     for gap_ns in (8000.0, 2000.0, 500.0):
         arrivals = np.cumsum(rng.exponential(gap_ns, size=32))
         system = PimSystem(config)
-        with PimServer(system, ServerConfig(lanes=2, max_batch=8)) as server:
+        server_config = ServerConfig(lanes=2, max_batch=8)
+        if args.journal is not None:
+            # One WAL per gap session: each session's request ids restart
+            # at zero, and a journal's rids must be unique.
+            server_config = server_config.replace(
+                journal_dir=os.path.join(args.journal, f"gap-{gap_ns:.0f}")
+            )
+        with PimServer(system, server_config) as server:
             for i, arrival in enumerate(arrivals):
+                trace_id = (
+                    f"bench-s{args.seed}-g{gap_ns:.0f}-r{i}"
+                    if args.journal is not None
+                    else None
+                )
                 if i % 2 == 0:
                     server.submit(Request(
                         "gemv", weights=w,
                         a=(rng.standard_normal(n) * 0.25).astype(np.float16),
                         arrival_ns=float(arrival),
+                        trace_id=trace_id,
                     ))
                 else:
                     server.submit(Request(
@@ -650,6 +692,7 @@ def _serve_bench(argv=None) -> int:
                         a=(rng.standard_normal(length) * 0.25).astype(np.float16),
                         b=(rng.standard_normal(length) * 0.25).astype(np.float16),
                         arrival_ns=float(arrival),
+                        trace_id=trace_id,
                     ))
             profile = server.run()
         print(
@@ -660,6 +703,407 @@ def _serve_bench(argv=None) -> int:
         )
     if args.trace is not None:
         _write_trace(system, args.trace)
+    return 0
+
+
+def _replay_smoke(config, w, m, n, length, args) -> int:
+    """Record one session into a journal, replay it, require byte-equality.
+
+    Serves a seeded GEMV+ADD stream through a journaling server, then
+    re-serves the *journaled* request stream (what the WAL actually
+    captured, not the in-memory objects) on a fresh system.  The two
+    sessions must be byte-comparable: identical profile renders,
+    identical span trees under
+    :func:`~repro.obs.export.diff_span_trees`, and bit-exact per-request
+    results.  Nonzero exit code on any divergence (used by CI).
+    """
+    import os
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from .journal.wal import read_records
+    from .obs.export import diff_span_trees
+    from .stack import PimServer, PimSystem, Request, ServerConfig
+
+    config = config.replace(trace=True)
+    scratch = None
+    journal_root = args.journal
+    if journal_root is None:
+        scratch = tempfile.mkdtemp(prefix="repro-replay-")
+        journal_root = scratch
+    journal_dir = os.path.join(journal_root, "record")
+    rng = np.random.default_rng(args.seed)
+    arrivals = np.cumsum(rng.exponential(2000.0, size=32))
+    requests = []
+    for i, arrival in enumerate(arrivals):
+        trace_id = f"replay-s{args.seed}-r{i}"
+        if i % 2 == 0:
+            requests.append(Request(
+                "gemv", weights=w,
+                a=(rng.standard_normal(n) * 0.25).astype(np.float16),
+                arrival_ns=float(arrival), trace_id=trace_id,
+            ))
+        else:
+            requests.append(Request(
+                "add",
+                a=(rng.standard_normal(length) * 0.25).astype(np.float16),
+                b=(rng.standard_normal(length) * 0.25).astype(np.float16),
+                arrival_ns=float(arrival), trace_id=trace_id,
+            ))
+    try:
+        system = PimSystem(config)
+        recorded_config = ServerConfig(
+            lanes=2, max_batch=8, journal_dir=journal_dir
+        )
+        with PimServer(system, recorded_config) as server:
+            recorded = [server.submit(request) for request in requests]
+            recorded_profile = server.run()
+        recorded_tracer = system.tracer
+
+        accepted = sorted(
+            (r for r in read_records(journal_dir) if r.get("kind") == "accepted"),
+            key=lambda r: r["rid"],
+        )
+        replay_system = PimSystem(config)
+        with PimServer(replay_system, ServerConfig(lanes=2, max_batch=8)) as server:
+            replayed = [server.submit(r["request"]) for r in accepted]
+            replayed_profile = server.run()
+        replayed_tracer = replay_system.tracer
+
+        diff = diff_span_trees(recorded_tracer, replayed_tracer)
+        checks = {
+            "journal captured every request": len(accepted) == len(requests),
+            "replayed profile identical": (
+                "\n".join(recorded_profile.render())
+                == "\n".join(replayed_profile.render())
+            ),
+            "replayed span tree identical": diff is None,
+            "replayed results bit-exact": len(recorded) == len(replayed)
+            and all(
+                a.result is not None
+                and b.result is not None
+                and np.array_equal(a.result, b.result)
+                for a, b in zip(recorded, replayed)
+            ),
+        }
+        print(
+            f"Record/replay smoke: {len(accepted)} journaled requests "
+            f"({journal_dir})"
+        )
+        if diff is not None:
+            print(f"  span divergence: {diff}")
+        failed = [name for name, ok in checks.items() if not ok]
+        for name, ok in checks.items():
+            print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        return 1 if failed else 0
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _strip_outcomes(journal_dir: str, into: str) -> None:
+    """Copy a journal with every outcome record dropped (forces replay)."""
+    from .journal.wal import JournalWriter, read_records
+
+    with JournalWriter(into) as writer:
+        for record in read_records(journal_dir):
+            if record.get("kind") != "outcome":
+                writer.append(record)
+
+
+def _crash_smoke(args) -> int:
+    """SIGKILL a journaled serve-bench mid-run, recover, compare outcomes.
+
+    Spawns ``python -m repro serve-bench --journal DIR`` as a child,
+    kills it with SIGKILL as soon as the journal holds accepted records
+    (the most adversarial instant recovery must handle: requests
+    admitted, possibly a torn record at the tail), then for every WAL
+    the child left behind:
+
+    * ``recover()`` must terminate every journaled request exactly once
+      (outcome conservation);
+    * an *uninterrupted* run of the same journaled stream — a forced
+      full replay through the identical recovery path — must produce
+      the same outcome and bit-identical result bytes per trace id;
+    * two such uninterrupted runs must agree byte-for-byte on profile
+      render and span tree (replay determinism);
+    * a second ``recover()`` must replay nothing (idempotence).
+    """
+    import os
+    import shutil
+    import signal
+    import subprocess
+    import tempfile
+    import time
+
+    import numpy as np
+
+    from .journal import recover
+    from .journal.wal import read_records
+    from .obs.export import diff_span_trees
+
+    root = tempfile.mkdtemp(prefix="repro-crash-smoke-")
+    child_dir = os.path.join(root, "journal")
+    checks = {}
+    try:
+        child = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve-bench",
+             "--journal", child_dir, "--seed", str(args.seed)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+        def accepted_count() -> int:
+            total = 0
+            if os.path.isdir(child_dir):
+                for name in os.listdir(child_dir):
+                    try:
+                        records = read_records(os.path.join(child_dir, name))
+                    except Exception:
+                        continue
+                    total += sum(
+                        1 for r in records if r.get("kind") == "accepted"
+                    )
+            return total
+
+        deadline = time.time() + 120.0
+        killed = False
+        while time.time() < deadline:
+            if accepted_count() > 0:
+                child.kill()  # SIGKILL: no atexit, no journal close
+                killed = True
+                break
+            if child.poll() is not None:
+                break
+            time.sleep(0.01)
+        child.wait()
+        checks["child SIGKILLed with journaled requests"] = killed
+
+        wals = sorted(os.listdir(child_dir)) if os.path.isdir(child_dir) else []
+        checks["journal left behind"] = bool(wals)
+        print(
+            f"Crash smoke: child killed={killed}, WALs: "
+            + (", ".join(wals) or "none")
+        )
+        for name in wals:
+            wal = os.path.join(child_dir, name)
+            report = recover(wal, workers=args.workers)
+            print("\n".join("  " + line for line in report.render()))
+            checks[f"{name}: every request terminal"] = all(
+                h.outcome is not None for h in report.handles
+            )
+
+            # Uninterrupted comparator: the same journaled stream, fully
+            # replayed twice through the identical recovery path.
+            runs = []
+            for attempt in ("a", "b"):
+                stripped = os.path.join(root, f"full-{name}-{attempt}")
+                _strip_outcomes(wal, stripped)
+                runs.append(recover(stripped, workers=args.workers))
+            full_a, full_b = runs
+            by_trace = {
+                h.request.trace_id: h for h in full_a.handles
+            }
+            checks[f"{name}: outcomes bit-exact vs uninterrupted"] = all(
+                (other := by_trace.get(h.request.trace_id)) is not None
+                and h.outcome == other.outcome
+                and (
+                    (h.result is None and other.result is None)
+                    or (
+                        h.result is not None
+                        and other.result is not None
+                        and np.array_equal(h.result, other.result)
+                    )
+                )
+                for h in report.handles
+            )
+            checks[f"{name}: replay profile byte-identical"] = (
+                "\n".join(full_a.replay_profile.render())
+                == "\n".join(full_b.replay_profile.render())
+            )
+            checks[f"{name}: replay span tree identical"] = (
+                diff_span_trees(full_a.tracer, full_b.tracer) is None
+                if full_a.tracer is not None and full_b.tracer is not None
+                else full_a.tracer is full_b.tracer
+            )
+            second = recover(wal, workers=args.workers)
+            checks[f"{name}: second recover replays nothing"] = (
+                second.replayed == 0
+                and len(second.handles) == len(report.handles)
+            )
+        failed = [name for name, ok in checks.items() if not ok]
+        for name, ok in checks.items():
+            print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        return 1 if failed else 0
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _replay(argv=None) -> int:
+    """Record/replay toolbox: journal recovery and trace-ISA interop.
+
+    Four modes (first match wins):
+
+    * ``--selftest`` — parse, execute, and re-emit the built-in
+      ``all_inst``-style sample trace; fail unless
+      ``execute(parse(emit(parse(t))))`` reproduces the device state
+      digest of ``execute(parse(t))``.
+    * ``--crash-smoke`` — record a journaled serve-bench in a child
+      process, SIGKILL it mid-run, recover, and gate on outcome
+      conservation plus byte-identical replay (see CI ``replay-smoke``).
+    * ``--trace FILE`` — parse an HBM-PIMulator textual trace, execute
+      it against the device model, print the op histogram and state
+      digest, verify emit→parse→execute round-trips, and optionally
+      ``--emit`` the canonical re-emission.
+    * ``--journal DIR`` — recover a write-ahead-log directory into
+      terminal outcomes (``repro.journal.recover``), print the recovery
+      report, and optionally ``--export-trace`` the journaled request
+      stream in the trace ISA.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro replay")
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="parse and execute an HBM-PIMulator textual trace against "
+             "the device model; nonzero exit if the trace does not "
+             "round-trip through emit",
+    )
+    parser.add_argument(
+        "--emit", default=None, metavar="OUT",
+        help="with --trace/--journal: write the canonical trace-ISA "
+             "emission to OUT",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="recover a journal directory: replay every "
+             "journaled-but-unterminated request and print the recovery "
+             "report; nonzero exit if any request is left non-terminal",
+    )
+    parser.add_argument(
+        "--export-trace", default=None, metavar="OUT", dest="export_trace",
+        help="with --journal: emit the recovered request stream as an "
+             "HBM-PIMulator trace to OUT",
+    )
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="run the built-in trace-ISA round-trip selftest",
+    )
+    parser.add_argument(
+        "--crash-smoke", action="store_true", dest="crash_smoke",
+        help="record a journaled serve-bench in a child process, SIGKILL "
+             "it mid-run, recover, and verify conservation plus "
+             "byte-identical replay (used by CI)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7,
+        help="seed of the --crash-smoke workload (default: 7)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="fabric workers used by journal recovery (default: 2)",
+    )
+    parser.add_argument(
+        "--channels", type=int, default=2,
+        help="device channels the trace executor materialises (default: 2)",
+    )
+    args = parser.parse_args(argv or [])
+
+    if args.selftest:
+        return _replay_selftest(args)
+    if args.crash_smoke:
+        return _crash_smoke(args)
+    if args.trace is not None:
+        return _replay_trace(args)
+    if args.journal is not None:
+        return _replay_journal(args)
+    parser.print_help()
+    return 1
+
+
+def _replay_selftest(args) -> int:
+    """Round-trip the built-in sample trace; nonzero exit on divergence."""
+    from .tools.pimulator import (
+        emit_trace,
+        execute_trace,
+        parse_trace,
+        sample_trace,
+    )
+
+    ops = parse_trace(sample_trace())
+    first = execute_trace(ops, channels=args.channels)
+    emitted = emit_trace(ops)
+    second = execute_trace(parse_trace(emitted), channels=args.channels)
+    ok = first.state_digest() == second.state_digest()
+    print(
+        f"Trace-ISA selftest: {len(ops)} ops, "
+        f"{first.pim_instructions} PIM instructions, "
+        f"digest {first.state_digest()[:16]}"
+    )
+    print(f"  [{'ok' if ok else 'FAIL'}] emit/parse/execute round-trip")
+    return 0 if ok else 1
+
+
+def _replay_trace(args) -> int:
+    """Execute an external trace file; verify it round-trips through emit."""
+    from .errors import PimReplayError
+    from .tools.pimulator import emit_trace, execute_trace, parse_trace
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        ops = parse_trace(text)
+        execution = execute_trace(ops, channels=args.channels)
+    except (OSError, PimReplayError) as exc:
+        print(f"replay failed: {exc}")
+        return 1
+    histogram = {}
+    for op in ops:
+        key = op.kind if op.mnemonic is None else f"{op.kind} {op.mnemonic}"
+        histogram[key] = histogram.get(key, 0) + 1
+    print(f"Executed {len(ops)} trace ops from {args.trace}")
+    for key in sorted(histogram):
+        print(f"  {key:<14} : {histogram[key]}")
+    print(f"  state digest   : {execution.state_digest()}")
+    emitted = emit_trace(ops)
+    replayed = execute_trace(parse_trace(emitted), channels=args.channels)
+    ok = replayed.state_digest() == execution.state_digest()
+    print(f"  [{'ok' if ok else 'FAIL'}] emit/parse/execute round-trip")
+    if args.emit is not None:
+        with open(args.emit, "w", encoding="utf-8") as handle:
+            handle.write(emitted)
+        print(f"  wrote canonical emission to {args.emit}")
+    return 0 if ok else 1
+
+
+def _replay_journal(args) -> int:
+    """Recover a journal directory; print the report; export optionally."""
+    from .errors import PimJournalError
+    from .journal import recover
+    from .tools.pimulator import emit_trace, requests_to_trace
+
+    try:
+        report = recover(args.journal, workers=args.workers)
+    except PimJournalError as exc:
+        print(f"recovery failed: {exc}")
+        return 1
+    print("\n".join(report.render()))
+    non_terminal = [
+        h.request_id for h in report.handles if h.outcome is None
+    ]
+    if args.export_trace is not None:
+        ops = requests_to_trace([h.request for h in report.handles])
+        with open(args.export_trace, "w", encoding="utf-8") as handle:
+            handle.write(emit_trace(ops))
+        print(
+            f"  exported {len(ops)} trace-ISA ops to {args.export_trace}"
+        )
+    if non_terminal:
+        print(f"  FAIL: requests without terminal outcome: {non_terminal}")
+        return 1
+    print("  every journaled request has exactly one terminal outcome")
     return 0
 
 
@@ -755,6 +1199,7 @@ _COMMANDS = {
     "trace": _trace,
     "serve-bench": _serve_bench,
     "chaos": _chaos,
+    "replay": _replay,
 }
 
 
@@ -762,8 +1207,8 @@ def main(argv=None) -> int:
     """Dispatch a CLI subcommand; returns the process exit code.
 
     Arguments after the subcommand are forwarded to handlers that accept
-    them (currently ``serve-bench`` and ``trace``); a handler's integer
-    return value becomes the exit code.
+    them (currently ``serve-bench``, ``trace``, ``chaos``, and
+    ``replay``); a handler's integer return value becomes the exit code.
     """
     argv = sys.argv[1:] if argv is None else argv
     command = argv[0] if argv else "demo"
@@ -771,7 +1216,7 @@ def main(argv=None) -> int:
     if handler is None:
         print(__doc__)
         return 1
-    if handler in (_serve_bench, _trace, _chaos):
+    if handler in (_serve_bench, _trace, _chaos, _replay):
         result = handler(argv[1:])
     else:
         result = handler()

@@ -27,11 +27,14 @@ property the CLI asserts by running every scenario twice.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..journal import recover
 from ..stack.api import Request, ServerConfig
 from ..stack.fabric import PimFabric
 from ..stack.profiler import ServingProfile
@@ -209,6 +212,48 @@ def _arm_event(fabric: PimFabric, event, seed: int) -> str:
     return f"{event.kind}@shard{shard}"
 
 
+def _crash_and_recover(
+    fabric: PimFabric,
+    config: SystemConfig,
+    server_config: ServerConfig,
+    workers: int,
+    wave_handles: List,
+) -> Tuple[PimFabric, ServingProfile, List]:
+    """Kill the router with ``wave_handles`` accepted but unserved.
+
+    Emulates a router SIGKILL at the most adversarial instant the
+    journal defends: the wave is admitted (accepted records on disk) but
+    ``run()`` never happened, so no outcome records exist.  Every worker
+    is killed, the fabric is abandoned, and
+    :func:`repro.journal.recover` replays the journal through a fresh
+    fabric that shares the dead router's tracer.  Returns the
+    replacement fabric (rid counter continued past the journaled rids so
+    later waves never collide), the replay-session profile, and the
+    recovered handles that stand in for ``wave_handles``.
+    """
+    tracer = fabric.tracer
+    journal_dir = fabric.server_config.journal_dir
+    for shard in fabric.alive_shards():
+        fabric.kill_worker(shard)
+    fabric.close()
+    report = recover(
+        journal_dir,
+        config=config,
+        server_config=server_config,
+        workers=workers,
+        tracer=tracer,
+    )
+    wanted = {h.request.trace_id for h in wave_handles}
+    recovered = [h for h in report.handles if h.request.trace_id in wanted]
+    successor = PimFabric(
+        config, workers=workers, server_config=server_config, tracer=tracer
+    )
+    successor._next_rid = (
+        max((h.request_id for h in report.handles), default=-1) + 1
+    )
+    return successor, report.replay_profile, recovered
+
+
 def _execute(
     seed: int,
     workers: int,
@@ -217,13 +262,19 @@ def _execute(
     by_wave: Dict[int, List],
     config: SystemConfig,
     server_config: ServerConfig,
+    journal_dir: Optional[str] = None,
 ) -> Tuple:
     """Serve every wave on one fabric; returns the session's evidence.
 
     ``by_wave`` empty runs the fault-free baseline; otherwise each
     wave's scripted events are armed immediately before its requests are
-    submitted and served.
+    submitted and served.  When ``journal_dir`` is set the fabric
+    journals, and a ``kill_router`` event crashes the router itself at
+    its wave — the wave's outcomes then come from journal recovery and
+    later waves run on a successor fabric.
     """
+    if journal_dir is not None:
+        server_config = server_config.replace(journal_dir=journal_dir)
     fabric = PimFabric(config, workers=workers, server_config=server_config)
     total = ServingProfile()
     handles = []
@@ -231,11 +282,24 @@ def _execute(
     applied: List[str] = []
     try:
         for wave in range(num_waves):
-            for event in by_wave.get(wave, ()):
+            events = by_wave.get(wave, ())
+            router_kill = any(e.kind == "kill_router" for e in events)
+            for event in events:
+                if event.kind == "kill_router":
+                    continue
                 applied.append(_arm_event(fabric, event, seed))
-            for request in _wave_requests(seed, wave, per_wave, workers):
-                handles.append(fabric.submit(request))
-            profile = fabric.run()
+            wave_handles = [
+                fabric.submit(request)
+                for request in _wave_requests(seed, wave, per_wave, workers)
+            ]
+            if router_kill:
+                applied.append("kill_router@router")
+                fabric, profile, wave_handles = _crash_and_recover(
+                    fabric, config, server_config, workers, wave_handles
+                )
+            else:
+                profile = fabric.run()
+            handles.extend(wave_handles)
             wave_profiles.append(profile)
             total.merge(profile)
         fabric._heal()  # final rejoin pass so capacity reflects healing
@@ -254,6 +318,7 @@ def run_chaos(
     kinds: Tuple[str, ...] = KINDS,
     schedule: Optional[ChaosSchedule] = None,
     gates: bool = True,
+    journal_dir: Optional[str] = None,
 ) -> ChaosReport:
     """Run one chaos scenario end to end; returns its :class:`ChaosReport`.
 
@@ -264,6 +329,10 @@ def run_chaos(
     (and their extra fault-free session) — the fast mode the property
     tests use, where only conservation/bit-exactness/trace/capacity
     matter.
+
+    A schedule containing ``kill_router`` needs a journal to recover
+    from; ``journal_dir`` supplies one (kept for inspection), else a
+    temporary directory is used and removed afterwards.
     """
     if schedule is None:
         schedule = ChaosSchedule.generate(
@@ -288,10 +357,22 @@ def run_chaos(
         )
     else:
         base_total, base_waves, base_tracer = ServingProfile(), [], None
-    (handles, total, wave_profiles, applied, alive_after, respawns,
-     tracer) = _execute(
-        seed, workers, num_waves, per_wave, by_wave, config, server_config
+    needs_journal = any(
+        event.kind == "kill_router" for event in schedule.events
     )
+    scratch_journal = None
+    if needs_journal and journal_dir is None:
+        scratch_journal = tempfile.mkdtemp(prefix="repro-chaos-journal-")
+        journal_dir = scratch_journal
+    try:
+        (handles, total, wave_profiles, applied, alive_after, respawns,
+         tracer) = _execute(
+            seed, workers, num_waves, per_wave, by_wave, config,
+            server_config, journal_dir=journal_dir if needs_journal else None,
+        )
+    finally:
+        if scratch_journal is not None:
+            shutil.rmtree(scratch_journal, ignore_errors=True)
     report = ChaosReport(
         seed=seed,
         workers=workers,

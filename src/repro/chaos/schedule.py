@@ -11,13 +11,17 @@ runs of the same schedule produce identical serving profiles and span
 trees, which is what lets the ``python -m repro chaos`` gate assert
 byte-identical replay.
 
-The six fault kinds cover the failure tiers the fabric defends:
+The seven fault kinds cover the failure tiers the fabric defends:
 
 ========================  =====================================================
 kind                      what the harness does at the event's wave
 ========================  =====================================================
 ``kill``                  SIGKILL the shard's worker *after* dispatch (the
                           most adversarial instant: work genuinely in flight)
+``kill_router``           kill the *router itself* with the wave accepted but
+                          unserved — the journal (:mod:`repro.journal`) is the
+                          only survivor, and ``recover()`` must turn it back
+                          into one bit-exact terminal outcome per request
 ``wedge``                 stall the worker far past the heartbeat/watchdog
                           bounds — detected, killed, quarantined, respawned
 ``slow``                  stall the worker into straggler territory — the
@@ -43,6 +47,7 @@ __all__ = ["ChaosEvent", "ChaosSchedule", "KINDS"]
 #: Every fault kind a schedule may script, in canonical order.
 KINDS: Tuple[str, ...] = (
     "kill",
+    "kill_router",
     "wedge",
     "slow",
     "fail_channel",

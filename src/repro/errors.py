@@ -19,6 +19,12 @@ self-healing server reacts:
 * :class:`PimWorkerError` — a fabric worker process failed (died, or
   reported an unrecoverable serving error).  Recoverable by quarantining
   the shard and replaying its requests on the survivors.
+* :class:`PimJournalError` — the durability journal could not be written
+  or read (unwritable directory, corrupt non-tail record).  Recoverable
+  by pointing the server at a fresh journal directory.
+* :class:`PimReplayError` — a recorded run or external trace could not be
+  replayed (malformed trace line, journal/trace mismatch).  A caller or
+  trace-producer bug, never retried.
 
 Subclasses keep their historical bases (``RuntimeError``, and
 ``ValueError`` for program errors) so pre-taxonomy ``except`` clauses and
@@ -41,6 +47,8 @@ __all__ = [
     "PimProgramError",
     "PimOverloadError",
     "PimWorkerError",
+    "PimJournalError",
+    "PimReplayError",
 ]
 
 
@@ -101,3 +109,23 @@ class PimWorkerError(PimError):
         super().__init__(message)
         #: Index of the failed shard (-1 when not attributable).
         self.shard = shard
+
+
+class PimJournalError(PimError):
+    """The durability journal failed (see :mod:`repro.journal`).
+
+    Raised when a write-ahead-log segment cannot be created or appended,
+    or when a *non-tail* record fails its CRC on recovery (a torn tail
+    write is expected after a crash and is tolerated silently; corruption
+    anywhere else means the journal cannot be trusted).
+    """
+
+
+class PimReplayError(PimError, ValueError):
+    """A recorded run or external trace could not be replayed.
+
+    Raised by the trace-ISA frontend on a malformed HBM-PIMulator trace
+    line and by the replay CLI when a journal and its replay disagree.
+    Like :class:`PimProgramError` this keeps a ``ValueError`` base: it is
+    a caller (or trace-producer) bug, never retried.
+    """

@@ -4,8 +4,10 @@ from ..errors import (
     PimChannelError,
     PimDataError,
     PimError,
+    PimJournalError,
     PimOverloadError,
     PimProgramError,
+    PimReplayError,
     PimWorkerError,
 )
 from .api import Request, ServerConfig, request_signature
@@ -76,6 +78,8 @@ __all__ = [
     "PimOverloadError",
     "PimProgramError",
     "PimWorkerError",
+    "PimJournalError",
+    "PimReplayError",
     "PimDeviceDriver",
     "RowSetRange",
     "ScrubResult",

@@ -224,6 +224,17 @@ class ServerConfig:
     # CRC32-checksum worker<->router serve/result pipe payloads; a
     # corrupt payload is a PimWorkerError and replays on the survivors.
     pipe_checksum: bool = True
+    # -- durability (repro.journal; docs/ARCHITECTURE.md, "Durability &
+    #    replay").  When journal_dir is set, the router appends every
+    #    accepted Request and every terminal outcome to a CRC32-framed
+    #    write-ahead log there, and repro.journal.recover(journal_dir)
+    #    turns the directory back into exactly one bit-exact terminal
+    #    outcome per request after a crash.  The fabric strips the knob
+    #    from worker configs — the router owns durability, shards never
+    #    journal.  journal_sync=True fsyncs every append (durable
+    #    against machine death, one fsync per record). --
+    journal_dir: Optional[str] = None
+    journal_sync: bool = False
 
     def replace(self, **overrides) -> "ServerConfig":
         """A copy with ``overrides`` applied (dataclasses.replace)."""

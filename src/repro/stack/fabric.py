@@ -238,6 +238,23 @@ class PimFabric:
         self.worker_errors: List[PimWorkerError] = []
         #: Graceful drain/hot-restart recycles performed (see drain()).
         self.drains: int = 0
+        # Durability (repro.journal): the *router* owns the journal —
+        # workers get the knob stripped, or every shard would re-journal
+        # its slice under colliding rids.  Imported lazily to keep the
+        # journal package depending on the stack, not vice versa.
+        self._journal = None
+        self._worker_config = self.server_config
+        if self.server_config.journal_dir:
+            from ..journal.wal import JournalWriter
+
+            self._worker_config = self.server_config.replace(
+                journal_dir=None, journal_sync=False
+            )
+            self._journal = JournalWriter(
+                self.server_config.journal_dir,
+                sync=self.server_config.journal_sync,
+            )
+            self._journal.append_meta(self.config, self.server_config)
         self._mp = multiprocessing.get_context(start_method)
         self._workers: Dict[int, _WorkerLink] = {
             shard: self._spawn(shard) for shard in range(self.num_workers)
@@ -268,7 +285,7 @@ class PimFabric:
         parent, child = self._mp.Pipe()
         process = self._mp.Process(
             target=run_worker,
-            args=(child, self.config, self.server_config, shard),
+            args=(child, self.config, self._worker_config, shard),
             name=f"pim-fabric-shard{shard}",
             daemon=True,
         )
@@ -287,6 +304,8 @@ class PimFabric:
         if self._closed:
             return
         self._closed = True
+        if self._journal is not None:
+            self._journal.close()
         cfg = self.server_config
         for link in self._workers.values():
             if link.alive:
@@ -521,7 +540,20 @@ class PimFabric:
         handle = FabricHandle(self._next_rid, request)
         self._next_rid += 1
         self._pending.append(handle)
+        if self._journal is not None:
+            self._journal.append_accepted(handle.request_id, request)
         return handle
+
+    def _journal_outcome(self, handle: FabricHandle) -> None:
+        """Append one terminal outcome (result bytes included) to the WAL."""
+        if self._journal is not None and handle.outcome is not None:
+            self._journal.append_outcome(
+                handle.request_id,
+                handle.request.trace_id,
+                handle.outcome,
+                -1 if handle.shard is None else handle.shard,
+                handle.result,
+            )
 
     # -- placement ----------------------------------------------------------------
 
@@ -944,6 +976,7 @@ class PimFabric:
             handle.outcome = outcomes[rid]
             handle.shard = link.shard
             link.served += 1
+            self._journal_outcome(handle)
         serving.merge(payload["profile"])
         self._merge_trace(payload["spans"], payload["events"])
 
@@ -989,6 +1022,7 @@ class PimFabric:
                 trace_id=request.trace_id,
             )
         )
+        self._journal_outcome(handle)
 
     # -- failure handling ---------------------------------------------------------
 

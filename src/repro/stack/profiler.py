@@ -132,6 +132,12 @@ class RequestStats:
     outcome: str = "completed"
     # Caller-supplied correlation id (None when the caller set none).
     trace_id: Optional[str] = None
+    # True when this entry came out of a crash-recovery session
+    # (repro.journal): either restored from a journaled outcome
+    # (batch_size == 0, no re-execution) or replayed through the
+    # recovery fabric.  Recovered entries never count toward goodput —
+    # the work was already acknowledged to the original caller.
+    recovered: bool = False
 
     @property
     def wait_ns(self) -> float:
@@ -234,6 +240,11 @@ class ServingProfile:
     degraded: int = 0
     # Device retries refused because the server-wide token bucket was dry.
     retry_budget_exhausted: int = 0
+    # -- durability (see docs/ARCHITECTURE.md, "Durability & replay") --
+    # Entries tagged RequestStats.recovered: terminal outcomes restored
+    # or replayed by repro.journal.recover().  Kept as a distinct
+    # counter so recovery sessions never silently inflate goodput.
+    recovered: int = 0
     # Circuit-breaker activity: per-transition log plus quick counters.
     breaker_transitions: List[BreakerTransition] = field(default_factory=list)
     breaker_opens: int = 0
@@ -244,6 +255,8 @@ class ServingProfile:
         """Fold one terminal request into the session statistics."""
         self.requests.append(stats)
         self.makespan_ns = max(self.makespan_ns, stats.finish_ns)
+        if stats.recovered:
+            self.recovered += 1
         if stats.outcome == "rejected":
             self.rejected += 1
         elif stats.outcome == "expired":
@@ -306,6 +319,7 @@ class ServingProfile:
         self.expired += other.expired
         self.degraded += other.degraded
         self.retry_budget_exhausted += other.retry_budget_exhausted
+        self.recovered += other.recovered
         self.breaker_transitions.extend(other.breaker_transitions)
         self.breaker_opens += other.breaker_opens
         self.breaker_short_circuits += other.breaker_short_circuits
@@ -348,6 +362,7 @@ class ServingProfile:
             "serving.hedges": self.hedges,
             "serving.hedge.wins": self.hedge_wins,
             "serving.hedge.losses": self.hedge_losses,
+            "serving.recovered": self.recovered,
         }
         for name, value in scalars.items():
             registry.counter(name).inc(value)
@@ -389,8 +404,12 @@ class ServingProfile:
 
         Counts ``completed`` and ``degraded_host`` outcomes (both return a
         bit-exact result to the caller); shed, expired, and failed
-        requests are offered load that produced no value.  0.0 when the
-        profile is empty or the makespan is 0 (e.g. every request shed).
+        requests are offered load that produced no value.  Entries
+        tagged ``recovered`` (terminal outcomes a crash-recovery session
+        restored or replayed — see :mod:`repro.journal`) are excluded:
+        the original session already took credit for that work, so a
+        recovery pass must never inflate goodput.  0.0 when the profile
+        is empty or the makespan is 0 (e.g. every request shed).
         """
         if self.makespan_ns <= 0 or not self.requests:
             return 0.0
@@ -398,6 +417,7 @@ class ServingProfile:
             1
             for r in self.requests
             if r.outcome in ("completed", "degraded_host")
+            and not r.recovered
         )
         return good / (self.makespan_ns * 1e-9)
 
@@ -487,6 +507,11 @@ class ServingProfile:
             lines.append(
                 f"  rejected/expired/degr. : {self.rejected} / "
                 f"{self.expired} / {self.degraded}"
+            )
+        if self.recovered:
+            lines.append(
+                f"  recovered (journal)    : {self.recovered} "
+                f"(excluded from goodput)"
             )
         if self.breaker_transitions or self.retry_budget_exhausted:
             lines.append(

@@ -409,6 +409,19 @@ class PimServer:
         self._pending: List[PimRequest] = []
         self._batches_since_scrub = 0
         self._closed = False
+        # Durability (repro.journal): with journal_dir set, every
+        # accepted request and every terminal outcome is appended to the
+        # write-ahead log so recover(journal_dir) can rebuild the
+        # session after a SIGKILL.  Imported lazily — the journal
+        # package depends on the stack, not the other way around.
+        self._journal = None
+        if config.journal_dir:
+            from ..journal.wal import JournalWriter
+
+            self._journal = JournalWriter(
+                config.journal_dir, sync=config.journal_sync
+            )
+            self._journal.append_meta(getattr(system, "config", None), config)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -424,6 +437,8 @@ class PimServer:
         if self._closed:
             return
         self._closed = True
+        if self._journal is not None:
+            self._journal.close()
         driver = self.sys.driver
         first_error: Optional[BaseException] = None
         for lane in self.lanes:
@@ -543,7 +558,23 @@ class PimServer:
         lane.backlog += 1
         self._next_id += 1
         self._pending.append(request)
+        if self._journal is not None:
+            # Journal the frozen Request (picklable, content-hashed) at
+            # admission — before any placement or device work, so a
+            # crash at any later instant still finds it on recovery.
+            self._journal.append_accepted(request.request_id, req)
         return request
+
+    def _journal_outcome(self, request: PimRequest) -> None:
+        """Append one terminal outcome (result bytes included) to the WAL."""
+        if self._journal is not None and request.outcome is not None:
+            self._journal.append_outcome(
+                request.request_id,
+                request.trace_id,
+                request.outcome.value,
+                request.shard,
+                request.result,
+            )
 
     def _lane_for(self, signature: Tuple) -> _Lane:
         lane_index = self._affinity.get(signature)
@@ -592,6 +623,7 @@ class PimServer:
             for request in session:
                 if request.outcome is None:
                     request.outcome = RequestOutcome.FAILED
+                    self._journal_outcome(request)
             raise
         finally:
             for lane in self.lanes:
@@ -700,6 +732,7 @@ class PimServer:
         request.lane = lane.index
         request.outcome = outcome
         serving.record(request.stats())
+        self._journal_outcome(request)
         if self.tracer is not None:
             # A dropped request's span is a leaf: record() opens and
             # closes in one step, so no device span can ever nest in it.
@@ -743,6 +776,7 @@ class PimServer:
         request.lane = lane.index
         request.outcome = RequestOutcome.DEGRADED_HOST
         serving.record(request.stats())
+        self._journal_outcome(request)
         serving.batches += 1
         if tracer is not None:
             tracer.record(
@@ -861,6 +895,7 @@ class PimServer:
             member.lane = lane.index
             member.outcome = outcome
             serving.record(member.stats())
+            self._journal_outcome(member)
         if tracer is not None:
             tracer.finish(dispatch_span, t0, finish, device_ok=device_ok)
             tracer.finish(

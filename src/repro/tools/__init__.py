@@ -1,5 +1,27 @@
-"""Developer tools: command tracing and stream inspection."""
+"""Developer tools: command tracing, stream inspection, trace-ISA interop."""
 
+from .pimulator import (
+    PhysicalAddress,
+    TraceExecution,
+    TraceOp,
+    emit_trace,
+    execute_trace,
+    parse_trace,
+    requests_to_trace,
+    sample_trace,
+)
 from .trace import CommandTrace, TraceRecord, trace_channel
 
-__all__ = ["CommandTrace", "TraceRecord", "trace_channel"]
+__all__ = [
+    "CommandTrace",
+    "PhysicalAddress",
+    "TraceExecution",
+    "TraceOp",
+    "TraceRecord",
+    "emit_trace",
+    "execute_trace",
+    "parse_trace",
+    "requests_to_trace",
+    "sample_trace",
+    "trace_channel",
+]

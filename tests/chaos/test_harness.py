@@ -16,7 +16,9 @@ from repro.chaos.invariants import check_capacity, check_conservation
 from repro.stack.profiler import RequestStats, ServingProfile
 
 # Fault kinds with no scripted wall-clock stall: cheap enough to fuzz.
-FAST_KINDS = ("kill", "corrupt_pipe", "bit_flips", "fail_channel")
+# kill_router qualifies: the router crash is emulated in-process and its
+# journal recovery replays on the simulated clock.
+FAST_KINDS = ("kill", "kill_router", "corrupt_pipe", "bit_flips", "fail_channel")
 
 
 class TestHarnessSmoke:
@@ -70,6 +72,33 @@ class TestInvariantCheckers:
         assert check_capacity([0, 1], workers=2) == []
 
 
+class TestKillRouter:
+    """The journal is the only survivor of a router crash (PR 8)."""
+
+    def test_kill_router_wave_recovers_every_request(self, tmp_path):
+        report = run_chaos(
+            seed=11, workers=2, requests=16, kinds=("kill_router",),
+            gates=False, journal_dir=str(tmp_path),
+        )
+        assert report.ok, "\n".join(report.violations)
+        assert "kill_router@router" in report.applied
+        # The crashed wave's requests came back through journal recovery:
+        # terminal, bit-exact (checked by the invariant suite), and
+        # tagged so they never inflate goodput.
+        assert report.profile.recovered > 0
+        recovered = [s for s in report.profile.requests if s.recovered]
+        assert len(recovered) == report.profile.recovered
+        assert all(s.outcome == "completed" for s in recovered)
+
+    def test_kill_router_composes_with_worker_faults(self):
+        report = run_chaos(
+            seed=4, workers=2, requests=16,
+            kinds=("kill", "kill_router", "corrupt_pipe"), gates=False,
+        )
+        assert report.ok, "\n".join(report.violations)
+        assert "kill_router@router" in report.applied
+
+
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
     kinds=st.sets(st.sampled_from(FAST_KINDS), min_size=1).map(
@@ -80,8 +109,24 @@ class TestInvariantCheckers:
 def test_any_chaos_schedule_preserves_fabric_contract(seed, kinds):
     """Property (satellite): every request ends in exactly one terminal
     outcome, dropped work has zero device spans, capacity recovers —
-    regardless of which faults fire where."""
+    regardless of which faults fire where (a router crash included:
+    SIGKILL at any scheduled wave point, then recovery, still yields
+    exactly one bit-exact terminal outcome per journaled request)."""
     report = run_chaos(
         seed=seed, workers=2, requests=8, kinds=kinds, gates=False
     )
     assert report.ok, "\n".join(report.violations)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=3, deadline=None)
+def test_router_crash_at_any_wave_point_conserves_outcomes(seed):
+    """Property (tentpole acceptance): a kill_router event at any seeded
+    wave point, recovered through the journal, leaves every request with
+    exactly one terminal outcome, bit-exact against the golden path."""
+    report = run_chaos(
+        seed=seed, workers=2, requests=12, kinds=("kill_router", "kill"),
+        gates=False,
+    )
+    assert report.ok, "\n".join(report.violations)
+    assert report.profile.recovered > 0
