@@ -8,17 +8,22 @@ ones on four hot-path workloads:
 * **elementwise_add** — the FILL/ADD/MOV-writeback elementwise kernel;
 * **ecc_peek_poke** — the SEC-DED column path of :class:`EccBank`;
 * **ecc_scrub** — whole-row scrubbing with a sprinkling of injected
-  single-bit errors.
+  single-bit errors;
+* **fused_gemv_triggers** / **fused_elementwise** — the same trigger
+  streams replayed by the trace-compiled :class:`FusedLockstepGroup`
+  against the lock-step interpreter baseline (PR 5), extending the
+  ``bench_hotpath/v1`` trajectory one tier further.
 
 Both sides of every workload are checked bit-identical before being
 timed.  Results land in a ``bench_hotpath/v1`` JSON document::
 
     python benchmarks/bench_hotpath.py --quick --out BENCH_hotpath.json \\
-        --min-speedup 1.5
+        --min-speedup 1.5 --min-fused-speedup 5.0
 
 The process exits non-zero if any workload's batched/scalar speedup falls
-below ``--min-speedup`` (CI's ``perf-smoke`` gate) or the emitted document
-fails schema validation.
+below ``--min-speedup``, any ``fused_*`` workload's fused/lock-step
+speedup falls below ``--min-fused-speedup`` (CI's ``perf-smoke`` gates),
+or the emitted document fails schema validation.
 """
 
 import argparse
@@ -33,6 +38,7 @@ from repro.dram.ecc import EccBank
 from repro.dram.timing import HBM2_1GHZ
 from repro.pim.assembler import assemble_words
 from repro.pim.exec_unit import ColumnTrigger, PimExecutionUnit
+from repro.pim.fused import FusedLockstepGroup
 from repro.pim.lockstep import LockstepGroup
 from repro.pim.registers import LANES
 
@@ -46,9 +52,22 @@ ADD_KERNEL = (
     "JUMP -3, 7\n"
     "EXIT"
 )
+# The elementwise kernel in grouped command order: each stage loops over
+# its 8 columns before advancing (how ElementwiseKernel streams a pCH),
+# with AAM register indices so consecutive triggers are hazard-free —
+# the shape the fused compiler turns into three 8-wide group steps.
+FUSED_ADD_KERNEL = (
+    "FILL GRF_A[A], EVEN_BANK\n"
+    "JUMP -1, 7\n"
+    "ADD GRF_B[A], GRF_A[A], ODD_BANK\n"
+    "JUMP -1, 7\n"
+    "MOV EVEN_BANK, GRF_B[A]\n"
+    "JUMP -1, 7\n"
+    "EXIT"
+)
 
 
-def _build_group(seed: int, enabled: bool) -> LockstepGroup:
+def _build_group(seed: int, enabled: bool, fused: bool = False) -> LockstepGroup:
     rng = np.random.default_rng(seed)
     cfg = BankConfig(num_rows=64)
     units = []
@@ -58,7 +77,10 @@ def _build_group(seed: int, enabled: bool) -> LockstepGroup:
         even.use_vectorized = enabled
         odd.use_vectorized = enabled
         units.append(PimExecutionUnit(u, even, odd))
-    group = LockstepGroup(units, enabled=enabled)
+    if fused:
+        group = FusedLockstepGroup(units)  # private per-group TraceCache
+    else:
+        group = LockstepGroup(units, enabled=enabled)
     for unit in units:
         for bank in (unit.even_bank, unit.odd_bank):
             for row in range(4):
@@ -94,6 +116,7 @@ def _run_gemv(group: LockstepGroup, passes: int) -> None:
         group.start_all()
         for col in range(8):
             group.trigger_all(ColumnTrigger(is_write=False, row=0, col=col))
+    group.flush_pending()  # land the deferred tail (no-op when eager)
 
 
 def _run_add(group: LockstepGroup, passes: int) -> None:
@@ -103,6 +126,20 @@ def _run_add(group: LockstepGroup, passes: int) -> None:
             group.trigger_all(ColumnTrigger(is_write=False, row=1, col=col))
             group.trigger_all(ColumnTrigger(is_write=False, row=2, col=col))
             group.trigger_all(ColumnTrigger(is_write=True, row=3, col=col))
+    group.flush_pending()
+
+
+def _run_add_grouped(group: LockstepGroup, passes: int) -> None:
+    # FUSED_ADD_KERNEL's command order: whole stages at a time.
+    for _ in range(passes):
+        group.start_all()
+        for col in range(8):
+            group.trigger_all(ColumnTrigger(is_write=False, row=1, col=col))
+        for col in range(8):
+            group.trigger_all(ColumnTrigger(is_write=False, row=2, col=col))
+        for col in range(8):
+            group.trigger_all(ColumnTrigger(is_write=True, row=3, col=col))
+    group.flush_pending()
 
 
 def _time(fn, *args) -> float:
@@ -129,6 +166,32 @@ def bench_kernel(source: str, runner, passes: int) -> dict:
         "batched_s": batched_s,
         "speedup": scalar_s / batched_s,
         "iterations": passes,
+    }
+
+
+def bench_fused_kernel(source: str, runner, passes: int) -> dict:
+    """Time the trace-compiled fused replay against the lock-step
+    interpreter on an identical trigger stream (both bit-verified)."""
+    lockstep = _build_group(11, enabled=True)
+    fused = _build_group(11, enabled=True, fused=True)
+    _program(lockstep, source)
+    _program(fused, source)
+    runner(lockstep, 1)  # warm-up doubles as the equivalence probe
+    runner(fused, 1)  # ... and compiles the trace for the timed replays
+    if _state(lockstep) != _state(fused):
+        raise SystemExit("fused path diverged from lockstep on " + source.split()[0])
+    lockstep_s = _time(runner, lockstep, passes)
+    fused_s = _time(runner, fused, passes)
+    if _state(lockstep) != _state(fused):
+        raise SystemExit("fused path diverged from lockstep after timing")
+    if fused.fused_fallbacks or not fused.fused_replays:
+        raise SystemExit("fused path fell back to the interpreter while timed")
+    return {
+        "scalar_s": lockstep_s,
+        "batched_s": fused_s,
+        "speedup": lockstep_s / fused_s,
+        "iterations": passes,
+        "baseline": "lockstep",
     }
 
 
@@ -220,7 +283,10 @@ def validate(doc: dict) -> None:
     if not isinstance(doc.get("quick"), bool):
         raise ValueError("quick must be a bool")
     workloads = doc.get("workloads")
-    expected = {"gemv_triggers", "elementwise_add", "ecc_peek_poke", "ecc_scrub"}
+    expected = {
+        "gemv_triggers", "elementwise_add", "ecc_peek_poke", "ecc_scrub",
+        "fused_gemv_triggers", "fused_elementwise",
+    }
     if not isinstance(workloads, dict) or set(workloads) != expected:
         raise ValueError(f"workloads must be exactly {sorted(expected)}")
     for name, entry in workloads.items():
@@ -232,6 +298,9 @@ def validate(doc: dict) -> None:
             raise ValueError(f"{name}.iterations must be a positive int")
         if abs(entry["speedup"] - entry["scalar_s"] / entry["batched_s"]) > 1e-6:
             raise ValueError(f"{name}.speedup is inconsistent with the timings")
+        baseline = entry.get("baseline", "scalar")
+        if baseline != ("lockstep" if name.startswith("fused_") else "scalar"):
+            raise ValueError(f"{name}.baseline is {baseline!r}")
 
 
 def main(argv=None) -> int:
@@ -242,6 +311,9 @@ def main(argv=None) -> int:
                         help="write the bench_hotpath/v1 JSON here")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail if any workload speedup is below this")
+    parser.add_argument("--min-fused-speedup", type=float, default=None,
+                        help="fail if any fused_* workload's fused/lock-step "
+                             "speedup is below this")
     args = parser.parse_args(argv)
 
     kernel_passes = 40 if args.quick else 400
@@ -253,6 +325,12 @@ def main(argv=None) -> int:
         "elementwise_add": bench_kernel(ADD_KERNEL, _run_add, kernel_passes),
         "ecc_peek_poke": bench_ecc_peek_poke(ecc_rows, ecc_reps),
         "ecc_scrub": bench_ecc_scrub(ecc_rows, ecc_reps * 4),
+        "fused_gemv_triggers": bench_fused_kernel(
+            GEMV_KERNEL, _run_gemv, kernel_passes * 4
+        ),
+        "fused_elementwise": bench_fused_kernel(
+            FUSED_ADD_KERNEL, _run_add_grouped, kernel_passes * 2
+        ),
     }
     doc = {"schema": SCHEMA, "quick": args.quick, "workloads": workloads}
     validate(doc)
@@ -277,6 +355,15 @@ def main(argv=None) -> int:
         }
         if slow:
             print(f"FAIL: below --min-speedup {args.min_speedup}: {slow}")
+            return 1
+    if args.min_fused_speedup is not None:
+        slow = {
+            name: entry["speedup"]
+            for name, entry in workloads.items()
+            if name.startswith("fused_") and entry["speedup"] < args.min_fused_speedup
+        }
+        if slow:
+            print(f"FAIL: below --min-fused-speedup {args.min_fused_speedup}: {slow}")
             return 1
     return 0
 

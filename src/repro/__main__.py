@@ -562,12 +562,18 @@ def _serve_bench(argv=None) -> int:
              "are byte-comparable (identical profiles, identical span "
              "trees under diff_span_trees, bit-exact results)",
     )
+    parser.add_argument(
+        "--exec-mode", default=None, choices=("lockstep", "scalar", "fused"),
+        help="how column triggers execute: the lock-step SIMD interpreter "
+             "(default), the per-unit scalar oracle, or the trace-compiled "
+             "fused executor (see docs/ARCHITECTURE.md)",
+    )
     args = parser.parse_args(argv or [])
     fault_seed = args.seed if args.fault_seed is None else args.fault_seed
 
     config = SystemConfig(
         num_pchs=4, num_rows=256, simulate_pchs=1, server_seed=args.seed,
-        trace=args.trace is not None,
+        trace=args.trace is not None, exec_mode=args.exec_mode,
     )
     m, n, length = 64, 96, 256
     rng = np.random.default_rng(args.seed)

@@ -114,6 +114,34 @@ class Bank:
         start = col * self.config.col_bytes
         self._row_array(row)[start : start + self.config.col_bytes] = data
 
+    def peek_columns(self, row: int, cols: np.ndarray) -> np.ndarray:
+        """Read several columns of one row at once: ``(len(cols), col_bytes)``.
+
+        The bulk counterpart of :meth:`peek` used by the trace-compiled
+        fused executor (:mod:`repro.pim.fused`): one gather replaces a
+        Python-level loop of single-column peeks.  Like :meth:`peek` it has
+        no state or timing effect and returns a fresh copy.
+        """
+        grid = self._row_array(row).reshape(
+            self.config.cols_per_row, self.config.col_bytes
+        )
+        return grid[cols].copy() if isinstance(cols, np.ndarray) else grid[list(cols)].copy()
+
+    def poke_columns(self, row: int, cols: np.ndarray, data: np.ndarray) -> None:
+        """Write several columns of one row at once (bulk :meth:`poke`).
+
+        ``data`` must be ``(len(cols), col_bytes)`` uint8; duplicate column
+        indices are rejected by the caller (the fused compiler splits
+        groups with repeated columns), so scatter order never matters.
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[1] != self.config.col_bytes:
+            raise ValueError(f"column writes must be {self.config.col_bytes} bytes each")
+        grid = self._row_array(row).reshape(
+            self.config.cols_per_row, self.config.col_bytes
+        )
+        grid[cols] = data
+
     def materialized_rows(self) -> List[int]:
         """Row indices holding live (ever-written) data, sorted.
 

@@ -125,8 +125,23 @@ class FaultInjector:
             )
         for bank in self.sys.device.pch(pch).banks:
             bank.fail(pch)
+        self._invalidate_traces(pch)
         if pch not in self.stats.channels_failed:
             self.stats.channels_failed.append(pch)
+
+    def _invalidate_traces(self, pch: int) -> None:
+        """Drop a channel's compiled traces (exec_mode="fused") on faults
+        that could otherwise pair a cached dataflow with corrupted state.
+
+        Content-keyed caching already makes stale-program replay
+        impossible (a flipped CRF word changes the key); this models the
+        driver additionally dropping the channel's compiled traces with
+        its broadcast cache, keeping the bounded cache free of entries
+        for programs that will never run again.
+        """
+        cache = getattr(self.sys, "_trace_cache", None)
+        if cache is not None:
+            cache.invalidate_channel(pch)
 
     def is_failed(self, pch: int) -> bool:
         """Whether channel ``pch`` has been hard-failed."""
@@ -259,6 +274,7 @@ class FaultInjector:
                     loaded = getattr(self.sys, "_crf_loaded", None)
                     if loaded is not None:
                         loaded.pop(pch, None)
+                    self._invalidate_traces(pch)
                     self.stats.crf_faults += 1
                 elif kind == "grf":
                     half = ("grf_a", "grf_b")[int(self.rng.integers(0, 2))]

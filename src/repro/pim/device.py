@@ -83,6 +83,9 @@ class PimPseudoChannel(PseudoChannel):
         super().hard_reset(cycle)
         self.mode_ctrl.reset()
         self.pim_op_mode = 0
+        # Deferred triggers of an interrupted AB-PIM window are post-error
+        # garbage: discard them rather than replay into the recovered state.
+        self.lockstep.abort_pending()
         self.lockstep.stop_all()
 
     # -- timing: AB modes serialise columns at tCCD_L ---------------------------
@@ -226,6 +229,9 @@ class PimPseudoChannel(PseudoChannel):
     ) -> Optional[np.ndarray]:
         m = self.memory_map
         is_write = cmd.cmd is CommandType.WR
+        # Register-mapped accesses observe (or mutate) unit state, so any
+        # trace-deferred triggers must land first (fused executor hook).
+        self.lockstep.flush_pending()
         if cmd.row == m.conf_row:
             if cmd.col == m.PIM_OP_MODE_COL:
                 if is_write:

@@ -123,6 +123,29 @@ class PimExecutionUnit:
         """Called on AB-PIM mode exit."""
         self.exited = True
 
+    def sequencer_state(self) -> tuple:
+        """The architectural sequencer state as a hashable snapshot.
+
+        ``(ppc, exited, nop_remaining, sorted jump-slot items)`` — the
+        exact state the lock-step and trace-compiled executors key their
+        uniformity checks and compiled-trace cache entries on.
+        """
+        return (
+            self.ppc,
+            self.exited,
+            self._nop_remaining,
+            tuple(sorted(self._jump_state.items())),
+        )
+
+    def install_sequencer_state(
+        self, ppc: int, exited: bool, nop_remaining: int, jump_items
+    ) -> None:
+        """Install a resolved sequencer state (compiled-trace replay)."""
+        self.ppc = ppc
+        self.exited = exited
+        self._nop_remaining = nop_remaining
+        self._jump_state = dict(jump_items)
+
     def _fetch(self) -> Instruction:
         if not 0 <= self.ppc < CRF_ENTRIES:
             raise PimProgramError(f"PPC {self.ppc} out of CRF range")

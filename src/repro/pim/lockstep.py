@@ -83,6 +83,18 @@ class LockstepGroup:
         for unit in self.units:
             unit.stop()
 
+    def flush_pending(self) -> None:
+        """Execute any deferred triggers; a no-op for the eager executor.
+
+        The trace-compiled subclass (:mod:`repro.pim.fused`) buffers
+        column triggers within an AB-PIM window and executes them in
+        compiled groups; the device calls this hook before any
+        register-mapped access so deferred state is never observable.
+        """
+
+    def abort_pending(self) -> None:
+        """Discard any deferred triggers (channel hard-reset path)."""
+
     # -- the batched trigger path --------------------------------------------------
 
     def _scalar(self, trig: ColumnTrigger) -> None:

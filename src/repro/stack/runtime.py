@@ -105,11 +105,51 @@ class SystemConfig:
     # thread them through every layer.  Off by default — with trace=False
     # the only cost anywhere is one attribute test per hook site.
     trace: bool = False
-    # Force the per-unit scalar execution path and the per-word scalar
-    # SEC-DED loops device-wide, disabling the lock-step SIMD batch paths.
-    # Bit-exact with the default — it exists as the differential oracle
-    # and the baseline side of benchmarks/bench_hotpath.py.
-    scalar_exec: bool = False
+    # How column triggers execute, from slowest-and-simplest to fastest:
+    #   "scalar"   — the per-unit loop plus per-word scalar SEC-DED
+    #                everywhere (the historical path; differential oracle).
+    #   "lockstep" — one stacked SIMD op per broadcast column command
+    #                (the PR 5 default; also an oracle for "fused").
+    #   "fused"    — trace-compile whole AB-PIM trigger windows into
+    #                grouped array ops, cached by content signature
+    #                (repro.pim.fused).  Falls back to lockstep/scalar
+    #                for anything irregular, so all three are bit-exact.
+    # None means "lockstep".  The historical ``scalar_exec`` bool is a
+    # deprecated alias (see docs/MIGRATION.md); mixing both is an error.
+    exec_mode: Optional[str] = None
+    scalar_exec: Optional[bool] = None
+    # LRU bound of the fused executor's compiled-trace cache.
+    trace_cache_size: int = 128
+
+    def __post_init__(self) -> None:
+        if self.scalar_exec is not None:
+            if self.exec_mode is not None:
+                raise TypeError(
+                    "SystemConfig(scalar_exec=...) and exec_mode=... are "
+                    "mutually exclusive; scalar_exec is deprecated — use "
+                    'exec_mode="scalar"/"lockstep" (docs/MIGRATION.md)'
+                )
+            warnings.warn(
+                "SystemConfig(scalar_exec=...) is deprecated; use "
+                'exec_mode="scalar" (or "lockstep") instead — see '
+                "docs/MIGRATION.md",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(
+                self, "exec_mode", "scalar" if self.scalar_exec else "lockstep"
+            )
+            object.__setattr__(self, "scalar_exec", None)
+        if self.exec_mode not in (None, "lockstep", "scalar", "fused"):
+            raise ValueError(
+                f"unknown exec_mode {self.exec_mode!r}: expected "
+                '"lockstep", "scalar" or "fused"'
+            )
+
+    @property
+    def execution_mode(self) -> str:
+        """The resolved execution mode ("lockstep" when unset)."""
+        return self.exec_mode or "lockstep"
 
     def replace(self, **overrides) -> "SystemConfig":
         """A copy with ``overrides`` applied (dataclasses.replace)."""
@@ -205,7 +245,9 @@ class PimSystem(HostSystem):
             ecc=config.ecc,
         )
         device = PimHbmDevice(device_config)
-        if config.scalar_exec:
+        mode = config.execution_mode
+        self._trace_cache = None
+        if mode == "scalar":
             from ..dram.ecc import EccBank
 
             for channel in device.pchs:
@@ -213,6 +255,17 @@ class PimSystem(HostSystem):
                 for bank in channel.banks:
                     if isinstance(bank, EccBank):
                         bank.use_vectorized = False
+        elif mode == "fused":
+            from ..pim.fused import FusedLockstepGroup, TraceCache
+
+            # One content-keyed cache shared by every channel; the fault
+            # injector and driver invalidate per channel on CRF upsets
+            # and quarantine.
+            self._trace_cache = TraceCache(limit=config.trace_cache_size)
+            for i, channel in enumerate(device.pchs):
+                channel.lockstep = FusedLockstepGroup(
+                    channel.units, cache=self._trace_cache, channel_id=i
+                )
         super().__init__(
             device,
             host=config.host,
@@ -222,6 +275,7 @@ class PimSystem(HostSystem):
             refresh=config.refresh,
         )
         self.driver = PimDeviceDriver(device)
+        self.driver.trace_cache = self._trace_cache
         # An active fault model attaches a seeded injector; channels listed
         # in faults.failed_channels are dead before the first access.
         self.fault_injector: Optional[FaultInjector] = None

@@ -352,15 +352,16 @@ class TestRandomizedDifferential:
 
 
 class TestSystemToggle:
-    """``SystemConfig(scalar_exec=True)`` must be bit-exact with the default."""
+    """Every ``SystemConfig(exec_mode=...)`` must be bit-exact with the
+    default (lock-step) path end to end."""
 
-    def test_scalar_exec_end_to_end_equivalence(self):
+    def test_exec_mode_end_to_end_equivalence(self):
         from repro.stack.runtime import PimSystem, SystemConfig
 
-        def run(scalar_exec):
+        def run(exec_mode):
             rng = np.random.default_rng(13)
             system = PimSystem(
-                SystemConfig.fast_functional(ecc=True, scalar_exec=scalar_exec)
+                SystemConfig.fast_functional(ecc=True, exec_mode=exec_mode)
             )
             w = (rng.standard_normal((48, 64)) * 0.25).astype(np.float16)
             x = (rng.standard_normal(64) * 0.25).astype(np.float16)
@@ -380,8 +381,10 @@ class TestSystemToggle:
                 pch.lockstep.batched_triggers,
             )
 
-        default = run(False)
-        scalar = run(True)
-        assert default[:-1] == scalar[:-1]
+        default = run("lockstep")
+        scalar = run("scalar")
+        fused = run("fused")
+        assert default[:-1] == scalar[:-1] == fused[:-1]
         assert default[-1] > 0  # the batch path actually ran by default
         assert scalar[-1] == 0  # ... and was fully disabled when forced off
+        assert fused[-1] >= default[-1]  # fused batches at least as widely
