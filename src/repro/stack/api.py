@@ -113,11 +113,39 @@ class Request:
         return self
 
     @property
+    def weight_digest(self) -> Optional[str]:
+        """sha1 hex digest of the weight bytes, computed once per instance.
+
+        ``request_signature`` historically re-hashed ``weights.tobytes()``
+        on every ``.signature`` access — O(weight bytes) per call on the
+        router hot path, which touches the signature at submit,
+        placement, *and* batching.  The digest is immutable for an
+        immutable request, so it is memoised on first access (stashed
+        via ``object.__setattr__`` — the dataclass is frozen, its
+        ``__dict__`` is not).  The fabric's shm transport also keys
+        shard-resident weight staging on this digest.
+        """
+        if self.weights is None:
+            return None
+        cached = self.__dict__.get("_weight_digest")
+        if cached is None:
+            w = np.ascontiguousarray(self.weights)
+            cached = hashlib.sha1(w.tobytes()).hexdigest()
+            object.__setattr__(self, "_weight_digest", cached)
+        return cached
+
+    @property
     def signature(self) -> Tuple:
-        """Batching/placement key (see :func:`request_signature`)."""
-        return request_signature(
-            self.op, a=self.a, weights=self.weights, scalars=self.scalars
-        )
+        """Batching/placement key (see :func:`request_signature`).
+
+        Same tuple :func:`request_signature` builds, but the GEMV weight
+        digest comes from the per-instance :attr:`weight_digest` cache
+        instead of being recomputed per access.
+        """
+        if self.op == "gemv":
+            w = np.asarray(self.weights)
+            return ("gemv", w.shape, str(w.dtype), self.weight_digest)
+        return request_signature(self.op, a=self.a, scalars=self.scalars)
 
     def replace(self, **overrides) -> "Request":
         """A copy with ``overrides`` applied (dataclasses.replace)."""
@@ -224,6 +252,27 @@ class ServerConfig:
     # CRC32-checksum worker<->router serve/result pipe payloads; a
     # corrupt payload is a PimWorkerError and replays on the survivors.
     pipe_checksum: bool = True
+    # -- fabric transport (repro.stack.shm; docs/ARCHITECTURE.md,
+    #    "Fabric transport").  "pipe" pickles full request payloads
+    #    through the worker pipe — simple, and the always-available
+    #    differential oracle.  "shm" carries bulk tensors through a
+    #    router-owned shared-memory arena as CRC-guarded descriptors and
+    #    keeps GEMV weights shard-resident (keyed by content digest), so
+    #    a weight matrix crosses the boundary once per (shard,
+    #    signature) instead of every round.  Results are bit-exact
+    #    either way; pick "shm" for wire bandwidth. --
+    transport: str = "pipe"
+    # Per-worker weight-store budget (MiB).  Staged GEMV weights are
+    # LRU-cached up to this many MiB per shard; 0 disables residency
+    # (every round re-ships weights).  Ignored under transport="pipe".
+    weight_store_mb: float = 64.0
+    # Tensors at or below this many bytes ride the pickled control
+    # message inline instead of crossing as a shared-memory descriptor
+    # (the descriptor plus its attach/CRC hops costs more than the bytes
+    # for small arrays).  0 forces *every* tensor through shared memory
+    # — the mode chaos uses so frame corruption always has a frame to
+    # strike.  Ignored under transport="pipe".
+    shm_inline_bytes: int = 1024
     # -- durability (repro.journal; docs/ARCHITECTURE.md, "Durability &
     #    replay").  When journal_dir is set, the router appends every
     #    accepted Request and every terminal outcome to a CRC32-framed

@@ -65,9 +65,11 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import pickle
+import secrets
 import signal
 import time
 import zlib
+from multiprocessing import shared_memory
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -84,6 +86,15 @@ from .blas import (
 )
 from .profiler import Profiler, RequestStats, ServingProfile, _percentile
 from .runtime import SystemConfig
+from .shm import (
+    DEFAULT_SEGMENT_BYTES,
+    SHM_PREFIX,
+    ArrayRef,
+    SegmentCache,
+    ShmArena,
+    StagedWeights,
+    encode_request,
+)
 from .worker import run_worker
 
 __all__ = ["FabricHandle", "PimFabric"]
@@ -220,6 +231,11 @@ class PimFabric:
         self.server_config = (server_config or ServerConfig()).resolve(
             self.config
         )
+        if self.server_config.transport not in ("pipe", "shm"):
+            raise ValueError(
+                f"unknown transport {self.server_config.transport!r} "
+                f"(expected 'pipe' or 'shm')"
+            )
         self.num_workers = int(workers)
         self.profiler = profiler
         self.metrics = metrics
@@ -255,6 +271,47 @@ class PimFabric:
                 sync=self.server_config.journal_sync,
             )
             self._journal.append_meta(self.config, self.server_config)
+        # -- transport (docs/ARCHITECTURE.md, "Fabric transport").  The
+        #    router is the single owner of every shared-memory segment:
+        #    it creates the operand arena and one result segment per
+        #    shard slot before any worker exists, and it alone unlinks
+        #    them at close().  Workers only attach, so no worker death —
+        #    SIGKILL included — can leak a /dev/shm entry. --
+        self._arena: Optional[ShmArena] = None
+        self._segments: Optional[SegmentCache] = None
+        self._result_segments: Dict[int, Any] = {}
+        self._transport_specs: Dict[int, Dict[str, Any]] = {}
+        #: Per-shard staged-weight digests the router believes resident
+        #: (cleared on quarantine/drain/respawn so a fresh worker always
+        #: re-stages — never serves stale weights).
+        self._resident: Dict[int, set] = {}
+        #: Pipe-serialised control bytes sent/received (both transports)
+        #: and bulk tensor bytes staged through/read out of shared
+        #: memory (shm only).  bytes_tx is the bench's bytes-on-wire.
+        self.bytes_tx = 0
+        self.bytes_rx = 0
+        self.shm_tx = 0
+        self.shm_rx = 0
+        #: Fabric-wide weight-store totals folded from worker replies.
+        self.weight_store_stats: Dict[str, int] = {
+            "hits": 0, "misses": 0, "evictions": 0
+        }
+        if self.server_config.transport == "shm":
+            self._arena = ShmArena(tag="tx")
+            self._segments = SegmentCache()
+            token = secrets.token_hex(4)
+            for shard in range(self.num_workers):
+                name = (
+                    f"{SHM_PREFIX}-res{shard}-{os.getpid()}-{token}"
+                )
+                segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=DEFAULT_SEGMENT_BYTES
+                )
+                self._result_segments[shard] = segment
+                self._transport_specs[shard] = {
+                    "result_segment": name,
+                    "result_bytes": DEFAULT_SEGMENT_BYTES,
+                }
         self._mp = multiprocessing.get_context(start_method)
         self._workers: Dict[int, _WorkerLink] = {
             shard: self._spawn(shard) for shard in range(self.num_workers)
@@ -285,12 +342,18 @@ class PimFabric:
         parent, child = self._mp.Pipe()
         process = self._mp.Process(
             target=run_worker,
-            args=(child, self.config, self._worker_config, shard),
+            args=(
+                child, self.config, self._worker_config, shard,
+                self._transport_specs.get(shard),
+            ),
             name=f"pim-fabric-shard{shard}",
             daemon=True,
         )
         process.start()
         child.close()
+        # A fresh process has an empty weight store, whatever the router
+        # believed about its predecessor in this slot.
+        self._resident.pop(shard, None)
         return _WorkerLink(shard=shard, process=process, conn=parent)
 
     def __enter__(self) -> "PimFabric":
@@ -325,6 +388,28 @@ class PimFabric:
                     link.process.kill()
                     link.process.join(timeout=cfg.join_timeout_s)
             link.alive = False
+        self._close_shm()
+
+    def _close_shm(self) -> None:
+        """Unlink every owned shared-memory segment (single-owner duty).
+
+        Runs after the workers are down (they only held attachments, and
+        on Linux an unlink with stragglers attached is safe anyway) —
+        leaves ``/dev/shm`` exactly as the fabric found it.
+        """
+        if self._segments is not None:
+            self._segments.close()
+            self._segments = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+        for segment in self._result_segments.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        self._result_segments.clear()
 
     def _reap(self, link: _WorkerLink) -> None:
         """Join (or kill-then-join) one worker process, bounded."""
@@ -366,10 +451,18 @@ class PimFabric:
                     break
                 link.pending_discards -= 1
             if link.conn.poll(self.reply_timeout_s):
+                # Decode eagerly: under shm the reply's descriptors
+                # point into the slot's result segment, which the
+                # replacement worker will rewind at its next serve —
+                # materialise them now, while they are still live.
                 try:
-                    self._stashed_replies[shard] = link.conn.recv()
+                    self._stashed_replies[shard] = (
+                        "ok", self._decode_reply(link.conn.recv(), shard)
+                    )
                 except (EOFError, OSError):
                     pass
+                except PimWorkerError as err:
+                    self._stashed_replies[shard] = ("error", str(err))
         try:
             link.conn.send(("close",))
             if link.conn.poll(cfg.close_timeout_s):
@@ -589,16 +682,65 @@ class PimFabric:
 
     # -- wire protocol ------------------------------------------------------------
 
-    def _dispatch(self, link: _WorkerLink, wire: List[Tuple]) -> bool:
+    def _count(self, name: str, amount: int) -> None:
+        """Bump one wire-accounting metric (no-op without a registry)."""
+        if amount and self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _encode_wire(self, shard: int, items: List[FabricHandle]) -> List[Tuple]:
+        """The ``(rid, payload)`` wire items of one dispatch, per target.
+
+        Under the pipe transport the payload is the ``Request`` itself.
+        Under shm, each request is encoded against the *target* shard's
+        residency set — which is why dispatch (hedges included) encodes
+        per target rather than reusing a wire built for another shard: a
+        by-digest weight reference is only valid on the shard that
+        staged it.  Staged cacheable weights are optimistically marked
+        resident here; every path that loses the worker (quarantine,
+        drain, respawn) clears the mark again.
+        """
+        if self._arena is None:
+            return [(h.request_id, h.request) for h in items]
+        resident = self._resident.setdefault(shard, set())
+        budget = int(
+            max(0.0, self.server_config.weight_store_mb) * (1 << 20)
+        )
+        wire = []
+        for handle in items:
+            encoded = encode_request(
+                handle.request,
+                self._arena,
+                resident,
+                budget,
+                inline_bytes=self.server_config.shm_inline_bytes,
+            )
+            wire.append((handle.request_id, encoded))
+            weights = encoded.weights
+            if isinstance(weights, StagedWeights) and weights.cache:
+                resident.add(weights.digest)
+        return wire
+
+    def _dispatch(self, link: _WorkerLink, items: List[FabricHandle]) -> bool:
         """Put one serve round on a shard's pipe; False when the send fails.
 
         With ``pipe_checksum`` the items are pickled once here and framed
         with a CRC32 of the bytes, so the worker detects a dispatch
-        corrupted in transit instead of serving garbage.
+        corrupted in transit instead of serving garbage.  The framed
+        control bytes count under ``bytes_tx`` (the bench's
+        bytes-on-wire); tensor bytes staged through the arena count
+        separately under ``shm_tx``.
         """
+        staged = 0 if self._arena is None else self._arena.bytes_written
         try:
+            wire = self._encode_wire(link.shard, items)
+            if self._arena is not None:
+                delta = self._arena.bytes_written - staged
+                self.shm_tx += delta
+                self._count("fabric.shm_tx", delta)
             if self.server_config.pipe_checksum:
                 blob = pickle.dumps(wire, protocol=pickle.HIGHEST_PROTOCOL)
+                self.bytes_tx += len(blob)
+                self._count("fabric.bytes_tx", len(blob))
                 link.conn.send(("serve", zlib.crc32(blob), blob))
             else:
                 link.conn.send(("serve", wire))
@@ -606,12 +748,22 @@ class PimFabric:
         except (OSError, BrokenPipeError, ValueError):
             return False
 
-    def _decode_reply(self, message: Tuple) -> Dict[str, Any]:
+    def _decode_reply(
+        self, message: Tuple, shard: Optional[int] = None
+    ) -> Dict[str, Any]:
         """The payload of one result message, CRC-verified when framed.
 
         Raises :class:`~repro.errors.PimWorkerError` on an ``error``
         reply or a checksum mismatch — both route the round through the
         quarantine/replay path, never into silently wrong bytes.
+
+        Under shm the payload's result descriptors are materialised
+        *here*, the moment the reply is received — not lazily at fold
+        time — because the worker rewinds its result segment at its next
+        serve round (a hedged or drained slot can be re-dispatched
+        before this round folds).  Weight-store deltas and evicted
+        digests are folded into the router's accounting and residency
+        map on the way.
         """
         kind = message[0]
         if kind != "result":
@@ -625,8 +777,53 @@ class PimFabric:
                     "result payload failed its CRC32 check (corrupted in "
                     "transit); replaying the round"
                 )
-            return pickle.loads(blob)
-        return message[1]
+            self.bytes_rx += len(blob)
+            self._count("fabric.bytes_rx", len(blob))
+            payload = pickle.loads(blob)
+        else:
+            payload = message[1]
+        return self._materialise(payload, shard)
+
+    def _materialise(
+        self, payload: Dict[str, Any], shard: Optional[int]
+    ) -> Dict[str, Any]:
+        """Resolve a reply's shm descriptors into owned arrays (pipe: no-op).
+
+        A descriptor whose CRC32 check fails raises
+        :class:`~repro.errors.PimWorkerError` — in-segment corruption
+        takes the same quarantine/replay path a corrupted pipe blob
+        does.
+        """
+        if self._segments is None:
+            return payload
+        results = payload.get("results")
+        if results:
+            read = 0
+            materialised = {}
+            for rid, value in results.items():
+                if isinstance(value, ArrayRef):
+                    try:
+                        materialised[rid] = self._segments.read(value)
+                    except ValueError as err:
+                        raise PimWorkerError(
+                            f"{err}; replaying the round"
+                        ) from err
+                    read += value.nbytes
+                else:
+                    materialised[rid] = value
+            payload["results"] = materialised
+            self.shm_rx += read
+            self._count("fabric.shm_rx", read)
+        stats = payload.get("weight_store")
+        if stats:
+            for key in ("hits", "misses", "evictions"):
+                self.weight_store_stats[key] += int(stats.get(key, 0))
+                self._count(f"weight_store.{key}", int(stats.get(key, 0)))
+            resident = self._resident.get(payload.get("shard", shard))
+            if resident:
+                for digest in stats.get("evicted", ()):
+                    resident.discard(digest)
+        return payload
 
     # -- execution ----------------------------------------------------------------
 
@@ -656,21 +853,21 @@ class PimFabric:
                     self._heal(serving)
             if not self.alive_shards():
                 break
+            if self._arena is not None:
+                # Every descriptor from the previous round is dead —
+                # replies are materialised the moment they arrive — so
+                # the operand arena reuses the same pages each round.
+                self._arena.reset()
             assignment = self._place(todo)
             failed_shards: List[int] = []
-            wires: Dict[int, List[Tuple]] = {}
             for shard, items in assignment.items():
-                link = self._workers[shard]
-                wires[shard] = [(h.request_id, h.request) for h in items]
-                if not self._dispatch(link, wires[shard]):
+                if not self._dispatch(self._workers[shard], items):
                     failed_shards.append(shard)
             self._round_assignment = assignment
             self._in_flight = set(assignment) - set(failed_shards)
             if self._post_dispatch_hook is not None:
                 self._post_dispatch_hook(self)
-            todo = self._collect_round(
-                assignment, wires, failed_shards, serving
-            )
+            todo = self._collect_round(assignment, failed_shards, serving)
             self._in_flight = set()
         for handle in todo:
             # No shard left to replay on: the router completes the
@@ -685,7 +882,6 @@ class PimFabric:
     def _collect_round(
         self,
         assignment: Dict[int, List[FabricHandle]],
-        wires: Dict[int, List[Tuple]],
         failed_shards: List[int],
         serving: ServingProfile,
     ) -> List[FabricHandle]:
@@ -753,10 +949,12 @@ class PimFabric:
                 continue
             stashed = self._stashed_replies.pop(origin, None)
             if stashed is not None:
-                # drain() finished this group before recycling the slot.
-                try:
-                    resolve(origin, origin, self._decode_reply(stashed))
-                except PimWorkerError:
+                # drain() finished this group before recycling the slot
+                # (the reply was decoded eagerly there — see drain()).
+                kind, value = stashed
+                if kind == "ok":
+                    resolve(origin, origin, value)
+                else:
                     add_replay(origin)
                 continue
             waiting[origin] = now
@@ -794,7 +992,7 @@ class PimFabric:
                     link.pending_discards -= 1
                     continue
                 try:
-                    payload = self._decode_reply(message)
+                    payload = self._decode_reply(message, shard)
                 except PimWorkerError as err:
                     self.kill_worker(shard)
                     if shard in hedge_of:
@@ -866,7 +1064,12 @@ class PimFabric:
                     )
                     if target is None:
                         continue
-                    if self._dispatch(self._workers[target], wires[origin]):
+                    # Re-encode for the hedge target: under shm the
+                    # origin's wire may carry by-digest weight refs only
+                    # the origin's store can resolve.
+                    if self._dispatch(
+                        self._workers[target], assignment[origin]
+                    ):
                         hedge_of[target] = origin
                         hedged[origin] = target
                         hedge_start[target] = now
@@ -1099,6 +1302,9 @@ class PimFabric:
         link.alive = False
         link.state = "quarantined"
         self._ring.remove(shard)
+        # The worker (and its weight store) is gone; any digest the
+        # router believed resident must be re-staged after respawn.
+        self._resident.pop(shard, None)
         self._quarantined.append(shard)
         if serving is not None:
             serving.quarantined_shards.append(shard)

@@ -18,7 +18,14 @@ from repro.stack.profiler import RequestStats, ServingProfile
 # Fault kinds with no scripted wall-clock stall: cheap enough to fuzz.
 # kill_router qualifies: the router crash is emulated in-process and its
 # journal recovery replays on the simulated clock.
-FAST_KINDS = ("kill", "kill_router", "corrupt_pipe", "bit_flips", "fail_channel")
+FAST_KINDS = (
+    "kill",
+    "kill_router",
+    "corrupt_pipe",
+    "corrupt_shm",
+    "bit_flips",
+    "fail_channel",
+)
 
 
 class TestHarnessSmoke:
@@ -30,6 +37,37 @@ class TestHarnessSmoke:
         assert report.alive_after == [0, 1]
         assert len(report.applied) == len(FAST_KINDS)
         assert sum(report.profile.outcomes().values()) == report.requests
+
+    def test_shm_transport_matches_pipe_oracle(self):
+        """Satellite: the same chaos schedule under transport="shm" is
+        bit-exact against its pipe twin — profiles, outcomes, and span
+        trees — with the corrupt_shm kind striking a real frame.  The
+        schedule includes kill_router, so the run also proves recovery
+        re-creates the shm plumbing without leaking a segment."""
+        from repro.obs.export import diff_span_trees
+        from repro.stack.shm import live_segments
+
+        segments_before = live_segments()
+        runs = {
+            transport: run_chaos(
+                seed=3, workers=2, requests=12, kinds=FAST_KINDS,
+                gates=False, transport=transport,
+            )
+            for transport in ("pipe", "shm")
+        }
+        pipe, shm = runs["pipe"], runs["shm"]
+        assert shm.ok, "\n".join(shm.violations)
+        assert pipe.profile.render() == shm.profile.render()
+        assert pipe.profile.outcomes() == shm.profile.outcomes()
+        assert [
+            (r.request_id, r.outcome, r.shard, r.finish_ns)
+            for r in pipe.profile.requests
+        ] == [
+            (r.request_id, r.outcome, r.shard, r.finish_ns)
+            for r in shm.profile.requests
+        ]
+        assert diff_span_trees(pipe.tracer, shm.tracer) is None
+        assert live_segments() == segments_before
 
     def test_report_renders(self):
         report = run_chaos(

@@ -180,3 +180,43 @@ class TestRegisterFaults:
                 break
         assert injector.stats.crf_faults > 0
         assert len(system._crf_loaded) < system.num_pchs
+
+
+class TestTransportCorruption:
+    """The latency-tier corruption primitives the chaos harness drives."""
+
+    def test_corrupt_blob_flips_one_bit_and_counts(self):
+        injector = FaultInjector(make_system(), FaultConfig(seed=3))
+        blob = bytes(range(64))
+        corrupted = injector.corrupt_blob(blob)
+        assert corrupted != blob
+        diff = [i for i, (a, b) in enumerate(zip(blob, corrupted)) if a != b]
+        assert len(diff) == 1
+        assert bin(blob[diff[0]] ^ corrupted[diff[0]]).count("1") == 1
+        assert injector.stats.pipe_corruptions == 1
+
+    def test_corrupt_shm_flips_one_bit_in_place(self):
+        injector = FaultInjector(make_system(), FaultConfig(seed=3))
+        frame = bytearray(range(64))
+        original = bytes(frame)
+        injector.corrupt_shm(memoryview(frame))
+        diff = [i for i, (a, b) in enumerate(zip(original, frame)) if a != b]
+        assert len(diff) == 1
+        assert bin(original[diff[0]] ^ frame[diff[0]]).count("1") == 1
+        assert injector.stats.shm_corruptions == 1
+        assert injector.stats.total >= 1
+
+    def test_corrupt_shm_deterministic_per_seed(self):
+        def strike(seed):
+            injector = FaultInjector(make_system(), FaultConfig(seed=seed))
+            frame = bytearray(64)
+            injector.corrupt_shm(memoryview(frame))
+            return bytes(frame)
+
+        assert strike(5) == strike(5)
+        assert strike(5) != strike(6)
+
+    def test_corrupt_shm_empty_frame_counts_without_striking(self):
+        injector = FaultInjector(make_system(), FaultConfig(seed=0))
+        injector.corrupt_shm(memoryview(bytearray(0)))
+        assert injector.stats.shm_corruptions == 1
